@@ -1,0 +1,21 @@
+"""EXP-A1 — ablation: universal-tree choice (section 2.1 drawback remark).
+
+The paper notes a universal tree can be arbitrarily more expensive than
+the optimal assignment.  This ablation measures the induced cost ratio
+T(R)/C* for the three natural tree constructions.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_a1_tree_ablation
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-A1")
+def test_universal_tree_ablation(benchmark):
+    out = run_once(benchmark, exp_a1_tree_ablation, n_instances=6, n=7, seed=0)
+    record("exp_a1", format_table(out["rows"], title="EXP-A1 universal-tree ablation"))
+    for row in out["rows"]:
+        assert row["mean_cost_ratio"] >= 1.0 - 1e-9
+        assert row["max_cost_ratio"] < 50  # sane on uniform instances

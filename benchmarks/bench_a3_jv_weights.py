@@ -1,0 +1,24 @@
+"""EXP-A3 — ablation: the JV family's per-user mappings f_i.
+
+Jain-Vazirani's construction is a *family* parameterized per user; the
+choice redistributes shares but never changes the charged total (the
+closure-MST weight) nor cross-monotonicity.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_a3_jv_weights
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-A3")
+def test_jv_weight_ablation(benchmark):
+    out = run_once(benchmark, exp_a3_jv_weights, n=7, seed=0)
+    record("exp_a3", format_table(out["rows"], title="EXP-A3 JV family ablation")
+           + f"\nL1 distance between the two members' shares: {out['share_l1_distance']:.4f}")
+    totals = [row["total"] for row in out["rows"]]
+    assert totals[0] == pytest.approx(totals[1])
+    assert out["share_l1_distance"] > 1e-6  # the family genuinely differs
+    for row in out["rows"]:
+        assert row["cross_monotonicity_violations"] == 0

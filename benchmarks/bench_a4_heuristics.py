@@ -1,0 +1,21 @@
+"""EXP-A4 — baseline comparison: multicast heuristics vs the exact optimum.
+
+The Wieselthier et al. [50] baseline family the paper builds on: SPT, MST,
+Steiner(KMB) and BIP multicast, all measured against the exact C* oracle.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_a4_multicast_heuristics
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-A4")
+def test_multicast_heuristic_comparison(benchmark):
+    out = run_once(benchmark, exp_a4_multicast_heuristics, n_instances=8, n=8, seed=0)
+    record("exp_a4", format_table(out["rows"], title="EXP-A4 multicast heuristics vs C*"))
+    assert {row["heuristic"] for row in out["rows"]} == {"spt", "mst", "steiner_kmb", "bip"}
+    for row in out["rows"]:
+        assert row["mean_ratio"] >= 1.0 - 1e-9
+        assert row["max_ratio"] <= 6.0 + 1e-9  # all obey the d=2 bound here

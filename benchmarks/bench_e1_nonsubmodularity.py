@@ -1,0 +1,23 @@
+"""EXP-E1 — Lemma 3.3's consequence at small scale.
+
+Paper claim: for alpha > 1, d > 1 the optimal cost C* is not submodular in
+general (so the Shapley route to budget balance is closed).  Measured: the
+fraction of small random instances whose exact C* violates submodularity —
+already non-zero at n = 6 — and zero for the alpha = 1 control (Lemma 3.1
+proves submodularity there).
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_e1_nonsubmodularity
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-E1")
+def test_cstar_nonsubmodularity(benchmark):
+    out = run_once(benchmark, exp_e1_nonsubmodularity, n_instances=12, n=6, seed=0)
+    record("exp_e1", format_table(out["rows"], title="EXP-E1 C* submodularity failures"))
+    by_case = {row["case"]: row for row in out["rows"]}
+    assert by_case["alpha=1, d=2"]["C*_non_submodular"] == 0  # Lemma 3.1
+    assert by_case["alpha=2, d=2"]["C*_non_submodular"] >= 1  # Lemma 3.3 regime

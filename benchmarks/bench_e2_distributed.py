@@ -1,0 +1,23 @@
+"""EXP-E2 — the distributed efficient-set protocol on trees.
+
+Penna-Ventre [43] (paper §2.1): the optimal net worth on a tree is
+computable by a distributed polynomial algorithm.  Measured: the
+message-passing implementation returns the centralized DP's answer
+exactly, with <= 2(n-1) messages and rounds bounded by twice the depth.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_e2_distributed
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-E2")
+def test_distributed_protocol(benchmark):
+    out = run_once(benchmark, exp_e2_distributed, sizes=(8, 16, 32, 64), seed=0)
+    record("exp_e2", format_table(out["rows"], title="EXP-E2 distributed tree protocol"))
+    for row in out["rows"]:
+        assert row["identical_result"]
+        assert row["messages"] <= row["message_bound_2(n-1)"]
+        assert row["rounds"] <= 2 * (row["tree_depth"] + 1)

@@ -1,0 +1,39 @@
+"""EXP-E3 — the measured properties matrix (the paper's contribution table).
+
+Every mechanism audited against every axiom on a fixed instance with exact
+oracles.  Expected pattern (the paper's): Shapley-flavoured mechanisms are
+budget balanced with no deviations at all; MC-flavoured mechanisms are
+efficient and strategyproof but run deficits and are group-manipulable;
+the NWST mechanism (on the paper's own Fig. 1 instance) is strategyproof
+yet group-manipulable; the beta-BB mechanisms recover costs within their
+factors.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_e3_properties_matrix
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-E3")
+def test_properties_matrix(benchmark):
+    out = run_once(benchmark, exp_e3_properties_matrix, seed=0, n=5)
+    columns = ["mechanism", "npt", "vp", "cs", "cost_recovery",
+               "bb_factor_vs_C*", "sp_deviation", "gsp_deviation"]
+    record("exp_e3", format_table(out["rows"], columns=columns,
+                                  title="EXP-E3 properties matrix"))
+    rows = {row["mechanism"]: row for row in out["rows"]}
+    for row in out["rows"]:
+        assert row["npt"] and row["vp"] and row["cs"]
+        assert not row["sp_deviation"]  # every mechanism is strategyproof
+    # Shapley mechanisms: exactly budget balanced and group strategyproof.
+    for name in ("universal-tree Shapley (§2.1)", "exact Shapley over C*"):
+        assert rows[name]["bb_factor_vs_C*"] == pytest.approx(1.0, abs=1e-6)
+        assert not rows[name]["gsp_deviation"]
+    # The NWST mechanism's Fig. 1 group deviation must be found.
+    nwst = [r for r in out["rows"] if "NWST" in r["mechanism"]][0]
+    assert nwst["gsp_deviation"]
+    # MC mechanisms never run a surplus.
+    for name in ("universal-tree MC (§2.1)", "exact MC over C*"):
+        assert rows[name]["bb_factor_vs_C*"] <= 1.0 + 1e-9

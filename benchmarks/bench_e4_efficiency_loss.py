@@ -1,0 +1,26 @@
+"""EXP-E4 — Moulin-Shenker [38]: Shapley minimises worst-case efficiency loss.
+
+Paper context (§1.1): among cross-monotonic budget-balanced methods the
+Shapley value is adopted "especially because it achieves the lowest worst
+case efficiency loss over all the utility profiles".  Measured against
+fixed-permutation marginal-vector methods (the other classic members of
+the family) over random profiles on universal-tree games.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_e4_efficiency_loss
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-E4")
+def test_shapley_minimises_worst_case_loss(benchmark):
+    out = run_once(benchmark, exp_e4_efficiency_loss,
+                   n_instances=4, n=7, n_profiles=60, seed=0)
+    record("exp_e4", format_table(out["rows"], title="EXP-E4 efficiency loss of BB methods"))
+    by_method = {row["method"]: row for row in out["rows"]}
+    shapley = by_method["shapley"]
+    for name, row in by_method.items():
+        if name != "shapley":
+            assert shapley["worst_loss"] <= row["worst_loss"] + 1e-9

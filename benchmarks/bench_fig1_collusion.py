@@ -1,0 +1,22 @@
+"""EXP-F1 — Fig. 1: the NWST mechanism is not group strategyproof.
+
+Paper claim (section 2.2.2): truthful welfares (3/2, 3/2, 3/2, 0); after
+agent 7 shades its report, (5/3, 5/3, 5/3, 0) with agent 7 dropped.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_f1_collusion
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-F1")
+def test_fig1_collusion(benchmark):
+    out = run_once(benchmark, exp_f1_collusion)
+    record("exp_f1", format_table(out["rows"], title="EXP-F1 Fig.1 collusion walk-through"))
+    assert out["gsp_violated"]
+    for i, expected in out["expected_truthful"].items():
+        assert out["measured_truthful"][i] == pytest.approx(expected)
+    for i, expected in out["expected_collusive"].items():
+        assert out["measured_collusive"][i] == pytest.approx(expected)

@@ -1,0 +1,23 @@
+"""EXP-F2 — Fig. 2: the pentagon instance has an empty core (Lemma 3.3).
+
+Paper claim: for alpha > 1, d = 2 the instance admits no core allocation
+(C(single) > C(all)/5 and C(adjacent pair) < 2 C(all)/5); under alpha = 1
+the cost game is submodular and the core is non-empty.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_f2_empty_core
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-F2")
+def test_fig2_empty_core(benchmark):
+    out = run_once(benchmark, exp_f2_empty_core, m_values=(6.0, 8.0, 10.0))
+    record("exp_f2", format_table(out["rows"], title="EXP-F2 Fig.2 pentagon core"))
+    for row in out["rows"]:
+        assert row["core_empty"]
+        assert not row["core_empty_alpha1"]
+        assert row["pair < 2C/5"] and row["single > C/5"]
+        assert row["least_core_eps"] > 0

@@ -1,0 +1,86 @@
+"""EXP-S1 — scalability: mechanism runtimes vs instance size.
+
+These are honest pytest-benchmark timings (multiple rounds) of each
+mechanism's `run`, showing the polynomial mechanisms scale and locating
+the expensive pieces (the NWST spider search dominates the section 2.2
+pipeline, as the paper's complexity discussion predicts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EuclideanJVMechanism,
+    EuclideanShapleyMechanism,
+    NWSTMechanism,
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    WirelessMulticastMechanism,
+)
+from repro.geometry import uniform_points
+from repro.graphs.random_graphs import random_node_weighted_instance
+from repro.wireless import EuclideanCostGraph, UniversalTree
+
+
+def euclid_case(n, dim=2, alpha=2.0, seed=0, scale=3.0):
+    net = EuclideanCostGraph(uniform_points(n, dim, rng=seed, side=5.0), alpha)
+    rng = np.random.default_rng(seed)
+    typical = float(np.median(net.matrix[net.matrix > 0]))
+    profile = {i: float(rng.uniform(0, scale * typical)) for i in range(1, n)}
+    return net, profile
+
+
+@pytest.mark.benchmark(group="EXP-S1 universal-tree-shapley")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scaling_universal_tree_shapley(benchmark, n):
+    net, profile = euclid_case(n)
+    mech = UniversalTreeShapleyMechanism(UniversalTree.from_shortest_paths(net, 0))
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() == pytest.approx(result.cost)
+
+
+@pytest.mark.benchmark(group="EXP-S1 universal-tree-mc")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scaling_universal_tree_mc(benchmark, n):
+    net, profile = euclid_case(n)
+    mech = UniversalTreeMCMechanism(UniversalTree.from_shortest_paths(net, 0))
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() <= result.cost + 1e-9
+
+
+@pytest.mark.benchmark(group="EXP-S1 jv")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scaling_jv(benchmark, n):
+    net, profile = euclid_case(n)
+    mech = EuclideanJVMechanism(net, 0)
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() >= result.cost - 1e-9
+
+
+@pytest.mark.benchmark(group="EXP-S1 euclidean-shapley-d1")
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_scaling_line_shapley(benchmark, n):
+    net, profile = euclid_case(n, dim=1)
+    mech = EuclideanShapleyMechanism(net, 0)
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() >= -1e-9
+
+
+@pytest.mark.benchmark(group="EXP-S1 nwst")
+@pytest.mark.parametrize("n,k", [(12, 4), (16, 5)])
+def test_scaling_nwst(benchmark, n, k):
+    graph, weights, terminals = random_node_weighted_instance(n, k, rng=0)
+    rng = np.random.default_rng(0)
+    profile = {t: float(rng.uniform(0, 10)) for t in terminals}
+    mech = NWSTMechanism(graph, weights, terminals)
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() >= result.cost - 1e-9
+
+
+@pytest.mark.benchmark(group="EXP-S1 wireless")
+@pytest.mark.parametrize("n", [6, 8])
+def test_scaling_wireless(benchmark, n):
+    net, profile = euclid_case(n, scale=2.0)
+    mech = WirelessMulticastMechanism(net, 0)
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() >= result.cost - 1e-6

@@ -1,0 +1,27 @@
+"""EXP-T1 — Lemma 2.1 + section 2.1 mechanisms on universal trees.
+
+Paper claims: the induced cost function is non-decreasing and submodular;
+the Shapley mechanism is exactly budget balanced; the MC mechanism is
+efficient (gap 0 vs brute force) and never runs a surplus.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_t1_universal_tree
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-T1")
+@pytest.mark.parametrize("tree_kind", ["spt", "mst", "star"])
+def test_universal_tree_mechanisms(benchmark, tree_kind):
+    out = run_once(benchmark, exp_t1_universal_tree,
+                   n_instances=4, n=7, seed=0, tree_kind=tree_kind)
+    record(f"exp_t1_{tree_kind}",
+           format_table(out["rows"], title=f"EXP-T1 universal tree = {tree_kind}"))
+    for row in out["rows"]:
+        assert row["submodularity_violations"] == 0
+        assert row["monotonicity_violations"] == 0
+        assert row["shapley_bb_factor"] == pytest.approx(1.0)
+        assert abs(row["mc_efficiency_gap"]) < 1e-9
+        assert row["mc_revenue_ratio"] <= 1.0 + 1e-9

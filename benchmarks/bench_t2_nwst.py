@@ -1,0 +1,23 @@
+"""EXP-T2 — Theorems 2.2/2.3: the NWST mechanism.
+
+Paper claims: charged total within 1.5 ln k of the exact node-weighted
+Steiner optimum over the served terminals; no profitable unilateral
+misreport exists.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_t2_nwst
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-T2")
+def test_nwst_mechanism_bb_and_sp(benchmark):
+    out = run_once(benchmark, exp_t2_nwst, n_instances=5, n=14, k=5, seed=0,
+                   check_sp=True)
+    record("exp_t2", format_table(out["rows"], title="EXP-T2 NWST mechanism"))
+    for row in out["rows"]:
+        assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+        assert not row["profitable_deviation"]
+        assert row["charged"] >= row["tree_cost"] - 1e-9  # cost recovery

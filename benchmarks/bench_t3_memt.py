@@ -1,0 +1,34 @@
+"""EXP-T3 — section 2.2.3: the wireless multicast mechanism.
+
+Paper claims: the combined mechanism is 3 ln(k+1)-BB against the exact
+optimum C*, produces feasible power assignments, recovers the built cost,
+and admits no profitable unilateral misreport.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_t3_wireless
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-T3")
+@pytest.mark.parametrize("euclidean", [True, False], ids=["euclidean", "general"])
+def test_wireless_mechanism(benchmark, euclidean):
+    out = run_once(benchmark, exp_t3_wireless, n_instances=4, n=7, seed=0,
+                   euclidean=euclidean, check_sp=False)
+    name = "exp_t3_euclidean" if euclidean else "exp_t3_general"
+    record(name, format_table(out["rows"], title=f"EXP-T3 wireless mechanism ({name})"))
+    for row in out["rows"]:
+        assert row["feasible"]
+        assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+        assert row["charged"] >= row["built_cost"] - 1e-6
+
+
+@pytest.mark.benchmark(group="EXP-T3")
+def test_wireless_mechanism_strategyproofness(benchmark):
+    out = run_once(benchmark, exp_t3_wireless, n_instances=2, n=5, seed=1,
+                   check_sp=True)
+    record("exp_t3_sp", format_table(out["rows"], title="EXP-T3 SP sweep"))
+    for row in out["rows"]:
+        assert not row["profitable_deviation"]

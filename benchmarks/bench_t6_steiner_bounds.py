@@ -1,0 +1,24 @@
+"""EXP-T6 — Lemmas 3.4/3.5: Steiner/MST approximation factors.
+
+Paper claims: the Steiner-heuristic multicast assignment costs at most
+(3^d - 1) C* (6 C* for d = 2 via Ambuehl); the MST broadcast heuristic
+obeys the same bound.  Measured worst-case ratios over random suites stay
+far below the proven constants.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_t6_steiner_bounds
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-T6")
+def test_steiner_and_mst_bounds(benchmark):
+    out = run_once(benchmark, exp_t6_steiner_bounds, n_instances=8, n=8, seed=0,
+                   alphas=(2.0, 4.0), dims=(1, 2, 3))
+    record("exp_t6", format_table(out["rows"], title="EXP-T6 Steiner/MST ratios vs bounds"))
+    for row in out["rows"]:
+        assert row["worst_steiner_multicast_ratio"] <= row["paper_bound_3d"] + 1e-9
+        assert row["worst_mst_broadcast_ratio"] <= row["paper_bound_3d"] + 1e-9
+        assert row["worst_steiner_multicast_ratio"] >= 1.0 - 1e-9

@@ -1,0 +1,26 @@
+"""EXP-T7 — Theorems 3.6/3.7: the Jain-Vazirani Euclidean mechanism.
+
+Paper claims: the shares are cross-monotonic (0 violations), the mechanism
+is group strategyproof (no coalition deviation found) and 2(3^d - 1)-BB
+(12-BB for d = 2) against the exact C*.
+"""
+
+import pytest
+
+from conftest import record, run_once
+from repro.analysis.experiments import exp_t7_jv
+from repro.analysis.tables import format_table
+
+
+@pytest.mark.benchmark(group="EXP-T7")
+@pytest.mark.parametrize("dim,alpha", [(2, 2.0), (3, 3.0)], ids=["d2", "d3"])
+def test_jv_mechanism(benchmark, dim, alpha):
+    out = run_once(benchmark, exp_t7_jv, n_instances=5, n=7, seed=0,
+                   dim=dim, alpha=alpha, check_gsp=(dim == 2))
+    record(f"exp_t7_d{dim}",
+           format_table(out["rows"], title=f"EXP-T7 JV mechanism d={dim}, alpha={alpha}"))
+    for row in out["rows"]:
+        assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+        assert row["cross_monotonicity_violations"] == 0
+        assert not row["group_deviation_found"]
+        assert row["charged"] >= row["built_cost"] - 1e-9

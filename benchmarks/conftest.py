@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment once (the runners are deterministic),
+asserts the paper's invariants, and writes the result table to
+``benchmarks/out/<name>.txt`` so the numbers quoted in EXPERIMENTS.md are
+regenerable even under pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def record(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (runners are deterministic and some
+    are expensive; wall-clock, not statistics, is what we report)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Reproduce the paper's Fig. 1: the NWST mechanism is not group
+strategyproof.
+
+Walks the exact published counterexample: four terminals with utilities
+(3, 3, 3, 3/2); truthfully the mechanism picks the ratio-1 spider {1,5,7}
+then the 1-4-6 path, welfares (3/2, 3/2, 3/2, 0).  When agent 7 shades its
+report below 3/2, it gets dropped, the restart picks the ratio-4/3 spider
+{1,5,6}, and the coalition's welfares become (5/3, 5/3, 5/3, 0): nobody
+lost, three agents strictly gained — a group-strategyproofness violation,
+even though (Theorem 2.3) no *single* agent can ever profit from lying.
+
+Run:  python examples/collusion_audit.py
+"""
+
+from repro.analysis.instances import fig1_collusion_instance
+from repro.analysis.tables import format_table
+from repro.core import NWSTMechanism
+from repro.mechanism.properties import find_unilateral_deviation
+
+
+def main() -> None:
+    inst = fig1_collusion_instance()
+    mech = NWSTMechanism(inst.graph, inst.weights, inst.terminals)
+
+    truthful = mech.run(inst.utilities)
+    w_true = truthful.welfare(inst.utilities)
+
+    epsilon = 0.25
+    deviated = dict(inst.utilities)
+    deviated[inst.colluder] = inst.utilities[inst.colluder] - epsilon
+    collusive = mech.run(deviated)
+    w_coll = collusive.welfare(inst.utilities)
+
+    rows = [{
+        "agent": i,
+        "true utility": inst.utilities[i],
+        "welfare (truthful)": w_true[i],
+        "welfare (collusion)": w_coll[i],
+        "gained": w_coll[i] > w_true[i] + 1e-9,
+    } for i in inst.terminals]
+    print(format_table(rows, title=f"Fig. 1 walk-through (agent 7 reports 3/2 - {epsilon})"))
+
+    print()
+    print(f"truthful receivers:  {sorted(truthful.receivers)} "
+          f"(charged {truthful.total_charged():.3f})")
+    print(f"collusive receivers: {sorted(collusive.receivers)} "
+          f"(charged {collusive.total_charged():.3f}, "
+          f"{collusive.extra['n_restarts']} restart)")
+
+    print("\nChecking Theorem 2.3 on the same instance: sweeping unilateral")
+    print("misreports for every agent...")
+    deviation = find_unilateral_deviation(mech, inst.utilities)
+    print("  profitable unilateral deviation found:", deviation is not None)
+    assert deviation is None, "Thm 2.3 says this must not happen"
+    print("  -> strategyproof for individuals, yet manipulable by the group.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduce the paper's Fig. 2: an instance whose cost game has an empty
+core (Lemma 3.3).
+
+The construction: five external stations on a radius-m pentagon around the
+source, five internal stations on the rotated radius-m/2 pentagon, and
+unit-spaced relay stations along every dotted line.  For alpha > 1 serving
+two adjacent externals through their shared internal station is cheaper
+than two separate spokes — which makes every "fair" allocation blockable
+by some pair, so no budget-balanced cross-monotonic cost sharing exists
+and beta-approximate mechanisms (Theorems 3.6/3.7) are the best possible
+route.
+
+Run:  python examples/pentagon_core.py
+"""
+
+from repro.analysis.instances import pentagon_instance
+from repro.analysis.tables import format_table
+from repro.mechanism.core import core_allocation, least_core_value
+
+
+def main() -> None:
+    rows = []
+    for m in (6.0, 8.0, 10.0):
+        inst = pentagon_instance(m=m, alpha=2.0)
+        agents = list(inst.external)
+        grand = inst.cost_fn(frozenset(agents))
+        single = inst.cost_fn(frozenset(agents[:1]))
+        pair = inst.cost_fn(frozenset(agents[:2]))
+        allocation = core_allocation(agents, inst.cost_fn)
+        eps, _ = least_core_value(agents, inst.cost_fn)
+        rows.append({
+            "m": m,
+            "stations": inst.points.n,
+            "C(all 5)": grand,
+            "C(one)": single,
+            "C(adjacent pair)": pair,
+            "core empty": allocation is None,
+            "least-core eps": eps,
+        })
+    print(format_table(rows, title="Fig. 2 pentagon: the core is empty (alpha = 2, d = 2)"))
+
+    print("""
+Why: by symmetry a core allocation would charge each external C(all)/5;
+the adjacent pair then pays 2C/5 > C(pair) and secedes.  The paper's
+conclusion: for alpha > 1, d > 1 no budget-balanced group-strategyproof
+mechanism based on cross-monotonic shares exists — approximate budget
+balance (the Jain-Vazirani mechanism, see disaster_relief.py) is the way.
+""")
+
+    # Contrast: with alpha = 1 the optimal cost is a max game (submodular),
+    # and a core allocation exists.
+    inst = pentagon_instance(m=6.0, alpha=2.0)
+
+    def alpha1_cost(R):
+        return max((inst.points.distance(inst.source, i) for i in R), default=0.0)
+
+    allocation = core_allocation(list(inst.external), alpha1_cost)
+    print("alpha = 1 control: core allocation exists ->", allocation is not None)
+
+
+if __name__ == "__main__":
+    main()

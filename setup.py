@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment has no `wheel` package, so the PEP 660
+editable-install path is unavailable; `pip install -e .` uses this instead).
+Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

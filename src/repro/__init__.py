@@ -1,0 +1,50 @@
+"""repro — cost-sharing mechanisms for multicast in wireless networks.
+
+A from-scratch reproduction of Bilò, Flammini, Melideo, Moscardelli &
+Navarra, *Sharing the cost of multicast transmissions in wireless networks*
+(SPAA 2004 / Theoretical Computer Science 369, 2006).
+
+Layering (each layer only depends on the ones above it):
+
+* :mod:`repro.graphs` / :mod:`repro.geometry` — pure algorithmic substrate;
+* :mod:`repro.wireless` — the paper's wireless power model + exact oracles;
+* :mod:`repro.mechanism` — mechanism-design vocabulary and axiom auditors;
+* :mod:`repro.core` — the paper's mechanisms;
+* :mod:`repro.analysis` — instances, experiments, tables.
+
+The most common entry points are re-exported here; run
+``python -m repro`` for the full experiment report.
+"""
+
+from repro.core import (
+    EuclideanJVMechanism,
+    EuclideanMCMechanism,
+    EuclideanShapleyMechanism,
+    NWSTMechanism,
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    WirelessMulticastMechanism,
+)
+from repro.geometry import PointSet, uniform_points
+from repro.mechanism import MechanismResult
+from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostGraph",
+    "EuclideanCostGraph",
+    "EuclideanJVMechanism",
+    "EuclideanMCMechanism",
+    "EuclideanShapleyMechanism",
+    "MechanismResult",
+    "NWSTMechanism",
+    "PointSet",
+    "PowerAssignment",
+    "UniversalTree",
+    "UniversalTreeMCMechanism",
+    "UniversalTreeShapleyMechanism",
+    "WirelessMulticastMechanism",
+    "uniform_points",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""``python -m repro`` — run the full experiment report on the console.
+
+Runs every experiment of DESIGN.md section 4 at moderate parameters and
+prints the paper-vs-measured tables.  Pass experiment ids to run a subset:
+
+    python -m repro F1 F2 T6
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis import experiments as E
+from repro.analysis.tables import format_table
+
+RUNNERS = {
+    "F1": ("Fig. 1 — NWST mechanism collusion", lambda: E.exp_f1_collusion()),
+    "F2": ("Fig. 2 — pentagon empty core", lambda: E.exp_f2_empty_core()),
+    "T1": ("Lemma 2.1 / §2.1 — universal-tree mechanisms",
+           lambda: E.exp_t1_universal_tree(n_instances=4, n=7)),
+    "T2": ("Thms 2.2/2.3 — NWST mechanism",
+           lambda: E.exp_t2_nwst(n_instances=4, n=14, k=5, check_sp=False)),
+    "T3": ("§2.2.3 — wireless multicast mechanism",
+           lambda: E.exp_t3_wireless(n_instances=4, n=7)),
+    "T4": ("Lemma 3.1 / Thm 3.2 — optimal Euclidean mechanisms",
+           lambda: E.exp_t4_euclidean_optimal(n_instances=3, n=7)),
+    "T5": ("Lemma 3.3 — core emptiness frequency",
+           lambda: E.exp_t5_core_emptiness(n_instances=20, n=6)),
+    "T6": ("Lemmas 3.4/3.5 — Steiner/MST bounds",
+           lambda: E.exp_t6_steiner_bounds(n_instances=6, n=8)),
+    "T7": ("Thms 3.6/3.7 — Jain-Vazirani mechanism",
+           lambda: E.exp_t7_jv(n_instances=4, n=7)),
+    "E1": ("C* non-submodularity at small scale",
+           lambda: E.exp_e1_nonsubmodularity(n_instances=10, n=6)),
+    "E2": ("Distributed tree protocol (Penna-Ventre)",
+           lambda: E.exp_e2_distributed()),
+    "E3": ("Properties matrix (all mechanisms vs all axioms)",
+           lambda: E.exp_e3_properties_matrix()),
+    "E4": ("Efficiency loss of BB methods (Shapley vs marginal vectors)",
+           lambda: E.exp_e4_efficiency_loss()),
+    "A1": ("Ablation — universal-tree choice", lambda: E.exp_a1_tree_ablation()),
+    "A2": ("Ablation — spider flavour", lambda: E.exp_a2_spider_ablation()),
+    "A3": ("Ablation — JV share family", lambda: E.exp_a3_jv_weights()),
+    "A4": ("Baseline — multicast heuristics vs C*",
+           lambda: E.exp_a4_multicast_heuristics()),
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.upper() for a in argv] or list(RUNNERS)
+    unknown = [w for w in wanted if w not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(RUNNERS)}")
+        return 2
+    for key in wanted:
+        title, runner = RUNNERS[key]
+        t0 = time.perf_counter()
+        out = runner()
+        elapsed = time.perf_counter() - t0
+        print(f"\n=== EXP-{key}: {title}  ({elapsed:.1f}s)")
+        print(format_table(out["rows"]))
+        for extra_key, value in out.items():
+            if extra_key != "rows" and not isinstance(value, (list, dict)):
+                print(f"{extra_key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

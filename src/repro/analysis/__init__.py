@@ -1,0 +1,37 @@
+"""Experiment layer: named paper instances, experiment runners, tables.
+
+Each experiment in DESIGN.md section 4 has a runner in
+:mod:`repro.analysis.experiments` returning structured rows; the benchmark
+suite (``benchmarks/``) times and asserts them, and EXPERIMENTS.md records
+paper-vs-measured.
+"""
+
+from repro.analysis.bounds import (
+    jv_bound,
+    mst_euclidean_bound,
+    nwst_bb_bound,
+    wireless_bb_bound,
+)
+from repro.analysis.instances import (
+    Fig1Instance,
+    PentagonInstance,
+    fig1_collusion_instance,
+    pentagon_instance,
+    random_euclidean_suite,
+    random_symmetric_suite,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Fig1Instance",
+    "PentagonInstance",
+    "fig1_collusion_instance",
+    "format_table",
+    "jv_bound",
+    "mst_euclidean_bound",
+    "nwst_bb_bound",
+    "pentagon_instance",
+    "random_euclidean_suite",
+    "random_symmetric_suite",
+    "wireless_bb_bound",
+]

@@ -1,0 +1,170 @@
+"""Named instances: the paper's two figures plus randomized suites.
+
+Fig. 1 — the NWST group-strategyproofness counterexample.  The journal
+figure's node weights are OCR-damaged, but the walk-through in section 2.2.2
+pins every quantity; :func:`fig1_collusion_instance` reconstructs a graph
+with exactly those spiders and ratios (see DESIGN.md §3):
+
+* terminals 1, 5, 6, 7 with utilities (3, 3, 3, 3/2);
+* node 2 (weight 3) adjacent to 1, 5, 7 — the minimum-ratio spider ``Sp2``
+  of ratio 1;
+* node 3 (weight 4) adjacent to 1, 5, 6 — spider ``Sp1`` of ratio 4/3;
+* node 4 (weight 3) adjacent to 1, 6 — the "path 1-4-6" of 2-terminal
+  ratio 3/2.
+
+Truthful run: Sp2 (shares 1 each), then the path (3/2 split as +1/2 to
+each of {1,5,7} and 3/2 to 6) — welfares (3/2, 3/2, 3/2, 0).  If agent 7
+shades its report to 3/2 - eps, the path becomes unaffordable, 7 is
+dropped, and the restart picks Sp1 — welfares (5/3, 5/3, 5/3, 0): a
+coalition deviation where nobody loses and three agents strictly gain.
+
+Fig. 2 — the pentagon empty-core instance of Lemma 3.3 (see
+:func:`repro.geometry.points.pentagon_layout`).  ``C*`` over the five
+external agents is priced by the exact Dreyfus-Wagner oracle on the
+unit-hop chain graph (for ``alpha > 1`` and unit spacing, chains of unit
+hops dominate longer hops; branch-point savings are O(1) against the
+Theta(m) inequality slack — the substitution DESIGN.md documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.points import PointSet, pentagon_layout, uniform_points
+from repro.graphs.adjacency import Graph
+from repro.graphs.random_graphs import as_rng, random_cost_matrix
+from repro.graphs.steiner import steiner_costs_all_subsets
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig1Instance:
+    graph: Graph
+    weights: dict
+    terminals: tuple
+    utilities: dict
+    colluder: int  # agent 7
+    expected_truthful_welfare: dict
+    expected_collusive_welfare: dict
+
+
+def fig1_collusion_instance() -> Fig1Instance:
+    """The reconstructed Fig. 1a instance (exact rational behaviour)."""
+    g = Graph()
+    weights = {1: 0.0, 5: 0.0, 6: 0.0, 7: 0.0, 2: 3.0, 3: 4.0, 4: 3.0}
+    for node in weights:
+        g.add_node(node)
+    for u, v in [(2, 1), (2, 5), (2, 7), (3, 1), (3, 5), (3, 6), (4, 1), (4, 6)]:
+        g.add_edge(u, v, 1.0)
+    utilities = {1: 3.0, 5: 3.0, 6: 3.0, 7: 1.5}
+    return Fig1Instance(
+        graph=g,
+        weights=weights,
+        terminals=(1, 5, 6, 7),
+        utilities=utilities,
+        colluder=7,
+        expected_truthful_welfare={1: 1.5, 5: 1.5, 6: 1.5, 7: 0.0},
+        expected_collusive_welfare={1: 5 / 3, 5: 5 / 3, 6: 5 / 3, 7: 0.0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PentagonInstance:
+    points: PointSet
+    network: EuclideanCostGraph
+    chain_graph: Graph  # unit-hop connectivity, edge weight = hop^alpha
+    source: int
+    external: tuple
+    internal: tuple
+    alpha: float
+    m: float
+    costs: dict = field(default_factory=dict)  # frozenset(externals) -> C*
+
+    def cost_fn(self, R: frozenset) -> float:
+        return self.costs[frozenset(R)]
+
+
+def pentagon_instance(m: float = 8.0, alpha: float = 2.0, spacing: float = 1.0) -> PentagonInstance:
+    """Build Fig. 2 and price every coalition of external stations."""
+    layout = pentagon_layout(m=m, spacing=spacing)
+    points: PointSet = layout["points"]
+    network = EuclideanCostGraph(points, alpha)
+
+    chain_graph = Graph()
+    chain_graph.add_nodes(range(points.n))
+    for chain in layout["chains"]:
+        for a, b in zip(chain, chain[1:]):
+            chain_graph.add_edge(a, b, points.distance(a, b) ** alpha)
+
+    costs = steiner_costs_all_subsets(chain_graph, layout["external"], layout["source"])
+    return PentagonInstance(
+        points=points,
+        network=network,
+        chain_graph=chain_graph,
+        source=layout["source"],
+        external=tuple(layout["external"]),
+        internal=tuple(layout["internal"]),
+        alpha=alpha,
+        m=m,
+        costs=costs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random suites
+# ---------------------------------------------------------------------------
+
+def random_symmetric_suite(
+    n_instances: int,
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    metric: bool = False,
+) -> list[CostGraph]:
+    """General symmetric wireless networks (costs need not be metric)."""
+    rng = as_rng(rng)
+    return [CostGraph(random_cost_matrix(n, rng, metric=metric)) for _ in range(n_instances)]
+
+
+def random_euclidean_suite(
+    n_instances: int,
+    n: int,
+    dim: int,
+    alpha: float,
+    rng: int | np.random.Generator | None = None,
+    *,
+    side: float = 5.0,
+) -> list[EuclideanCostGraph]:
+    rng = as_rng(rng)
+    return [
+        EuclideanCostGraph(uniform_points(n, dim, side=side, rng=rng), alpha)
+        for _ in range(n_instances)
+    ]
+
+
+def random_utilities(
+    network: CostGraph,
+    source: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    scale: float = 1.0,
+) -> dict[int, float]:
+    """Utilities commensurate with the instance's cost scale, so receiver
+    sets are non-trivial (neither empty nor always-everyone)."""
+    rng = as_rng(rng)
+    typical = float(np.median(network.matrix[network.matrix > 0])) if network.n > 1 else 1.0
+    return {
+        i: float(rng.uniform(0.0, 3.0 * scale * typical))
+        for i in range(network.n)
+        if i != source
+    }

@@ -1,0 +1,31 @@
+"""Minimal ASCII table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], *, columns: Sequence[str] | None = None,
+                 floatfmt: str = ".4g", title: str | None = None) -> str:
+    """Render ``rows`` (list of dicts) as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rendered)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)

@@ -1,0 +1,70 @@
+"""The paper's mechanisms (its primary contribution).
+
+=====================================  =========================================
+Module                                 Paper result
+=====================================  =========================================
+``universal_tree_mechanisms``          §2.1: Shapley value mechanism (BB, group
+                                       strategyproof) and marginal-cost
+                                       mechanism (efficient, strategyproof) on
+                                       power assignments induced by a fixed
+                                       universal spanning tree (Lemma 2.1).
+``nwst_mechanism``                     §2.2.2: the 1.5 ln k-BB strategyproof
+                                       mechanism for non-cooperative
+                                       node-weighted Steiner tree (Thms 2.2/2.3).
+``memt_reduction``                     §2.2.1: Caragiannis et al. reduction
+                                       MEMT -> NWST and its BFS back-mapping.
+``memt_mechanism``                     §2.2.3: the 3 ln(k+1)-BB strategyproof
+                                       mechanism for multicast in symmetric
+                                       wireless networks.
+``euclidean_optimal``                  §3.1: 1-BB Shapley and efficient MC
+                                       mechanisms for alpha = 1 or d = 1
+                                       (Lemma 3.1, Thm 3.2).
+``jv_steiner``                         §3.2 machinery: the Jain-Vazirani family
+                                       of 2-BB cross-monotonic Steiner cost
+                                       shares (Kruskal moat formulation).
+``euclidean_bb``                       §3.2: the 2(3^d - 1)-BB (12-BB for d=2)
+                                       group-strategyproof Euclidean mechanism
+                                       (Thms 3.6/3.7).
+=====================================  =========================================
+"""
+
+from repro.core.distributed_tree import DistributedTreeNetWorth
+from repro.core.euclidean_bb import EuclideanJVMechanism
+from repro.core.euclidean_optimal import (
+    EuclideanMCMechanism,
+    EuclideanShapleyMechanism,
+    euclidean_optimal_cost_function,
+)
+from repro.core.exact_mechanisms import ExactMCMechanism, ExactShapleyMechanism
+from repro.core.jv_steiner import JVSteinerShares
+from repro.core.mst_game import MSTGame
+from repro.core.memt_mechanism import WirelessMulticastMechanism
+from repro.core.memt_reduction import NWSTInstance, memt_to_nwst, nwst_solution_to_power
+from repro.core.nwst_mechanism import NWSTMechanism
+from repro.core.universal_tree_mechanisms import (
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    tree_efficient_set,
+    universal_tree_shapley_shares,
+)
+
+__all__ = [
+    "DistributedTreeNetWorth",
+    "EuclideanJVMechanism",
+    "EuclideanMCMechanism",
+    "EuclideanShapleyMechanism",
+    "ExactMCMechanism",
+    "ExactShapleyMechanism",
+    "JVSteinerShares",
+    "MSTGame",
+    "NWSTInstance",
+    "NWSTMechanism",
+    "UniversalTreeMCMechanism",
+    "UniversalTreeShapleyMechanism",
+    "WirelessMulticastMechanism",
+    "euclidean_optimal_cost_function",
+    "memt_to_nwst",
+    "nwst_solution_to_power",
+    "tree_efficient_set",
+    "universal_tree_shapley_shares",
+]

@@ -1,0 +1,285 @@
+"""Optimal mechanisms for Euclidean networks with alpha = 1 or d = 1 (§3.1).
+
+Lemma 3.1 makes the *optimal* multicast cost ``C*`` polynomial to compute
+and submodular in both cases, so the Shapley value yields an optimally
+budget-balanced (1-BB) group-strategyproof mechanism and the marginal-cost
+mechanism an efficient one — and both are computable in polynomial time
+(Thm 3.2), which this module implements:
+
+* ``alpha = 1``: ``C*(R) = max dist(s, x_i)`` — a *max game*.  Its Shapley
+  value has the classic airport-game closed form over sorted distances, and
+  the largest efficient set is one of the n nested balls around the source.
+* ``d = 1``: ``C*(R)`` depends only on the extremes ``(f_R, l_R)`` of
+  ``R + {s}`` on the line.  The Shapley value is computed exactly in
+  polynomial time by counting, for every subset size, the distribution of
+  the extremes (binomial counting — no 2^k enumeration), and the largest
+  efficient set is one of the O(n^2) intervals around the source.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
+from repro.mechanism.moulin_shenker import moulin_shenker
+from repro.mechanism.vcg import MarginalCostMechanism
+from repro.wireless.alpha_one import optimal_alpha_one_power
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.line import line_all_interval_costs, optimal_line_multicast
+
+
+def _case(network: EuclideanCostGraph) -> str:
+    if network.alpha == 1:
+        return "alpha1"
+    if network.dim == 1:
+        return "line"
+    raise ValueError(
+        "optimal Euclidean mechanisms require alpha = 1 or d = 1 "
+        f"(got alpha={network.alpha}, d={network.dim}); the general case is "
+        "NP-hard (Lemma 3.3) — use EuclideanJVMechanism instead"
+    )
+
+
+def euclidean_optimal_cost_function(network: EuclideanCostGraph, source: int):
+    """``C*(R)`` as a plain callable over frozensets (poly-time cases only)."""
+    case = _case(network)
+    if case == "alpha1":
+        dist = np.array([network.distance(source, i) for i in range(network.n)])
+
+        def cost(R: frozenset) -> float:
+            R = set(R) - {source}
+            return float(max((dist[i] for i in R), default=0.0))
+
+        return cost
+
+    coords = network.points.coords.ravel()
+    table = line_all_interval_costs(coords, network.alpha, source)
+
+    def cost(R: frozenset) -> float:
+        R = set(R) - {source}
+        if not R:
+            return 0.0
+        f = min(R, key=lambda i: (coords[i], i))
+        l = max(R, key=lambda i: (coords[i], i))
+        return table[(f, l)]
+
+    return cost
+
+
+# ---------------------------------------------------------------------------
+# Closed-form Shapley shares
+# ---------------------------------------------------------------------------
+
+def max_game_shapley(values: dict[Agent, float]) -> dict[Agent, float]:
+    """Shapley shares of the game ``C(R) = max_i a_i`` (airport game).
+
+    Sorting ``a_(1) <= ... <= a_(k)``, the increment ``a_(i) - a_(i-1)`` is
+    shared equally by the ``k - i + 1`` agents with rank >= i.
+    """
+    order = sorted(values, key=lambda i: (values[i], i))
+    shares = {i: 0.0 for i in order}
+    prev = 0.0
+    k = len(order)
+    for rank, i in enumerate(order):
+        increment = values[i] - prev
+        prev = values[i]
+        if increment <= 0:
+            continue
+        per_head = increment / (k - rank)
+        for j in order[rank:]:
+            shares[j] += per_head
+    return shares
+
+
+def line_shapley_shares(
+    coords: Sequence[float] | np.ndarray,
+    alpha: float,
+    source: int,
+    receivers: Iterable[Agent],
+) -> dict[Agent, float]:
+    """Exact Shapley shares of the d = 1 optimal cost ``C*`` in polynomial
+    time.
+
+    ``C*(Q)`` depends only on the extreme positions of ``Q + {s}``, so the
+    Shapley expectation over arrival orders reduces to the distribution of
+    the extremes of a random prefix: for agent ``i`` and prefix size ``q``,
+    the number of prefixes with extremes ``(f, l)`` is a product of
+    binomials over the points strictly inside the interval.  O(k^3 + k^2)
+    cost evaluations instead of 2^k.
+    """
+    xs = np.asarray(coords, dtype=float).ravel()
+    R = sorted(set(receivers) - {source})
+    k = len(R)
+    if k == 0:
+        return {}
+
+    table = line_all_interval_costs(xs, alpha, source)
+
+    def interval_cost(f: int, l: int) -> float:
+        """C* of any set whose extremes (with s) are stations f and l."""
+        a, b = sorted((f, l), key=lambda i: (xs[i], i))
+        return table[(a, b)]
+
+    fact = [math.factorial(x) for x in range(k + 1)]
+    weight = [fact[q] * fact[k - q - 1] / fact[k] for q in range(k)]
+
+    # inside[f][l]: number of receivers strictly between positions of f and l.
+    pos = {i: xs[i] for i in R}
+    sorted_R = sorted(R, key=lambda i: (pos[i], i))
+    index_of = {i: t for t, i in enumerate(sorted_R)}
+
+    def n_between(a: int, b: int) -> int:
+        # receivers strictly between a and b in the sorted order
+        ia, ib = index_of[a], index_of[b]
+        if ia > ib:
+            ia, ib = ib, ia
+        return max(0, ib - ia - 1)
+
+    shares = {i: 0.0 for i in R}
+    for i in R:
+        others = [j for j in sorted_R if j != i]
+        m = len(others)
+        # q = 0: marginal over the empty prefix.
+        shares[i] += weight[0] * interval_cost(i, i)
+        for q in range(1, k):
+            wq = weight[q]
+            if wq == 0.0:
+                continue
+            # Enumerate the prefix extremes (f, l) among the others.
+            for a_idx, f in enumerate(others):
+                # f == l: prefix of size 1.
+                if q == 1:
+                    base = interval_cost(f, f)
+                    marg = interval_cost(min(f, i, key=lambda z: xs[z]),
+                                         max(f, i, key=lambda z: xs[z])) - base
+                    shares[i] += wq * marg
+                    continue
+                for l in others[a_idx + 1 :]:
+                    inner = n_between(f, l) - (1 if xs[f] < xs[i] < xs[l] else 0)
+                    need = q - 2
+                    if need < 0 or inner < need:
+                        continue
+                    count = math.comb(inner, need)
+                    if count == 0:
+                        continue
+                    base = interval_cost(f, l)
+                    new_f = f if xs[f] <= xs[i] else i
+                    new_l = l if xs[l] >= xs[i] else i
+                    marg = interval_cost(new_f, new_l) - base
+                    shares[i] += wq * count * marg
+    return shares
+
+
+# ---------------------------------------------------------------------------
+# Mechanisms
+# ---------------------------------------------------------------------------
+
+class EuclideanShapleyMechanism(CostSharingMechanism):
+    """Shapley value over the optimal cost ``C*``: 1-BB (optimally budget
+    balanced), group strategyproof, NPT/VP/CS, polynomial (Thm 3.2)."""
+
+    def __init__(self, network: EuclideanCostGraph, source: int) -> None:
+        self.network = network
+        self.source = source
+        self.case = _case(network)
+        self.agents = [i for i in range(network.n) if i != source]
+        if self.case == "alpha1":
+            self._dist = {i: network.distance(source, i) for i in self.agents}
+
+    def _shares(self, R: frozenset) -> dict[Agent, float]:
+        if not R:
+            return {}
+        if self.case == "alpha1":
+            return max_game_shapley({i: self._dist[i] for i in R})
+        return line_shapley_shares(
+            self.network.points.coords.ravel(), self.network.alpha, self.source, R
+        )
+
+    def _build(self, R: frozenset):
+        if self.case == "alpha1":
+            cost, power = optimal_alpha_one_power(self.network, self.source, R)
+        else:
+            cost, power = optimal_line_multicast(
+                self.network.points.coords.ravel(), self.network.alpha, self.source, R
+            )
+        return cost, power
+
+    def run(self, profile: Profile) -> MechanismResult:
+        u = self.validate_profile(profile)
+        return moulin_shenker(self.agents, self._shares, u, build=self._build)
+
+
+class EuclideanMCMechanism(MarginalCostMechanism):
+    """Marginal-cost mechanism over ``C*``: efficient, strategyproof,
+    polynomial (Thm 3.2).  The largest efficient set is found over the
+    nested candidate family (balls for alpha = 1, intervals for d = 1)."""
+
+    def __init__(self, network: EuclideanCostGraph, source: int) -> None:
+        self.network = network
+        self.source = source
+        self.case = _case(network)
+        agents = [i for i in range(network.n) if i != source]
+        cost_fn = euclidean_optimal_cost_function(network, source)
+
+        if self.case == "alpha1":
+            dist = {i: network.distance(source, i) for i in agents}
+            order = sorted(agents, key=lambda i: (dist[i], i))
+
+            def solver(profile: dict[Agent, float]) -> tuple[float, frozenset]:
+                best = (0.0, frozenset())
+                total = 0.0
+                for j, i in enumerate(order):
+                    total += profile[i]
+                    nw = total - dist[i]
+                    members = frozenset(order[: j + 1])
+                    if nw > best[0] + 1e-12 or (
+                        abs(nw - best[0]) <= 1e-12 and len(members) > len(best[1])
+                    ):
+                        best = (nw, members)
+                return best
+
+        else:
+            xs = network.points.coords.ravel()
+            order = sorted(agents, key=lambda i: (xs[i], i))
+
+            def solver(profile: dict[Agent, float]) -> tuple[float, frozenset]:
+                best = (0.0, frozenset())
+                # Every candidate is a contiguous interval of stations
+                # containing the source (relays ride for free).
+                for a in range(len(order)):
+                    for b in range(a, len(order)):
+                        f, l = order[a], order[b]
+                        lo, hi = min(xs[f], xs[self.source]), max(xs[l], xs[self.source])
+                        members = frozenset(
+                            i for i in agents if lo - 1e-12 <= xs[i] <= hi + 1e-12
+                        )
+                        nw = sum(profile[i] for i in members) - cost_fn(frozenset((f, l)))
+                        if nw > best[0] + 1e-12 or (
+                            abs(nw - best[0]) <= 1e-12 and len(members) > len(best[1])
+                        ):
+                            best = (nw, members)
+                return best
+
+        super().__init__(agents, solver, cost_fn)
+
+    def run(self, profile: Profile) -> MechanismResult:
+        result = super().run(profile)
+        if self.case == "alpha1":
+            _, power = optimal_alpha_one_power(self.network, self.source, result.receivers)
+        else:
+            _, power = optimal_line_multicast(
+                self.network.points.coords.ravel(),
+                self.network.alpha,
+                self.source,
+                result.receivers,
+            )
+        return MechanismResult(
+            receivers=result.receivers,
+            shares=result.shares,
+            cost=result.cost,
+            power=power,
+            extra=result.extra,
+        )

@@ -1,0 +1,93 @@
+"""Exponential-but-exact mechanisms over the true optimum ``C*``.
+
+The paper (end of §3.2) asks what is achievable when polynomial running
+time is *not* a concern: "it would be also nice to find the lowest
+approximation ratio that can be achieved by a BB cost sharing mechanism,
+even if not computable in polynomial time".  These small-instance
+mechanisms explore that regime against the exact MEMT oracle:
+
+* :class:`ExactShapleyMechanism` — Moulin-Shenker over the exact Shapley
+  value of ``C*``: always 1-budget-balanced, and group strategyproof
+  *whenever the Shapley value happens to be cross-monotonic on the
+  instance* — which Lemma 3.3 shows can fail for alpha > 1, d > 1 (``C*``
+  is not submodular in general).  EXP-E1 measures how often.
+* :class:`ExactMCMechanism` — the VCG/marginal-cost mechanism over ``C*``
+  with a brute-force efficient set: efficient, strategyproof, and
+  cost-optimal (the paper's CO requirement; cf. Penna-Ventre [43], who
+  make the same observation about VCG on exact algorithms).
+
+Both are exponential in the station count (the ``C*`` oracle alone is);
+they are research/validation tools, not production mechanisms.
+"""
+
+from __future__ import annotations
+
+from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
+from repro.mechanism.moulin_shenker import moulin_shenker
+from repro.mechanism.shapley import shapley_shares
+from repro.mechanism.vcg import MarginalCostMechanism, brute_force_efficient_set
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.memt import optimal_multicast
+
+
+class _ExactCostOracle:
+    """Memoised exact ``C*(R)`` with the witness power assignment."""
+
+    def __init__(self, network: CostGraph, source: int) -> None:
+        self.network = network
+        self.source = source
+        self._cache: dict[frozenset, tuple[float, object]] = {}
+
+    def solve(self, R: frozenset):
+        key = frozenset(R) - {self.source}
+        if key not in self._cache:
+            self._cache[key] = optimal_multicast(self.network, self.source, key)
+        return self._cache[key]
+
+    def cost(self, R: frozenset) -> float:
+        return self.solve(R)[0]
+
+
+class ExactShapleyMechanism(CostSharingMechanism):
+    """Moulin-Shenker over the exact Shapley value of ``C*`` (1-BB)."""
+
+    def __init__(self, network: CostGraph, source: int) -> None:
+        self.network = network
+        self.source = source
+        self.oracle = _ExactCostOracle(network, source)
+        self.agents = [i for i in range(network.n) if i != source]
+
+    def shares(self, R: frozenset) -> dict[Agent, float]:
+        return shapley_shares(sorted(R), self.oracle.cost)
+
+    def run(self, profile: Profile) -> MechanismResult:
+        u = self.validate_profile(profile)
+
+        def build(R: frozenset):
+            cost, power = self.oracle.solve(R)
+            return cost, power
+
+        return moulin_shenker(self.agents, self.shares, u, build=build)
+
+
+class ExactMCMechanism(MarginalCostMechanism):
+    """VCG over exact ``C*``: efficient + strategyproof + cost-optimal."""
+
+    def __init__(self, network: CostGraph, source: int) -> None:
+        self.network = network
+        self.source = source
+        self.oracle = _ExactCostOracle(network, source)
+        agents = [i for i in range(network.n) if i != source]
+        solver = brute_force_efficient_set(agents, self.oracle.cost)
+        super().__init__(agents, solver, self.oracle.cost)
+
+    def run(self, profile: Profile) -> MechanismResult:
+        result = super().run(profile)
+        _, power = self.oracle.solve(result.receivers)
+        return MechanismResult(
+            receivers=result.receivers,
+            shares=result.shares,
+            cost=result.cost,
+            power=power,
+            extra=result.extra,
+        )

@@ -1,0 +1,124 @@
+"""Jain-Vazirani cross-monotonic Steiner cost shares (paper §3.2, their [29]).
+
+Jain & Vazirani build 2-budget-balanced cross-monotonic cost shares for the
+Steiner tree game from the MST heuristic and Edmonds' branching LP,
+parameterized by per-user mappings ``f_i``.  We implement the equivalent
+*Kruskal moat* formulation on the metric closure:
+
+run Kruskal over ``R + {s}`` with the shortest-path metric, reading edge
+weight as time.  At time ``t`` every component not containing the source is
+*active* and accrues cost at unit rate, split among its members (equally by
+default; proportionally to positive agent weights for the parameterized
+family).  Agent ``i`` stops paying when its component absorbs the source.
+
+Facts (all property-tested):
+
+* ``sum of shares(R) = MST weight of the metric closure over R + {s}``
+  exactly — because the number of active components at time ``t`` is
+  ``(#components - 1)`` and ``integral of that = MST weight``;
+* cross-monotonicity — adding a terminal only merges components earlier and
+  only enlarges the component an agent sits in, so its pay rate and pay
+  horizon both shrink;
+* 2-budget-balance — the closure MST is the Kou-Markowsky-Berman bound:
+  at most twice the optimal Steiner tree, which by Lemma 3.5 is at most
+  ``(3^d - 1) C*(R)`` for Euclidean wireless multicast, giving Thm 3.6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.graphs.mst import kruskal_complete
+from repro.mechanism.base import Agent
+from repro.wireless.cost_graph import CostGraph
+
+
+def metric_closure_matrix(network: CostGraph) -> np.ndarray:
+    """All-pairs shortest-path distances of the cost graph (vectorised
+    Floyd-Warshall on the dense matrix)."""
+    d = network.matrix.copy()
+    n = network.n
+    for k in range(n):
+        np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :], out=d)
+    return d
+
+
+class JVSteinerShares:
+    """The cost-sharing method family ``xi(R, i)``.
+
+    Parameters
+    ----------
+    network, source:
+        The wireless instance; shares are computed in its metric closure.
+    agent_weights:
+        Optional strictly positive weights (the paper's per-user mappings
+        ``f_i``): a component's growth is split proportionally to the
+        weights of its members.  Default: equal split.
+    """
+
+    def __init__(
+        self,
+        network: CostGraph,
+        source: int,
+        agent_weights: Mapping[Agent, float] | None = None,
+    ) -> None:
+        self.network = network
+        self.source = source
+        self.closure = metric_closure_matrix(network)
+        self.agent_weights = dict(agent_weights) if agent_weights else None
+        if self.agent_weights is not None:
+            bad = {a: w for a, w in self.agent_weights.items() if w <= 0}
+            if bad:
+                raise ValueError(f"agent weights must be positive: {bad}")
+
+    def _weight(self, i: Agent) -> float:
+        if self.agent_weights is None:
+            return 1.0
+        return float(self.agent_weights.get(i, 1.0))
+
+    def shares(self, R: frozenset) -> dict[Agent, float]:
+        """``xi(R, .)`` via the moat process (O(k^2 log k))."""
+        R = sorted(set(R) - {self.source})
+        if not R:
+            return {}
+        pts = [self.source, *R]
+
+        def dist(u: int, v: int) -> float:
+            return float(self.closure[u, v])
+
+        _, events = kruskal_complete(pts, dist, trace=True)
+
+        shares = {i: 0.0 for i in R}
+        # Component bookkeeping: birth time and member tuple, keyed by the
+        # frozenset of members (unique through the merge process).
+        birth: dict[frozenset, float] = {frozenset([p]): 0.0 for p in pts}
+        for ev in events:
+            for side in (ev.component_u, ev.component_v):
+                if self.source in side:
+                    continue  # the source's component never pays
+                t0 = birth.pop(side)
+                span = ev.weight - t0
+                if span <= 0:
+                    continue
+                total_w = sum(self._weight(i) for i in side)
+                for i in side:
+                    shares[i] += span * self._weight(i) / total_w
+            merged = ev.component_u | ev.component_v
+            birth[merged] = ev.weight
+        return shares
+
+    def method(self):
+        """Adapter for :func:`repro.mechanism.moulin_shenker.moulin_shenker`."""
+        return self.shares
+
+    def closure_mst_weight(self, R: frozenset) -> float:
+        """MST weight of the metric closure over ``R + {s}`` (== sum of
+        shares; the 2-approximation of the optimal Steiner tree)."""
+        R = sorted(set(R) - {self.source})
+        if not R:
+            return 0.0
+        pts = [self.source, *R]
+        tree, _ = kruskal_complete(pts, lambda u, v: float(self.closure[u, v]))
+        return sum(w for _, _, w in tree)

@@ -1,0 +1,143 @@
+"""The 3 ln(k+1)-BB strategyproof wireless multicast mechanism (§2.2.3).
+
+Pipeline per outer round (restarted whenever an agent is dropped):
+
+1. reduce the wireless instance restricted to the still-active receivers to
+   NWST (:mod:`repro.core.memt_reduction`);
+2. run the NWST mechanism (:mod:`repro.core.nwst_mechanism`) with the
+   source's input node *protected* (connected, never charged, never
+   dropped) — this shares the cost of a weakly connected multicast tree and
+   may itself drop agents (its own internal restarts);
+3. orient the bought NWST solution from the source (BFS) into a power
+   assignment ``pi``; stations needing more power than the NWST phase paid
+   for (``pi > pi'``) have their full ``pi(x_i)`` shared equally among the
+   receivers downstream of the transmission — walking stations in backward
+   BFS order.  Any receiver that cannot afford its slice is dropped and the
+   whole pipeline restarts.
+
+Cost recovery holds because the extra charges cover every arc the NWST
+weights did not; competitiveness is ``2 * 1.5 ln k = 3 ln(k+1)`` against the
+optimum ``C*`` (any multicast assignment is a feasible NWST solution of the
+same cost).  Strategyproofness is inherited: all charges are independent of
+the payer's own report, which only determines membership.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.memt_reduction import memt_to_nwst, nwst_solution_to_power
+from repro.core.nwst_mechanism import NWSTMechanism
+from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
+from repro.wireless.cost_graph import CostGraph
+
+_EPS = 1e-9
+
+
+class WirelessMulticastMechanism(CostSharingMechanism):
+    """The paper's cost-sharing mechanism for symmetric wireless networks.
+
+    Parameters
+    ----------
+    network, source:
+        The symmetric wireless instance.
+    receivers:
+        The potential receivers (default: every station but the source).
+    mode:
+        Spider flavour forwarded to the inner NWST mechanism.
+    """
+
+    def __init__(
+        self,
+        network: CostGraph,
+        source: int,
+        receivers: Sequence[Agent] | None = None,
+        *,
+        mode: str = "branch",
+    ) -> None:
+        self.network = network
+        self.source = source
+        if receivers is None:
+            receivers = [i for i in range(network.n) if i != source]
+        if source in receivers:
+            raise ValueError("the source cannot be a receiver")
+        self.agents = list(dict.fromkeys(receivers))
+        self.mode = mode
+
+    def run(self, profile: Profile) -> MechanismResult:
+        u = self.validate_profile(profile)
+        active: set[Agent] = set(self.agents)
+        n_outer = 0
+        while True:
+            n_outer += 1
+            if not active:
+                return MechanismResult(
+                    receivers=frozenset(), shares={}, cost=0.0,
+                    extra={"n_outer_rounds": n_outer},
+                )
+            outcome = self._round(active, u)
+            if outcome["dropped"]:
+                active -= outcome["dropped"]
+                continue
+            return MechanismResult(
+                receivers=frozenset(active),
+                shares=outcome["shares"],
+                cost=outcome["power"].cost(),
+                power=outcome["power"],
+                extra={
+                    "n_outer_rounds": n_outer,
+                    "charged_nwst": outcome["charged_nwst"],
+                    "charged_extra": outcome["charged_extra"],
+                    "paid_levels": outcome["paid"],
+                },
+            )
+
+    # -- one outer round -------------------------------------------------------
+    def _round(self, active: set[Agent], u: dict[Agent, float]) -> dict:
+        instance = memt_to_nwst(self.network, self.source, active)
+        inner = NWSTMechanism(
+            instance.graph,
+            instance.weights,
+            terminals=[instance.terminal_of[r] for r in sorted(active)],
+            protected=[instance.source_terminal],
+            mode=self.mode,
+        )
+        inner_profile = {instance.terminal_of[r]: u[r] for r in sorted(active)}
+        inner_result = inner.run(inner_profile)
+
+        surviving = {r for r in active if instance.terminal_of[r] in inner_result.receivers}
+        if surviving != active:
+            return {"dropped": active - surviving}
+        if not surviving:
+            return {"dropped": active}
+
+        shares = {r: inner_result.shares[instance.terminal_of[r]] for r in active}
+        bought = inner_result.extra["bought_nodes"]
+        oriented = nwst_solution_to_power(
+            self.network, instance, bought, self.source, active
+        )
+
+        charged_extra = 0.0
+        pi = oriented.power
+        for i in oriented.backward_order:
+            if pi[i] <= oriented.paid[i] + _EPS:
+                continue
+            served = sorted(oriented.downstream.get(i, set()) & active)
+            if not served:  # pragma: no cover - pruning keeps only serving arcs
+                continue
+            slice_each = pi[i] / len(served)
+            losers = {j for j in served if u[j] - shares[j] < slice_each - _EPS}
+            if losers:
+                return {"dropped": losers}
+            for j in served:
+                shares[j] += slice_each
+            charged_extra += pi[i]
+
+        return {
+            "dropped": set(),
+            "shares": shares,
+            "power": pi,
+            "paid": oriented.paid,
+            "charged_nwst": inner_result.extra["charged"],
+            "charged_extra": charged_extra,
+        }

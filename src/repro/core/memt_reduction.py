@@ -1,0 +1,160 @@
+"""The Caragiannis et al. MEMT -> NWST reduction (paper section 2.2.1).
+
+Every station ``x_i`` becomes a *supernode*: an input node ``('in', i)`` of
+weight 0 plus one output node ``('out', i, m)`` of weight ``C^m_i`` per
+distinct incident cost (the station's candidate power levels).  Edges:
+
+* ``('in', i) -- ('out', i, m)`` for every level (a reached station may
+  transmit at any level);
+* ``('out', i, m) -- ('in', j)`` iff ``c(x_i, x_j) <= C^m_i`` (transmitting
+  at level ``m`` reaches ``x_j``).
+
+Terminals are the input nodes of the source and the receivers.  A
+node-weighted Steiner tree over this graph corresponds to a *weakly
+connected* multicast structure of equal cost; the BFS orientation from the
+source's input node turns it into a directed multicast tree, where edges
+traversed "against" their output node force a downstream station to
+transmit with *extra* power (the ``pi > pi'`` stations of the paper's
+mechanism step (c)) — those extras total at most the tree cost, giving the
+factor 2 of the reduction and the overall ``3 ln(k+1)`` budget-balance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.traversal import bfs_numbering, bfs_parents
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.power import PowerAssignment
+
+NWSTNode = tuple  # ('in', i) or ('out', i, m)
+
+
+def station_of(node: NWSTNode) -> int:
+    """The station a reduction node belongs to."""
+    return int(node[1])
+
+
+@dataclass(frozen=True)
+class NWSTInstance:
+    """An NWST instance produced by :func:`memt_to_nwst`."""
+
+    graph: Graph
+    weights: dict
+    source_terminal: NWSTNode
+    terminal_of: dict  # station -> input node
+    levels: dict = field(default_factory=dict)  # station -> ndarray of C^m_i
+
+    @property
+    def terminals(self) -> list[NWSTNode]:
+        return list(self.terminal_of.values())
+
+
+def memt_to_nwst(network: CostGraph, source: int, receivers: Iterable[int]) -> NWSTInstance:
+    """Reduce a MEMT instance to node-weighted Steiner tree."""
+    receivers = sorted(set(receivers) - {source})
+    g = Graph()
+    weights: dict[NWSTNode, float] = {}
+    levels: dict[int, np.ndarray] = {}
+
+    for i in range(network.n):
+        inp = ("in", i)
+        g.add_node(inp)
+        weights[inp] = 0.0
+        lv = network.power_levels(i)
+        levels[i] = lv
+        for m, c in enumerate(lv):
+            out = ("out", i, m)
+            g.add_edge(inp, out, 1.0)
+            weights[out] = float(c)
+            for j in network.reachable_within(i, float(c)):
+                g.add_edge(out, ("in", int(j)), 1.0)
+
+    terminal_of = {r: ("in", r) for r in receivers}
+    return NWSTInstance(
+        graph=g,
+        weights=weights,
+        source_terminal=("in", source),
+        terminal_of=terminal_of,
+        levels=levels,
+    )
+
+
+@dataclass(frozen=True)
+class OrientedSolution:
+    """The BFS back-mapping of an NWST solution to wireless quantities."""
+
+    power: PowerAssignment  # the induced directed multicast assignment pi
+    paid: np.ndarray  # pi'(x_i): max output level bought in the NWST phase
+    downstream: dict  # station -> set of receivers served through it
+    backward_order: list  # stations in reverse BFS discovery order
+    parents: dict  # node-level BFS tree (for diagnostics/tests)
+
+
+def nwst_solution_to_power(
+    network: CostGraph,
+    instance: NWSTInstance,
+    bought_nodes: frozenset,
+    source: int,
+    receivers: Iterable[int],
+) -> OrientedSolution:
+    """Orient an NWST solution into a multicast power assignment.
+
+    ``bought_nodes`` must induce a connected subgraph containing the source
+    terminal and every receiver's input node.  The orientation BFS-numbers
+    the induced subgraph from the source's input node; every tree step that
+    crosses between stations is a transmission ``station(parent) ->
+    station(child)`` requiring power ``c(parent, child)``.  Only steps on
+    root-to-receiver paths are kept (pruning), so every transmission serves
+    at least one receiver.
+    """
+    receivers = sorted(set(receivers) - {source})
+    sub = instance.graph.subgraph(bought_nodes)
+    root = instance.source_terminal
+    if root not in sub:
+        raise ValueError("solution does not contain the source terminal")
+    parents = bfs_parents(sub, root)
+    numbering = bfs_numbering(sub, root)
+    missing = [r for r in receivers if ("in", r) not in parents]
+    if missing:
+        raise ValueError(f"solution does not connect receivers {missing}")
+
+    pi = np.zeros(network.n)
+    downstream: dict[int, set[int]] = {}
+    kept: set[NWSTNode] = {root}
+    for r in receivers:
+        # Walk from the receiver's input node up to the root.
+        path = [("in", r)]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        path.reverse()
+        kept.update(path)
+        for a, b in zip(path, path[1:]):
+            sa, sb = station_of(a), station_of(b)
+            if sa == sb:
+                continue
+            pi[sa] = max(pi[sa], network.cost(sa, sb))
+            downstream.setdefault(sa, set()).add(r)
+
+    paid = np.zeros(network.n)
+    for node in bought_nodes:
+        if node[0] == "out":
+            i, m = station_of(node), node[2]
+            paid[i] = max(paid[i], float(instance.levels[i][m]))
+
+    transmitters = [i for i in range(network.n) if pi[i] > 0]
+    backward = sorted(
+        transmitters,
+        key=lambda i: -min(numbering[node] for node in kept if station_of(node) == i),
+    )
+    return OrientedSolution(
+        power=PowerAssignment(pi),
+        paid=paid,
+        downstream=downstream,
+        backward_order=backward,
+        parents=parents,
+    )

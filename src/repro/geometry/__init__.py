@@ -1,0 +1,22 @@
+"""Euclidean point substrate for the paper's section 3 (Euclidean wireless
+networks, power attenuation ``c(x, y) = dist(x, y) ** alpha``)."""
+
+from repro.geometry.points import (
+    PointSet,
+    circle_points,
+    clustered_points,
+    grid_points,
+    line_points,
+    pentagon_layout,
+    uniform_points,
+)
+
+__all__ = [
+    "PointSet",
+    "circle_points",
+    "clustered_points",
+    "grid_points",
+    "line_points",
+    "pentagon_layout",
+    "uniform_points",
+]

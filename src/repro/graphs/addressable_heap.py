@@ -1,0 +1,105 @@
+"""Addressable binary min-heap with ``decrease`` (decrease-key).
+
+``heapq`` cannot decrease priorities in place, so Dijkstra/Prim either pay
+for lazy deletion or use a heap that tracks item positions.  This is the
+classic array binary heap plus a ``key -> index`` map; all operations are
+O(log n) and keys must be hashable and unique.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+Key = Hashable
+
+
+class AddressableHeap:
+    """Binary min-heap keyed by unique hashable items."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[float, Key]] = []
+        self._pos: dict[Key, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._pos
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def priority(self, key: Key) -> float:
+        return self._items[self._pos[key]][0]
+
+    def push(self, key: Key, priority: float) -> None:
+        """Insert a new key. Raises if the key is already present."""
+        if key in self._pos:
+            raise KeyError(f"key already in heap: {key!r}")
+        self._items.append((priority, key))
+        self._pos[key] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def decrease(self, key: Key, priority: float) -> None:
+        """Lower ``key``'s priority. Raises if it would increase."""
+        index = self._pos[key]
+        current = self._items[index][0]
+        if priority > current:
+            raise ValueError(f"cannot increase priority of {key!r} ({current} -> {priority})")
+        self._items[index] = (priority, key)
+        self._sift_up(index)
+
+    def push_or_decrease(self, key: Key, priority: float) -> bool:
+        """Insert, or lower the priority if cheaper; returns True on change."""
+        if key not in self._pos:
+            self.push(key, priority)
+            return True
+        if priority < self._items[self._pos[key]][0]:
+            self.decrease(key, priority)
+            return True
+        return False
+
+    def peek(self) -> tuple[Key, float]:
+        priority, key = self._items[0]
+        return key, priority
+
+    def pop(self) -> tuple[Key, float]:
+        """Remove and return the ``(key, priority)`` with minimum priority."""
+        priority, key = self._items[0]
+        last = self._items.pop()
+        del self._pos[key]
+        if self._items:
+            self._items[0] = last
+            self._pos[last[1]] = 0
+            self._sift_down(0)
+        return key, priority
+
+    # -- internals ---------------------------------------------------------
+    def _sift_up(self, index: int) -> None:
+        item = self._items[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._items[parent][0] <= item[0]:
+                break
+            self._items[index] = self._items[parent]
+            self._pos[self._items[index][1]] = index
+            index = parent
+        self._items[index] = item
+        self._pos[item[1]] = index
+
+    def _sift_down(self, index: int) -> None:
+        item = self._items[index]
+        n = len(self._items)
+        while True:
+            child = 2 * index + 1
+            if child >= n:
+                break
+            if child + 1 < n and self._items[child + 1][0] < self._items[child][0]:
+                child += 1
+            if self._items[child][0] >= item[0]:
+                break
+            self._items[index] = self._items[child]
+            self._pos[self._items[index][1]] = index
+            index = child
+        self._items[index] = item
+        self._pos[item[1]] = index

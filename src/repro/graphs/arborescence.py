@@ -1,0 +1,114 @@
+"""Chu-Liu/Edmonds minimum spanning arborescence.
+
+A directed multicast tree is an arborescence rooted at the source; Edmonds'
+branching algorithm is also the primal-dual engine behind the Jain-Vazirani
+cost-share construction cited by the paper (their [16], [29]).  We implement
+the classic recursive contraction algorithm; the test-suite checks it
+against networkx's ``minimum_spanning_arborescence``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.adjacency import DiGraph
+
+Node = Hashable
+
+# Internal arc representation: (tail, head, reduced_weight, original_index).
+_Arc = tuple[Node, Node, float, int]
+
+
+def minimum_arborescence(graph: DiGraph, root: Node) -> list[tuple[Node, Node, float]]:
+    """Minimum-weight spanning arborescence of ``graph`` rooted at ``root``.
+
+    Every node must be reachable from ``root``, otherwise ``ValueError`` is
+    raised.  Returns arcs as ``(parent, child, weight)`` using the original
+    weights.
+    """
+    if root not in graph:
+        raise ValueError(f"root {root!r} not in graph")
+    nodes = list(graph.nodes())
+    original = list(graph.edges())
+    arcs: list[_Arc] = [(u, v, w, i) for i, (u, v, w) in enumerate(original)]
+    chosen = _edmonds(nodes, arcs, root)
+    return [original[i] for i in sorted(chosen)]
+
+
+def arborescence_weight(arcs: list[tuple[Node, Node, float]]) -> float:
+    return sum(w for _, _, w in arcs)
+
+
+def _edmonds(nodes: list[Node], arcs: list[_Arc], root: Node) -> list[int]:
+    """Recursive Chu-Liu/Edmonds; returns original-arc indices of the answer."""
+    best_in: dict[Node, _Arc] = {}
+    for arc in arcs:
+        u, v, w, _ = arc
+        if v == root or u == v:
+            continue
+        cur = best_in.get(v)
+        if cur is None or w < cur[2]:
+            best_in[v] = arc
+    for v in nodes:
+        if v != root and v not in best_in:
+            raise ValueError(f"node {v!r} unreachable from root {root!r}")
+
+    cycle = _find_cycle(nodes, best_in, root)
+    if cycle is None:
+        return [a[3] for a in best_in.values()]
+
+    cycle_set = set(cycle)
+    super_node: Node = ("__contracted__", min(repr(c) for c in cycle_set))
+    cycle_in_weight = {v: best_in[v][2] for v in cycle_set}
+
+    new_arcs: list[_Arc] = []
+    for u, v, w, idx in arcs:
+        if u in cycle_set and v in cycle_set:
+            continue
+        nu = super_node if u in cycle_set else u
+        nv = super_node if v in cycle_set else v
+        nw = w - cycle_in_weight[v] if v in cycle_set else w
+        new_arcs.append((nu, nv, nw, idx))
+
+    new_nodes = [n for n in nodes if n not in cycle_set] + [super_node]
+    chosen = _edmonds(new_nodes, new_arcs, root)
+
+    # Expand the contraction: the arc entering the cycle replaces the cycle's
+    # own incoming arc at its entry node; every other cycle arc survives.
+    head_of = {idx: v for u, v, w, idx in arcs}
+    entering: Node | None = None
+    for idx in chosen:
+        head = head_of.get(idx)
+        if head in cycle_set:
+            entering = head
+            break
+    assert entering is not None, "contracted cycle must be entered exactly once"
+    result = list(chosen)
+    for v in cycle_set:
+        if v != entering:
+            result.append(best_in[v][3])
+    return result
+
+
+def _find_cycle(
+    nodes: list[Node], best_in: dict[Node, _Arc], root: Node
+) -> list[Node] | None:
+    """A cycle in the functional graph ``v -> best_in parent``, or ``None``."""
+    color: dict[Node, int] = {}  # 0/absent = white, 1 = on path, 2 = done
+    for start in nodes:
+        if start == root or color.get(start) == 2:
+            continue
+        path: list[Node] = []
+        v: Node | None = start
+        while v is not None and v != root and color.get(v, 0) == 0:
+            color[v] = 1
+            path.append(v)
+            v = best_in[v][0] if v in best_in else None
+        if v is not None and color.get(v) == 1:
+            cycle = path[path.index(v):]
+            for node in path:
+                color[node] = 2
+            return cycle
+        for node in path:
+            color[node] = 2
+    return None

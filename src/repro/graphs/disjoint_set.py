@@ -1,0 +1,86 @@
+"""Union-find (disjoint-set forest) with union by size and path compression.
+
+Besides the classic operations, :meth:`DisjointSet.members` exposes the
+current component of an element; the Jain-Vazirani moat process
+(:mod:`repro.core.jv_steiner`) relies on it to split a component's growth
+among its members.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+Element = Hashable
+
+
+class DisjointSet:
+    """Disjoint-set forest over an arbitrary (growable) universe."""
+
+    def __init__(self, elements: Iterable[Element] = ()) -> None:
+        self._parent: dict[Element, Element] = {}
+        self._size: dict[Element, int] = {}
+        self._members: dict[Element, list[Element]] = {}
+        self._n_components = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Element) -> None:
+        """Insert ``element`` as a singleton component (idempotent)."""
+        if element in self._parent:
+            return
+        self._parent[element] = element
+        self._size[element] = 1
+        self._members[element] = [element]
+        self._n_components += 1
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Number of elements (not components)."""
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        return self._n_components
+
+    def find(self, element: Element) -> Element:
+        """Return the canonical representative of ``element``'s component."""
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def connected(self, a: Element, b: Element) -> bool:
+        return self.find(a) == self.find(b)
+
+    def union(self, a: Element, b: Element) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns ``True`` if a merge happened (they were distinct).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._members[ra].extend(self._members.pop(rb))
+        del self._size[rb]
+        self._n_components -= 1
+        return True
+
+    def component_size(self, element: Element) -> int:
+        return self._size[self.find(element)]
+
+    def members(self, element: Element) -> list[Element]:
+        """All elements in ``element``'s component (shared list: do not mutate)."""
+        return self._members[self.find(element)]
+
+    def components(self) -> Iterator[list[Element]]:
+        """Iterate over the current components as member lists."""
+        return iter(self._members.values())

@@ -1,0 +1,105 @@
+"""Seeded random instance generators for tests and experiment suites.
+
+All generators take a :class:`numpy.random.Generator` (or an int seed) so
+every experiment in EXPERIMENTS.md is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.adjacency import Graph
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``seed`` into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_cost_matrix(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    metric: bool = False,
+) -> np.ndarray:
+    """Symmetric cost matrix with zero diagonal.
+
+    With ``metric=True`` the matrix is shortest-path closed, so it satisfies
+    the triangle inequality (costs in wireless networks need not be metric —
+    the general symmetric experiments use ``metric=False``).
+    """
+    rng = as_rng(rng)
+    raw = rng.uniform(low, high, size=(n, n))
+    sym = np.triu(raw, 1)
+    sym = sym + sym.T
+    np.fill_diagonal(sym, 0.0)
+    if metric:
+        # Floyd-Warshall closure.
+        for k in range(n):
+            sym = np.minimum(sym, sym[:, k : k + 1] + sym[k : k + 1, :])
+        np.fill_diagonal(sym, 0.0)
+    return sym
+
+
+def random_connected_graph(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    extra_edge_prob: float = 0.25,
+    low: float = 1.0,
+    high: float = 10.0,
+) -> Graph:
+    """Connected random graph: a random spanning tree plus extra edges."""
+    rng = as_rng(rng)
+    g = Graph()
+    g.add_nodes(range(n))
+    order = [int(x) for x in rng.permutation(n)]
+    for i in range(1, n):
+        j = int(rng.integers(0, i))
+        g.add_edge(order[i], order[j], float(rng.uniform(low, high)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < extra_edge_prob:
+                g.add_edge(u, v, float(rng.uniform(low, high)))
+    return g
+
+
+def random_node_weighted_instance(
+    n: int,
+    n_terminals: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    extra_edge_prob: float = 0.3,
+    weight_low: float = 0.5,
+    weight_high: float = 5.0,
+    terminal_degree: int = 2,
+) -> tuple[Graph, dict[int, float], list[int]]:
+    """A connected node-weighted instance with zero-weight terminals.
+
+    Returns ``(graph, weights, terminals)``.  Terminals follow the paper's
+    normalisation: weight 0, and they attach only to weighted relay nodes
+    (each to ``terminal_degree`` of them) — so connecting terminals always
+    costs something and the spider machinery is actually exercised.
+    """
+    if n_terminals >= n:
+        raise ValueError("need at least one non-terminal relay node")
+    rng = as_rng(rng)
+    n_relays = n - n_terminals
+    relays = random_connected_graph(n_relays, rng, extra_edge_prob=extra_edge_prob)
+    g = Graph()
+    g.add_nodes(range(n))
+    for u, v, w in relays.edges():
+        g.add_edge(u, v, w)
+    terminals = list(range(n_relays, n))
+    for t in terminals:
+        degree = min(n_relays, max(1, terminal_degree))
+        for hub in rng.choice(n_relays, size=degree, replace=False):
+            g.add_edge(t, int(hub), float(rng.uniform(1.0, 10.0)))
+    weights = {v: float(rng.uniform(weight_low, weight_high)) for v in range(n_relays)}
+    for t in terminals:
+        weights[t] = 0.0
+    return g, weights, terminals

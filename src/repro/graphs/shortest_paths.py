@@ -1,0 +1,96 @@
+"""Edge-weighted shortest paths (Dijkstra) and path reconstruction.
+
+Used for shortest-path universal trees (section 2.1 of the paper), the
+metric closure behind the KMB Steiner approximation and the Jain-Vazirani
+cost shares, and as a building block of the node-weighted variant in
+:mod:`repro.graphs.node_weighted`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.graphs.addressable_heap import AddressableHeap
+from repro.graphs.adjacency import DiGraph, Graph
+
+Node = Hashable
+
+
+def dijkstra(
+    graph: Graph | DiGraph,
+    source: Node,
+    targets: Iterable[Node] | None = None,
+) -> tuple[dict[Node, float], dict[Node, Node | None]]:
+    """Single-source shortest paths with non-negative edge weights.
+
+    Parameters
+    ----------
+    graph:
+        Undirected or directed graph.
+    source:
+        Start node.
+    targets:
+        Optional early-exit set: the search stops once every target has been
+        settled. Distances of unsettled nodes are absent from the result.
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the shortest distance from ``source``;
+        ``parent[v]`` the predecessor on one shortest path (``None`` at the
+        source).
+    """
+    remaining = set(targets) if targets is not None else None
+    dist: dict[Node, float] = {}
+    parent: dict[Node, Node | None] = {source: None}
+    heap = AddressableHeap()
+    heap.push(source, 0.0)
+    while heap:
+        u, d = heap.pop()
+        dist[u] = d
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in _out_neighbors(graph, u):
+            if w < 0:
+                raise ValueError(f"negative edge weight on ({u!r}, {v!r}): {w}")
+            if v in dist:
+                continue
+            if heap.push_or_decrease(v, d + w):
+                parent[v] = u
+    return dist, parent
+
+
+def dijkstra_distances(graph: Graph | DiGraph, source: Node) -> dict[Node, float]:
+    return dijkstra(graph, source)[0]
+
+
+def all_pairs_dijkstra(graph: Graph | DiGraph) -> dict[Node, dict[Node, float]]:
+    """All-pairs shortest distances (one Dijkstra per node)."""
+    return {u: dijkstra(graph, u)[0] for u in graph.nodes()}
+
+
+def reconstruct_path(parent: dict[Node, Node | None], target: Node) -> list[Node]:
+    """Path from the Dijkstra source to ``target`` (inclusive)."""
+    if target not in parent:
+        raise KeyError(f"target {target!r} unreachable (not in parent map)")
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def shortest_path(graph: Graph | DiGraph, source: Node, target: Node) -> tuple[list[Node], float]:
+    """Convenience wrapper: one shortest path and its length."""
+    dist, parent = dijkstra(graph, source, targets=[target])
+    if target not in dist:
+        raise ValueError(f"no path from {source!r} to {target!r}")
+    return reconstruct_path(parent, target), dist[target]
+
+
+def _out_neighbors(graph: Graph | DiGraph, node: Node):
+    if graph.directed:
+        return graph.successors(node)  # type: ignore[union-attr]
+    return graph.neighbors(node)  # type: ignore[union-attr]

@@ -1,0 +1,202 @@
+"""Edge-weighted Steiner trees.
+
+Three tools the paper's section 3.2 machinery needs:
+
+* :func:`metric_closure` — shortest-path distances (and paths) between the
+  terminals, the space in which both the KMB approximation and the
+  Jain-Vazirani cost shares live;
+* :func:`kmb_steiner_tree` — the classic Kou-Markowsky-Berman
+  2(1-1/k)-approximation [34 in the paper];
+* :func:`dreyfus_wagner` — the exact O(3^k n) dynamic program, used as the
+  optimum oracle when validating the approximation and budget-balance
+  factors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.mst import kruskal_complete, prim_mst
+from repro.graphs.shortest_paths import all_pairs_dijkstra, dijkstra, reconstruct_path
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MetricClosure:
+    """Terminal-to-terminal shortest distances and one witness path each."""
+
+    distance: dict[Node, dict[Node, float]]
+    path: dict[tuple[Node, Node], list[Node]]
+
+    def dist(self, u: Node, v: Node) -> float:
+        return 0.0 if u == v else self.distance[u][v]
+
+
+def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
+    """Shortest-path closure restricted to ``terminals``."""
+    terminals = list(terminals)
+    distance: dict[Node, dict[Node, float]] = {}
+    paths: dict[tuple[Node, Node], list[Node]] = {}
+    targets = set(terminals)
+    for t in terminals:
+        dist, parent = dijkstra(graph, t, targets=targets)
+        row = {}
+        for other in terminals:
+            if other == t:
+                continue
+            if other not in dist:
+                raise ValueError(f"terminals {t!r} and {other!r} are disconnected")
+            row[other] = dist[other]
+            paths[(t, other)] = reconstruct_path(parent, other)
+        distance[t] = row
+    return MetricClosure(distance, paths)
+
+
+@dataclass(frozen=True)
+class SteinerTree:
+    """A Steiner tree as an explicit edge set over the original graph."""
+
+    edges: tuple[tuple[Node, Node, float], ...]
+    cost: float
+    nodes: frozenset
+
+    def as_graph(self) -> Graph:
+        g = Graph()
+        g.add_nodes(self.nodes)
+        for u, v, w in self.edges:
+            g.add_edge(u, v, w)
+        return g
+
+
+def kmb_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> SteinerTree:
+    """Kou-Markowsky-Berman 2-approximate minimum Steiner tree.
+
+    Steps: MST of the metric closure; expand closure edges into shortest
+    paths; MST of the expanded subgraph; prune non-terminal leaves.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if not terminals:
+        return SteinerTree((), 0.0, frozenset())
+    if len(terminals) == 1:
+        return SteinerTree((), 0.0, frozenset(terminals))
+    closure = metric_closure(graph, terminals)
+    closure_mst, _ = kruskal_complete(terminals, closure.dist)
+
+    expanded = Graph()
+    expanded.add_nodes(terminals)
+    for u, v, _ in closure_mst:
+        path = closure.path[(u, v)]
+        for a, b in zip(path, path[1:]):
+            expanded.add_edge(a, b, graph.weight(a, b))
+
+    tree_edges = prim_mst(expanded, root=terminals[0])
+    tree = Graph()
+    tree.add_nodes(expanded.nodes())
+    for a, b, w in tree_edges:
+        tree.add_edge(a, b, w)
+
+    # Prune non-terminal leaves until fixpoint.
+    terminal_set = set(terminals)
+    changed = True
+    while changed:
+        changed = False
+        for node in list(tree.nodes()):
+            if node not in terminal_set and tree.degree(node) <= 1:
+                tree.remove_node(node)
+                changed = True
+
+    edges = tuple(sorted(tree.edges(), key=lambda e: (repr(e[0]), repr(e[1]))))
+    return SteinerTree(edges, sum(w for _, _, w in edges), frozenset(tree.nodes()))
+
+
+def dreyfus_wagner(graph: Graph, terminals: Sequence[Node]) -> float:
+    """Exact minimum Steiner tree cost (Dreyfus-Wagner dynamic program).
+
+    Exponential in ``len(terminals)`` — intended as a small-instance oracle.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    k = len(terminals)
+    if k <= 1:
+        return 0.0
+    if k == 2:
+        apsp = all_pairs_dijkstra(graph)
+        return apsp[terminals[0]].get(terminals[1], float("inf"))
+    table, index = _dreyfus_wagner_table(graph, terminals[:-1])
+    return table[(1 << (k - 1)) - 1][index[terminals[-1]]]
+
+
+def steiner_costs_all_subsets(
+    graph: Graph, terminals: Sequence[Node], root: Node
+) -> dict[frozenset, float]:
+    """Exact Steiner cost of ``{root} + Q`` for *every* subset ``Q`` of
+    ``terminals`` from a single Dreyfus-Wagner table.
+
+    This is the ``C*`` oracle of the Fig. 2 (empty core) experiment: one DP
+    run prices all 2^k coalitions.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if root in terminals:
+        raise ValueError("root must not be a terminal")
+    table, index = _dreyfus_wagner_table(graph, terminals)
+    root_i = index[root]
+    out: dict[frozenset, float] = {frozenset(): 0.0}
+    for mask in range(1, 1 << len(terminals)):
+        Q = frozenset(t for i, t in enumerate(terminals) if mask >> i & 1)
+        out[Q] = table[mask][root_i]
+    return out
+
+
+def _dreyfus_wagner_table(
+    graph: Graph, base: Sequence[Node]
+) -> tuple[list[list[float]], dict[Node, int]]:
+    """The DW table ``S[mask][v]`` = min cost tree spanning ``base[mask] + v``."""
+    nodes = graph.nodes()
+    index = {v: i for i, v in enumerate(nodes)}
+    apsp = all_pairs_dijkstra(graph)
+    inf = float("inf")
+
+    def d(u: Node, v: Node) -> float:
+        return apsp[u].get(v, inf)
+
+    m = len(base)
+    S = [[inf] * len(nodes) for _ in range(1 << m)]
+    S[0] = [0.0] * len(nodes)
+    for i, t in enumerate(base):
+        row = S[1 << i]
+        for v in nodes:
+            row[index[v]] = d(t, v)
+
+    for mask in range(1, 1 << m):
+        if mask & (mask - 1) == 0:
+            continue  # singletons already initialised
+        row = S[mask]
+        # Merge step: split the terminal set at v.
+        low = mask & (-mask)
+        sub = (mask - 1) & mask
+        while sub:
+            if sub & low:  # canonical split: the low bit stays in `sub`
+                other = mask ^ sub
+                rs, ro = S[sub], S[other]
+                for vi in range(len(nodes)):
+                    cand = rs[vi] + ro[vi]
+                    if cand < row[vi]:
+                        row[vi] = cand
+            sub = (sub - 1) & mask
+        # Relax step: move the attachment point along shortest paths.
+        # (Dense relaxation via the all-pairs matrix.)
+        snapshot = list(row)
+        for ui, u in enumerate(nodes):
+            su = snapshot[ui]
+            if su == inf:
+                continue
+            du = apsp[u]
+            for v, duv in du.items():
+                vi = index[v]
+                cand = su + duv
+                if cand < row[vi]:
+                    row[vi] = cand
+
+    return S, index

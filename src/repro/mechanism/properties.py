@@ -1,0 +1,223 @@
+"""Axiom auditors: NPT, VP, CS, budget balance, strategyproofness.
+
+These are *empirical* checkers used by the test-suite and the experiment
+harness: they re-run a mechanism under deviations/coalitions and report the
+first violation found (or an exhaustive list).  The paper's theorems predict
+exactly which checks pass for which mechanism; EXPERIMENTS.md records the
+outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.random_graphs import as_rng
+from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile, with_report
+
+_EPS = 1e-7
+
+
+# ---------------------------------------------------------------------------
+# Static axioms
+# ---------------------------------------------------------------------------
+
+def check_npt(result: MechanismResult, *, tol: float = _EPS) -> bool:
+    """No positive transfers: every share non-negative."""
+    return all(s >= -tol for s in result.shares.values())
+
+
+def check_vp(result: MechanismResult, profile: Profile, *, tol: float = _EPS) -> bool:
+    """Voluntary participation: no receiver pays above its reported utility."""
+    return all(result.share(i) <= profile[i] + tol for i in result.receivers)
+
+
+def check_cost_recovery(result: MechanismResult, *, tol: float = _EPS) -> bool:
+    """The receivers' payments cover the built solution's cost."""
+    return result.total_charged() >= result.cost - tol * max(1.0, result.cost)
+
+
+def bb_factor(result: MechanismResult, optimal_cost: float) -> float:
+    """``total charged / C*`` — the empirical budget-balance factor.
+
+    1.0 means optimally budget balanced; the paper's beta-BB mechanisms must
+    stay below their beta.  Returns ``inf`` when ``C* = 0`` but something was
+    charged.
+    """
+    charged = result.total_charged()
+    if optimal_cost <= 0:
+        return 1.0 if charged <= _EPS else float("inf")
+    return charged / optimal_cost
+
+
+def check_cs(
+    mechanism: CostSharingMechanism,
+    profile: Profile,
+    agent: Agent,
+    *,
+    high_value: float = 1e9,
+) -> bool:
+    """Consumer sovereignty: reporting high enough gets the agent served."""
+    result = mechanism.run(with_report(profile, agent, high_value))
+    return agent in result.receivers
+
+
+def audit_basic_axioms(
+    mechanism: CostSharingMechanism,
+    profile: Profile,
+    *,
+    optimal_cost: float | None = None,
+    check_consumer_sovereignty: bool = False,
+) -> dict:
+    """One-stop audit; returns a flat report dict."""
+    result = mechanism.run(profile)
+    report = {
+        "receivers": sorted(result.receivers),
+        "charged": result.total_charged(),
+        "cost": result.cost,
+        "npt": check_npt(result),
+        "vp": check_vp(result, profile),
+        "cost_recovery": check_cost_recovery(result),
+    }
+    if optimal_cost is not None:
+        report["bb_factor"] = bb_factor(result, optimal_cost)
+    if check_consumer_sovereignty:
+        report["cs"] = all(check_cs(mechanism, profile, a) for a in mechanism.agents)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Strategyproofness
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Deviation:
+    """A profitable misreport found by the auditors."""
+
+    coalition: tuple[Agent, ...]
+    reports: dict[Agent, float]
+    welfare_before: dict[Agent, float]
+    welfare_after: dict[Agent, float]
+
+    @property
+    def gain(self) -> float:
+        return min(self.welfare_after[i] - self.welfare_before[i] for i in self.coalition)
+
+
+def candidate_misreports(true_value: float, profile: Profile) -> list[float]:
+    """A deviation grid: scalings of the truth, 0, other agents' utilities,
+    and a very large report."""
+    others = sorted(set(profile.values()))
+    grid = {0.0, true_value / 2, true_value * 0.9, true_value * 0.99,
+            true_value * 1.01, true_value * 1.1, true_value * 2, true_value + 1.0,
+            max(others, default=0.0) * 2 + 1.0, 1e6}
+    for v in others:
+        grid.add(v)
+        grid.add(max(0.0, v - 1e-3))
+        grid.add(v + 1e-3)
+    return sorted(v for v in grid if v >= 0 and abs(v - true_value) > 1e-12)
+
+
+def find_unilateral_deviation(
+    mechanism: CostSharingMechanism,
+    true_profile: Profile,
+    *,
+    agents: Iterable[Agent] | None = None,
+    extra_reports: Sequence[float] = (),
+    tol: float = 1e-6,
+) -> Deviation | None:
+    """Search for a profitable unilateral misreport (strategyproofness
+    violation).  Returns the first one found, or ``None``.
+    """
+    baseline = mechanism.run(true_profile)
+    w0 = baseline.welfare(true_profile)
+    for i in agents if agents is not None else mechanism.agents:
+        u_i = true_profile[i]
+        for v in [*candidate_misreports(u_i, true_profile), *extra_reports]:
+            result = mechanism.run(with_report(true_profile, i, v))
+            w_i = (u_i - result.share(i)) if i in result.receivers else 0.0
+            if w_i > w0[i] + tol:
+                return Deviation(
+                    coalition=(i,),
+                    reports={i: v},
+                    welfare_before={i: w0[i]},
+                    welfare_after={i: w_i},
+                )
+    return None
+
+
+def find_group_deviation(
+    mechanism: CostSharingMechanism,
+    true_profile: Profile,
+    *,
+    max_coalition_size: int = 3,
+    n_samples_per_coalition: int = 40,
+    rng: int | np.random.Generator | None = None,
+    tol: float = 1e-6,
+) -> Deviation | None:
+    """Search for a group-strategyproofness violation.
+
+    Per the paper's definition, a coalition deviation violates GSP when no
+    member is worse off and at least one is strictly better off.  Joint
+    misreports are sampled from each member's candidate grid.
+    """
+    rng = as_rng(rng)
+    baseline = mechanism.run(true_profile)
+    w0 = baseline.welfare(true_profile)
+    agents = list(mechanism.agents)
+    for size in range(1, max_coalition_size + 1):
+        for coalition in itertools.combinations(agents, size):
+            # Coalition members may keep their truthful report (the paper's
+            # Fig. 1 coalition does exactly that), so the truth is included
+            # in each member's grid; the all-truthful sample is skipped.
+            grids = [
+                [true_profile[i], *candidate_misreports(true_profile[i], true_profile)]
+                for i in coalition
+            ]
+            total = int(np.prod([len(g) for g in grids]))
+            if total <= n_samples_per_coalition:
+                samples = list(itertools.product(*grids))
+            else:
+                samples = [
+                    tuple(g[int(rng.integers(len(g)))] for g in grids)
+                    for _ in range(n_samples_per_coalition)
+                ]
+            for reports in samples:
+                if all(v == true_profile[i] for i, v in zip(coalition, reports)):
+                    continue
+                deviated = dict(true_profile)
+                for i, v in zip(coalition, reports):
+                    deviated[i] = v
+                result = mechanism.run(deviated)
+                w1 = {
+                    i: (true_profile[i] - result.share(i)) if i in result.receivers else 0.0
+                    for i in coalition
+                }
+                if all(w1[i] >= w0[i] - tol for i in coalition) and any(
+                    w1[i] > w0[i] + tol for i in coalition
+                ):
+                    return Deviation(
+                        coalition=coalition,
+                        reports=dict(zip(coalition, reports)),
+                        welfare_before={i: w0[i] for i in coalition},
+                        welfare_after=w1,
+                    )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Efficiency
+# ---------------------------------------------------------------------------
+
+def efficiency_gap(
+    result: MechanismResult, true_profile: Profile, optimal_net_worth: float
+) -> float:
+    """``max net worth - achieved net worth`` (0 for efficient mechanisms).
+
+    The achieved net worth uses the *built* solution's cost, matching the
+    paper's ``NW(u) = W(R(u))``.
+    """
+    return optimal_net_worth - result.net_worth(true_profile)

@@ -1,0 +1,91 @@
+"""The marginal-cost (MC / VCG) mechanism (paper section 1.1, Eq. (3)).
+
+For a non-decreasing submodular cost function the MC mechanism is the unique
+(up to welfare equivalence) strategyproof *efficient* mechanism meeting NPT
+and VP [38].  We implement the standard Feigenbaum-Papadimitriou-Shenker
+form: select the largest efficient set ``R*(u)`` and charge
+
+    c_i(u) = u_i - (NW(u) - NW(u^{-i}))        for i in R*(u),
+
+where ``NW(u)`` is the maximum net worth and ``u^{-i}`` is the profile with
+``u_i`` set to 0 (the station stays available as a relay).  For receivers
+this equals the VCG payment; welfares are the marginal contributions
+``NW(u) - NW(u^{-i})``, which is what makes truth-telling dominant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
+
+SetCost = Callable[[frozenset], float]
+EfficientSetSolver = Callable[[dict[Agent, float]], tuple[float, frozenset]]
+
+
+def brute_force_efficient_set(
+    agents: Sequence[Agent], cost_fn: SetCost
+) -> EfficientSetSolver:
+    """Exhaustive ``(max net worth, largest maximiser)`` oracle (2^n)."""
+    agents = list(agents)
+
+    def solve(profile: dict[Agent, float]) -> tuple[float, frozenset]:
+        best_nw = 0.0
+        best_set: frozenset = frozenset()
+        for r in range(len(agents) + 1):
+            for R in itertools.combinations(agents, r):
+                Rs = frozenset(R)
+                nw = sum(profile[i] for i in Rs) - float(cost_fn(Rs))
+                # Prefer strictly better welfare; among ties prefer the
+                # larger set (the submodular case has a unique largest
+                # efficient set, which this tie-break finds).
+                if nw > best_nw + 1e-12 or (
+                    abs(nw - best_nw) <= 1e-12 and len(Rs) > len(best_set)
+                ):
+                    best_nw = nw
+                    best_set = Rs
+        return best_nw, best_set
+
+    return solve
+
+
+class MarginalCostMechanism(CostSharingMechanism):
+    """MC mechanism over an arbitrary efficient-set oracle.
+
+    Parameters
+    ----------
+    agents:
+        Potential receivers.
+    solver:
+        ``profile -> (max net worth, largest efficient set)``.  Use
+        :func:`brute_force_efficient_set` or the tree dynamic program in
+        :mod:`repro.core.universal_tree_mechanisms`.
+    cost_fn:
+        The cost function (to price the selected set).
+    """
+
+    def __init__(
+        self, agents: Sequence[Agent], solver: EfficientSetSolver, cost_fn: SetCost
+    ) -> None:
+        self.agents = list(agents)
+        self._solver = solver
+        self._cost_fn = cost_fn
+
+    def run(self, profile: Profile) -> MechanismResult:
+        u = self.validate_profile(profile)
+        nw, receivers = self._solver(u)
+        shares: dict[Agent, float] = {}
+        for i in receivers:
+            u_wo = dict(u)
+            u_wo[i] = 0.0
+            nw_wo, _ = self._solver(u_wo)
+            marginal = nw - nw_wo  # i's welfare: its marginal contribution
+            shares[i] = max(0.0, u[i] - marginal)
+        cost = float(self._cost_fn(frozenset(receivers)))
+        return MechanismResult(
+            receivers=frozenset(receivers),
+            shares=shares,
+            cost=cost,
+            extra={"net_worth": nw},
+        )

@@ -1,0 +1,38 @@
+"""Exact optimal multicast for ``alpha = 1`` (any dimension), Lemma 3.1.
+
+With ``alpha = 1`` the triangle inequality makes relaying pointless: the
+cost of reaching the farthest receiver directly, ``max dist(s, x)``, is a
+lower bound (any relay chain to ``x`` has total length >= dist(s, x)), and a
+single source transmission at that radius serves every receiver.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.power import PowerAssignment
+
+
+def optimal_alpha_one_cost(
+    network: EuclideanCostGraph, source: int, receivers: Iterable[int]
+) -> float:
+    """``C*(R) = max over receivers of dist(source, x)`` (0 for empty R)."""
+    if network.alpha != 1:
+        raise ValueError(f"this solver requires alpha = 1, got {network.alpha}")
+    receivers = set(receivers) - {source}
+    if not receivers:
+        return 0.0
+    return max(network.distance(source, r) for r in receivers)
+
+
+def optimal_alpha_one_power(
+    network: EuclideanCostGraph, source: int, receivers: Iterable[int]
+) -> tuple[float, PowerAssignment]:
+    """The optimal assignment: one source transmission, all else silent."""
+    cost = optimal_alpha_one_cost(network, source, receivers)
+    powers = np.zeros(network.n)
+    powers[source] = cost
+    return cost, PowerAssignment(powers)

@@ -1,0 +1,31 @@
+"""Minimum-energy broadcast (MEBT): heuristics and exact specialisations.
+
+Broadcast is multicast with ``R = S \\ {s}``.  The MST heuristic is the
+algorithm whose approximation ratio drives the paper's Lemmas 3.4/3.5
+(``3**d - 1`` in d dimensions, improved to 6 for d = 2 by Ambuehl [1]).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.mst import prim_mst
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.memt import bip_broadcast, optimal_broadcast  # noqa: F401 (re-export)
+from repro.wireless.multicast import power_from_parents
+from repro.wireless.power import PowerAssignment
+
+
+def mst_broadcast(network: CostGraph, source: int) -> PowerAssignment:
+    """MST heuristic [50]: tune powers to implement the cost-graph MST
+    oriented away from the source."""
+    parents: dict[int, int | None] = {source: None}
+    for p, c, _ in prim_mst(network.as_graph(), root=source):
+        parents[c] = p
+    return power_from_parents(network, parents)
+
+
+def broadcast_cost_ratio(network: CostGraph, source: int) -> float:
+    """``cost(MST heuristic) / C*`` on one instance (exact solver: small n)."""
+    opt_cost, _ = optimal_broadcast(network, source)
+    if opt_cost == 0:
+        return 1.0
+    return mst_broadcast(network, source).cost() / opt_cost

@@ -1,0 +1,91 @@
+"""Cost graphs: the wireless network model.
+
+:class:`CostGraph` wraps a symmetric ``n x n`` transmission-cost matrix
+(stations are ``0..n-1``); :class:`EuclideanCostGraph` derives it from a
+:class:`~repro.geometry.PointSet` and a distance-power gradient ``alpha``
+(``c = dist ** alpha``, threshold normalised to 1 as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import PointSet
+from repro.graphs.adjacency import Graph
+
+
+class CostGraph:
+    """A symmetric wireless network over stations ``0..n-1``."""
+
+    def __init__(self, matrix: np.ndarray | list) -> None:
+        m = np.asarray(matrix, dtype=float)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"cost matrix must be square, got shape {m.shape}")
+        if not np.allclose(np.diag(m), 0.0):
+            raise ValueError("cost matrix must have a zero diagonal")
+        if not np.allclose(m, m.T):
+            raise ValueError("cost matrix must be symmetric (the paper's model)")
+        if (m < 0).any():
+            raise ValueError("costs must be non-negative")
+        self._m = 0.5 * (m + m.T)  # exact symmetry
+        self._m.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        return self._m.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._m
+
+    def stations(self) -> range:
+        return range(self.n)
+
+    def cost(self, i: int, j: int) -> float:
+        return float(self._m[i, j])
+
+    def power_levels(self, i: int) -> np.ndarray:
+        """The distinct costs ``C^1_i < C^2_i < ...`` of station ``i``'s
+        incident edges (the candidate power emissions of the paper's
+        section 2.2)."""
+        others = np.delete(self._m[i], i)
+        return np.unique(others)
+
+    def reachable_within(self, i: int, power: float) -> np.ndarray:
+        """Stations ``j != i`` with ``c(i, j) <= power`` (arc implemented)."""
+        mask = self._m[i] <= power + 1e-12
+        mask[i] = False
+        return np.flatnonzero(mask)
+
+    def as_graph(self) -> Graph:
+        """The complete undirected cost graph (edge weight = cost)."""
+        g = Graph()
+        g.add_nodes(range(self.n))
+        for i in range(self.n):
+            for j in range(i + 1, self.n):
+                g.add_edge(i, j, float(self._m[i, j]))
+        return g
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class EuclideanCostGraph(CostGraph):
+    """Euclidean wireless network: ``c(i, j) = dist(i, j) ** alpha``."""
+
+    def __init__(self, points: PointSet, alpha: float = 2.0) -> None:
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1 (paper's model), got {alpha}")
+        self.points = points
+        self.alpha = float(alpha)
+        super().__init__(points.power_matrix(alpha))
+
+    @property
+    def dim(self) -> int:
+        return self.points.dim
+
+    def distance(self, i: int, j: int) -> float:
+        return self.points.distance(i, j)
+
+    def __repr__(self) -> str:
+        return f"EuclideanCostGraph(n={self.n}, d={self.dim}, alpha={self.alpha})"

@@ -1,0 +1,236 @@
+"""Minimum-energy multicast tree (MEMT): exact oracle and heuristics.
+
+MEMT is NP-hard in general (inapproximable within ``(1 - eps) ln n``), so
+the exact solver here is exponential — but only in the *station count*, via
+a Dijkstra over covered-station bitmasks, which is comfortably fast up to
+``n ~ 16``.  It is the ``C*(R)`` oracle used by every budget-balance and
+approximation experiment.
+
+Correctness of the bitmask search: any feasible assignment ``pi`` can be
+ordered as a sequence of transmissions, each by an already-covered station;
+conversely any search path yields a feasible assignment of the same or lower
+cost (a station re-transmitting at a higher level is dominated by
+transmitting once at the higher level, so optimal search paths never reuse a
+station).
+
+Heuristics provided as baselines: shortest-path-tree (SPT), the MST
+heuristic of Wieselthier et al. restricted to the multicast subtree, the
+Steiner(KMB)-heuristic of the paper's section 3.2, and BIP (broadcast
+incremental power) with pruning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.addressable_heap import AddressableHeap
+from repro.graphs.shortest_paths import dijkstra, reconstruct_path
+from repro.graphs.steiner import kmb_steiner_tree
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.multicast import power_from_parents, steiner_heuristic_power
+from repro.wireless.power import PowerAssignment
+
+_MAX_EXACT_N = 20
+
+
+def optimal_multicast(
+    network: CostGraph, source: int, receivers: Iterable[int]
+) -> tuple[float, PowerAssignment]:
+    """Exact minimum-cost multicast power assignment (cost, assignment).
+
+    Exponential in ``network.n`` — guarded at ``n <= 20``.
+    """
+    receivers = sorted(set(receivers) - {source})
+    n = network.n
+    if n > _MAX_EXACT_N:
+        raise ValueError(f"exact MEMT solver limited to n <= {_MAX_EXACT_N}, got {n}")
+    if not receivers:
+        return 0.0, PowerAssignment.zeros(n)
+
+    m = network.matrix
+    # ball_bits[i][k] = bitmask of stations within i's k-th distinct level.
+    levels: list[np.ndarray] = [network.power_levels(i) for i in range(n)]
+    ball_bits: list[list[int]] = []
+    for i in range(n):
+        row = []
+        for p in levels[i]:
+            mask = 0
+            for j in np.flatnonzero(m[i] <= p + 1e-12):
+                if j != i:
+                    mask |= 1 << int(j)
+            row.append(mask)
+        ball_bits.append(row)
+
+    start = 1 << source
+    goal = 0
+    for r in receivers:
+        goal |= 1 << r
+
+    heap = AddressableHeap()
+    heap.push(start, 0.0)
+    settled: dict[int, float] = {}
+    parent: dict[int, tuple[int, int, float]] = {}  # state -> (prev, station, power)
+
+    final_state = None
+    while heap:
+        state, d = heap.pop()
+        settled[state] = d
+        if state & goal == goal:
+            final_state = state
+            break
+        covered = state
+        i = 0
+        rem = covered
+        while rem:
+            if rem & 1:
+                lev = levels[i]
+                bb = ball_bits[i]
+                for k in range(len(lev)):
+                    new_state = state | bb[k]
+                    if new_state == state:
+                        continue  # adds nothing; cheaper levels already subsumed
+                    if new_state in settled:
+                        continue
+                    nd = d + float(lev[k])
+                    if heap.push_or_decrease(new_state, nd):
+                        parent[new_state] = (state, i, float(lev[k]))
+            rem >>= 1
+            i += 1
+
+    if final_state is None:
+        raise ValueError("receivers unreachable (should not happen on a complete cost graph)")
+
+    powers = np.zeros(n)
+    state = final_state
+    while state != start:
+        prev, i, p = parent[state]
+        powers[i] = max(powers[i], p)
+        state = prev
+    assignment = PowerAssignment(powers)
+    # Combining repeated transmissions by max can only lower the cost;
+    # optimality is preserved because the assignment stays feasible.
+    return assignment.cost(), assignment
+
+
+def optimal_multicast_cost(network: CostGraph, source: int, receivers: Iterable[int]) -> float:
+    """``C*(R)`` — the optimum multicast cost."""
+    return optimal_multicast(network, source, receivers)[0]
+
+
+def optimal_broadcast(network: CostGraph, source: int) -> tuple[float, PowerAssignment]:
+    """Exact MEBT: broadcast to every station."""
+    return optimal_multicast(network, source, [i for i in range(network.n) if i != source])
+
+
+# ---------------------------------------------------------------------------
+# Heuristics (baselines)
+# ---------------------------------------------------------------------------
+
+def spt_multicast(
+    network: CostGraph, source: int, receivers: Iterable[int]
+) -> PowerAssignment:
+    """Shortest-path-tree heuristic: union of cost-graph shortest paths."""
+    receivers = sorted(set(receivers) - {source})
+    g = network.as_graph()
+    _, par = dijkstra(g, source)
+    parents: dict[int, int | None] = {source: None}
+    for r in receivers:
+        for node in reconstruct_path(par, r):
+            if node != source and node not in parents:
+                parents[node] = par[node]
+    return power_from_parents(network, parents)
+
+
+def mst_multicast(
+    network: CostGraph, source: int, receivers: Iterable[int]
+) -> PowerAssignment:
+    """MST heuristic (Wieselthier et al. [50]) restricted to the multicast
+    subtree: build the cost-graph MST, keep the union of source->receiver
+    paths, orient away from the source."""
+    from repro.graphs.mst import prim_mst
+
+    receivers = sorted(set(receivers) - {source})
+    tree_edges = prim_mst(network.as_graph(), root=source)
+    parent_of: dict[int, int | None] = {source: None}
+    for p, c, _ in tree_edges:
+        parent_of[c] = p
+    keep: set[int] = {source}
+    for r in receivers:
+        x: int | None = r
+        while x is not None and x not in keep:
+            keep.add(x)
+            x = parent_of[x]
+    pruned = {c: p for c, p in parent_of.items() if c in keep}
+    return power_from_parents(network, pruned)
+
+
+def steiner_multicast(
+    network: CostGraph, source: int, receivers: Iterable[int]
+) -> PowerAssignment:
+    """The paper's section 3.2 heuristic: 2-approximate (KMB) Steiner tree on
+    the cost graph, then the Steiner-heuristic orientation."""
+    receivers = sorted(set(receivers) - {source})
+    tree = kmb_steiner_tree(network.as_graph(), [source, *receivers])
+    return steiner_heuristic_power(network, [(u, v) for u, v, _ in tree.edges], source)
+
+
+def bip_broadcast(network: CostGraph, source: int) -> PowerAssignment:
+    """Broadcast Incremental Power (Wieselthier et al.): repeatedly make the
+    cheapest *incremental* power increase that covers a new station."""
+    n = network.n
+    m = network.matrix
+    covered = {source}
+    powers = np.zeros(n)
+    parents: dict[int, int | None] = {source: None}
+    while len(covered) < n:
+        best = None  # (delta, transmitter, new_station)
+        for i in covered:
+            for j in range(n):
+                if j in covered:
+                    continue
+                delta = m[i, j] - powers[i]
+                if best is None or delta < best[0]:
+                    best = (delta, i, j)
+        assert best is not None
+        delta, i, j = best
+        powers[i] = max(powers[i], m[i, j])
+        parents[j] = i
+        covered.add(j)
+    return PowerAssignment(powers)
+
+
+def bip_multicast(
+    network: CostGraph, source: int, receivers: Iterable[int]
+) -> PowerAssignment:
+    """BIP followed by pruning to the multicast subtree (a.k.a. MIP)."""
+    receivers = sorted(set(receivers) - {source})
+    full = bip_broadcast(network, source)
+    # Recover the BIP tree structure by re-running coverage: cheapest valid
+    # parent for each station under the BIP powers.
+    n = network.n
+    m = network.matrix
+    dig_parents: dict[int, int | None] = {source: None}
+    order = [source]
+    seen = {source}
+    while len(seen) < n:
+        progressed = False
+        for i in list(order):
+            for j in range(n):
+                if j in seen or full[i] < m[i, j] - 1e-12:
+                    continue
+                dig_parents[j] = i
+                seen.add(j)
+                order.append(j)
+                progressed = True
+        if not progressed:
+            break
+    keep: set[int] = {source}
+    for r in receivers:
+        x: int | None = r
+        while x is not None and x not in keep:
+            keep.add(x)
+            x = dig_parents.get(x)
+    pruned = {c: p for c, p in dig_parents.items() if c in keep}
+    return power_from_parents(network, pruned)

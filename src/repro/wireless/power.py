@@ -1,0 +1,81 @@
+"""Power assignments and the transmission digraphs they induce."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.adjacency import DiGraph
+from repro.graphs.traversal import reachable_set
+from repro.wireless.cost_graph import CostGraph
+
+_EPS = 1e-12
+
+
+class PowerAssignment:
+    """``pi : stations -> R+``; implements arc ``i -> j`` iff ``pi[i] >= c(i, j)``."""
+
+    def __init__(self, powers: np.ndarray | list) -> None:
+        p = np.asarray(powers, dtype=float)
+        if p.ndim != 1:
+            raise ValueError("powers must be a 1-d array")
+        if (p < 0).any():
+            raise ValueError("powers must be non-negative")
+        self._p = p.copy()
+        self._p.setflags(write=False)
+
+    @classmethod
+    def zeros(cls, n: int) -> "PowerAssignment":
+        return cls(np.zeros(n))
+
+    @property
+    def powers(self) -> np.ndarray:
+        return self._p
+
+    @property
+    def n(self) -> int:
+        return self._p.shape[0]
+
+    def __getitem__(self, i: int) -> float:
+        return float(self._p[i])
+
+    def cost(self) -> float:
+        """Overall power consumption ``sum_i pi(i)`` (the paper's cost)."""
+        return float(self._p.sum())
+
+    def implements(self, network: CostGraph, i: int, j: int) -> bool:
+        return i != j and self._p[i] >= network.cost(i, j) - _EPS
+
+    def transmission_digraph(self, network: CostGraph) -> DiGraph:
+        """The digraph ``G_pi`` of implemented arcs."""
+        if network.n != self.n:
+            raise ValueError("network size mismatch")
+        g = DiGraph()
+        g.add_nodes(range(self.n))
+        m = network.matrix
+        for i in range(self.n):
+            if self._p[i] <= 0:
+                continue
+            for j in np.flatnonzero(m[i] <= self._p[i] + _EPS):
+                if j != i:
+                    g.add_edge(i, int(j), float(m[i, j]))
+        return g
+
+    def reaches(self, network: CostGraph, source: int, receivers: Iterable[int]) -> bool:
+        """True iff ``G_pi`` contains directed paths from ``source`` to every
+        receiver (the multicast feasibility condition)."""
+        targets = set(receivers) - {source}
+        if not targets:
+            return True
+        reached = reachable_set(self.transmission_digraph(network), source)
+        return targets <= reached
+
+    def raised(self, i: int, power: float) -> "PowerAssignment":
+        """Copy with ``pi(i) = max(pi(i), power)``."""
+        p = self._p.copy()
+        p[i] = max(p[i], power)
+        return PowerAssignment(p)
+
+    def __repr__(self) -> str:
+        return f"PowerAssignment({np.array2string(self._p, precision=3)})"

@@ -1,0 +1,82 @@
+"""Unit + property tests for repro.graphs.addressable_heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.addressable_heap import AddressableHeap
+
+
+class TestAddressableHeap:
+    def test_push_pop_order(self):
+        h = AddressableHeap()
+        for key, pri in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.push(key, pri)
+        assert [h.pop() for _ in range(3)] == [("b", 1.0), ("c", 2.0), ("a", 3.0)]
+
+    def test_duplicate_key_rejected(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        with pytest.raises(KeyError):
+            h.push("a", 2.0)
+
+    def test_decrease_key(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.decrease("a", 1.0)
+        assert h.pop() == ("a", 1.0)
+
+    def test_decrease_cannot_increase(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        with pytest.raises(ValueError):
+            h.decrease("a", 2.0)
+
+    def test_push_or_decrease(self):
+        h = AddressableHeap()
+        assert h.push_or_decrease("a", 5.0)
+        assert h.push_or_decrease("a", 2.0)
+        assert not h.push_or_decrease("a", 9.0)  # larger: no-op
+        assert h.pop() == ("a", 2.0)
+
+    def test_contains_len_bool(self):
+        h = AddressableHeap()
+        assert not h and len(h) == 0
+        h.push(1, 1.0)
+        assert h and 1 in h and len(h) == 1
+        h.pop()
+        assert 1 not in h
+
+    def test_peek_does_not_remove(self):
+        h = AddressableHeap()
+        h.push("z", 0.5)
+        assert h.peek() == ("z", 0.5)
+        assert len(h) == 1
+
+    def test_priority_lookup(self):
+        h = AddressableHeap()
+        h.push("k", 4.0)
+        assert h.priority("k") == 4.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100)), min_size=1, max_size=60))
+def test_heapsort_matches_sorted(items):
+    """Popping everything yields priorities in non-decreasing order and the
+    minimum priority per key."""
+    h = AddressableHeap()
+    best: dict[int, float] = {}
+    for key, pri in items:
+        if key in best:
+            if pri < best[key]:
+                h.decrease(key, pri)
+                best[key] = pri
+        else:
+            h.push(key, pri)
+            best[key] = pri
+    popped = []
+    while h:
+        popped.append(h.pop())
+    assert sorted(p for _, p in popped) == [p for _, p in popped]
+    assert {k: p for k, p in popped} == best

@@ -1,0 +1,143 @@
+"""Unit tests for repro.graphs.adjacency."""
+
+import pytest
+
+from repro.graphs.adjacency import DiGraph, Graph
+
+
+class TestGraph:
+    def test_add_nodes_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert len(g) == 1 and "a" in g
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2, 3.0)
+        assert set(g.nodes()) == {1, 2}
+        assert g.weight(1, 2) == g.weight(2, 1) == 3.0
+
+    def test_parallel_edges_keep_minimum(self):
+        g = Graph()
+        g.add_edge(1, 2, 5.0)
+        g.add_edge(1, 2, 3.0)
+        g.add_edge(2, 1, 7.0)
+        assert g.weight(1, 2) == 3.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_remove_node_clears_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.remove_node(2)
+        assert 2 not in g
+        assert not g.has_edge(1, 2)
+        assert g.degree(1) == 0 and g.degree(3) == 0
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2) and not g.has_edge(2, 1)
+        assert len(g) == 2
+
+    def test_edges_yielded_once(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 2.0)
+        edges = list(g.edges())
+        assert len(edges) == 2
+        assert g.number_of_edges() == 2
+        assert g.total_weight() == 3.0
+
+    def test_neighbors_and_degree(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(1, 3, 2.0)
+        assert dict(g.neighbors(1)) == {2: 1.0, 3: 2.0}
+        assert g.degree(1) == 2 and g.degree(2) == 1
+
+    def test_copy_is_independent(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        h = g.copy()
+        h.add_edge(2, 3, 1.0)
+        assert 3 not in g and 3 in h
+
+    def test_subgraph_induced(self):
+        g = Graph()
+        for u, v in [(1, 2), (2, 3), (3, 4), (1, 4)]:
+            g.add_edge(u, v, 1.0)
+        sub = g.subgraph([1, 2, 4])
+        assert set(sub.nodes()) == {1, 2, 4}
+        assert sub.has_edge(1, 2) and sub.has_edge(1, 4)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_of_missing_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        sub = g.subgraph([1, 99])
+        assert set(sub.nodes()) == {1}
+
+    def test_hashable_node_types(self):
+        g = Graph()
+        g.add_edge(("in", 1), ("out", 1, 0), 1.0)
+        assert g.has_edge(("out", 1, 0), ("in", 1))
+
+
+class TestDiGraph:
+    def test_directed_edge_one_way(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 3.0)
+        assert g.has_edge(1, 2) and not g.has_edge(2, 1)
+        assert g.out_degree(1) == 1 and g.in_degree(2) == 1
+
+    def test_parallel_arcs_keep_minimum(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 5.0)
+        g.add_edge(1, 2, 2.0)
+        assert g.weight(1, 2) == 2.0
+
+    def test_predecessors_successors(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(3, 2, 2.0)
+        assert dict(g.predecessors(2)) == {1: 1.0, 3: 2.0}
+        assert dict(g.successors(1)) == {2: 1.0}
+
+    def test_remove_node(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.remove_node(2)
+        assert g.number_of_edges() == 0 and len(g) == 2
+
+    def test_remove_edge(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 1.0)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_to_undirected(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 3.0)
+        g.add_edge(2, 1, 5.0)
+        u = g.to_undirected()
+        assert u.weight(1, 2) == 3.0  # min of both arcs
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("x", "x")
+
+    def test_copy_is_independent(self):
+        g = DiGraph()
+        g.add_edge(1, 2, 1.0)
+        h = g.copy()
+        h.add_edge(2, 3, 1.0)
+        assert g.number_of_edges() == 1 and h.number_of_edges() == 2

@@ -1,0 +1,47 @@
+"""Tests for repro.wireless.alpha_one (Lemma 3.1, alpha = 1 case)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import uniform_points
+from repro.wireless.alpha_one import optimal_alpha_one_cost, optimal_alpha_one_power
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast_cost
+
+
+class TestAlphaOne:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_matches_generic_exact_oracle(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        pts = uniform_points(7, dim, rng=rng, side=5.0)
+        net = EuclideanCostGraph(pts, 1.0)
+        R = sorted(int(x) for x in rng.choice(range(1, 7), size=3, replace=False))
+        cost = optimal_alpha_one_cost(net, 0, R)
+        assert cost == pytest.approx(optimal_multicast_cost(net, 0, R))
+
+    def test_formula_is_max_distance(self):
+        pts = uniform_points(6, 2, rng=1)
+        net = EuclideanCostGraph(pts, 1.0)
+        R = [2, 3, 5]
+        assert optimal_alpha_one_cost(net, 0, R) == pytest.approx(
+            max(net.distance(0, r) for r in R)
+        )
+
+    def test_assignment_single_transmission(self):
+        pts = uniform_points(6, 2, rng=2)
+        net = EuclideanCostGraph(pts, 1.0)
+        cost, pa = optimal_alpha_one_power(net, 0, [1, 2])
+        assert pa[0] == pytest.approx(cost)
+        assert sum(pa.powers > 0) <= 1
+        assert pa.reaches(net, 0, [1, 2])
+
+    def test_empty_receivers(self):
+        net = EuclideanCostGraph(uniform_points(4, 2, rng=0), 1.0)
+        assert optimal_alpha_one_cost(net, 0, []) == 0.0
+        assert optimal_alpha_one_cost(net, 0, [0]) == 0.0  # source only
+
+    def test_requires_alpha_one(self):
+        net = EuclideanCostGraph(uniform_points(4, 2, rng=0), 2.0)
+        with pytest.raises(ValueError):
+            optimal_alpha_one_cost(net, 0, [1])

@@ -1,0 +1,87 @@
+"""Tests for repro.graphs.arborescence (networkx Edmonds as oracle)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.adjacency import DiGraph
+from repro.graphs.arborescence import arborescence_weight, minimum_arborescence
+from repro.graphs.random_graphs import as_rng
+
+
+def random_digraph(n, seed, p=0.5):
+    rng = as_rng(seed)
+    g = DiGraph()
+    g.add_nodes(range(n))
+    # Guarantee reachability from 0 via a random out-tree, then extra arcs.
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        g.add_edge(u, v, float(rng.uniform(1, 10)))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v, float(rng.uniform(1, 10)))
+    return g
+
+
+def to_nx(g: DiGraph) -> nx.DiGraph:
+    h = nx.DiGraph()
+    h.add_nodes_from(g.nodes())
+    for u, v, w in g.edges():
+        h.add_edge(u, v, weight=w)
+    return h
+
+
+class TestMinimumArborescence:
+    def test_hand_instance_with_cycle_contraction(self):
+        # Classic instance where the greedy best-in-edges form a cycle.
+        g = DiGraph()
+        arcs = [("r", "a", 10), ("r", "b", 10), ("a", "b", 1), ("b", "a", 1),
+                ("a", "c", 4), ("b", "c", 8)]
+        for u, v, w in arcs:
+            g.add_edge(u, v, float(w))
+        result = minimum_arborescence(g, "r")
+        assert arborescence_weight(result) == pytest.approx(15.0)  # r->a, a->b, a->c
+
+    def test_structure_is_arborescence(self):
+        g = random_digraph(9, seed=2)
+        arcs = minimum_arborescence(g, 0)
+        heads = [v for _, v, _ in arcs]
+        assert sorted(heads) == list(range(1, 9))  # each non-root exactly once
+        # Every node reachable from the root through the chosen arcs.
+        t = DiGraph()
+        t.add_nodes(range(9))
+        for u, v, w in arcs:
+            t.add_edge(u, v, w)
+        from repro.graphs.traversal import reachable_set
+
+        assert reachable_set(t, 0) == set(range(9))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = random_digraph(10, seed=seed)
+        mine = arborescence_weight(minimum_arborescence(g, 0))
+        # networkx Edmonds on the subgraph without arcs into the root.
+        h = to_nx(g)
+        h.remove_edges_from([(u, 0) for u in list(h.predecessors(0))])
+        expected = nx.algorithms.tree.branchings.minimum_spanning_arborescence(
+            h, attr="weight"
+        ).size(weight="weight")
+        assert mine == pytest.approx(expected)
+
+    def test_unreachable_raises(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            minimum_arborescence(g, 0)
+
+    def test_missing_root_raises(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            minimum_arborescence(g, 99)
+
+    def test_trivial_single_node(self):
+        g = DiGraph()
+        g.add_node("r")
+        assert minimum_arborescence(g, "r") == []

@@ -1,0 +1,57 @@
+"""Tests for repro.analysis.bounds (the paper's named constants)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    jv_bound,
+    mst_euclidean_bound,
+    nwst_bb_bound,
+    wireless_bb_bound,
+)
+
+
+class TestBounds:
+    def test_nwst_bound(self):
+        assert nwst_bb_bound(0) == 1.0
+        assert nwst_bb_bound(1) == 1.0
+        assert nwst_bb_bound(2) == pytest.approx(max(1.0, 1.5 * math.log(2)))
+        assert nwst_bb_bound(10) == pytest.approx(1.5 * math.log(10))
+
+    def test_wireless_bound(self):
+        assert wireless_bb_bound(4) == pytest.approx(3 * math.log(5))
+        # Always strictly looser than 2x the NWST bound at the same k >= 3
+        # (the reduction's factor 2 plus the k+1 shift).
+        for k in range(3, 12):
+            assert wireless_bb_bound(k) >= 2 * nwst_bb_bound(k)
+
+    def test_mst_bound_table(self):
+        assert mst_euclidean_bound(1) == 2.0  # 3^1 - 1
+        assert mst_euclidean_bound(2) == 6.0  # Ambuehl's improvement (not 8)
+        assert mst_euclidean_bound(3) == 26.0  # 3^3 - 1
+
+    def test_jv_bound_is_twice_mst(self):
+        for d in (1, 2, 3, 4):
+            assert jv_bound(d) == pytest.approx(2 * mst_euclidean_bound(d))
+        assert jv_bound(2) == 12.0  # Theorem 3.7
+
+
+class TestLargerWireless:
+    def test_n8_pipeline(self):
+        """The full §2.2.3 pipeline at n = 8 (reduction graph ~ 64 nodes)."""
+        import numpy as np
+
+        from repro.core import WirelessMulticastMechanism
+        from repro.geometry import uniform_points
+        from repro.wireless import EuclideanCostGraph, optimal_multicast_cost
+
+        net = EuclideanCostGraph(uniform_points(8, 2, rng=3, side=4.0), 2.0)
+        rng = np.random.default_rng(3)
+        profile = {i: float(rng.uniform(0, 15)) for i in range(1, 8)}
+        result = WirelessMulticastMechanism(net, 0).run(profile)
+        if result.receivers:
+            assert result.power.reaches(net, 0, result.receivers)
+            cstar = optimal_multicast_cost(net, 0, result.receivers)
+            k = len(result.receivers)
+            assert result.total_charged() <= 3 * math.log(k + 1) * cstar + 1e-9

@@ -1,0 +1,59 @@
+"""Tests for repro.mechanism.cost_function auditors."""
+
+import pytest
+
+from repro.mechanism.cost_function import CostFunction
+
+
+def max_game(values):
+    return lambda R: max((values[i] for i in R), default=0.0)
+
+
+class TestCostFunction:
+    def test_memoisation(self):
+        calls = []
+
+        def fn(R):
+            calls.append(R)
+            return float(len(R))
+
+        cf = CostFunction([1, 2], fn)
+        cf({1})
+        cf({1})
+        assert len(calls) == 1
+
+    def test_unknown_agents_rejected(self):
+        cf = CostFunction([1, 2], lambda R: 0.0)
+        with pytest.raises(ValueError):
+            cf({3})
+
+    def test_max_game_is_monotone_submodular(self):
+        cf = CostFunction([1, 2, 3], max_game({1: 1.0, 2: 2.0, 3: 5.0}))
+        assert cf.is_nondecreasing()
+        assert cf.is_submodular()
+
+    def test_additive_game_is_submodular(self):
+        cf = CostFunction([1, 2, 3], lambda R: float(sum(R)))
+        assert cf.is_submodular() and cf.is_nondecreasing()
+
+    def test_supermodular_game_caught(self):
+        # C(R) = |R|^2 violates diminishing returns.
+        cf = CostFunction([1, 2, 3], lambda R: float(len(R) ** 2))
+        violations = cf.submodularity_violations()
+        assert violations
+        A, B, i = violations[0]
+        assert A <= B and i not in B
+
+    def test_nonmonotone_caught(self):
+        values = {frozenset(): 0.0, frozenset({1}): 2.0, frozenset({2}): 1.0,
+                  frozenset({1, 2}): 1.5}
+        cf = CostFunction([1, 2], lambda R: values[frozenset(R)])
+        assert cf.monotonicity_violations()
+
+    def test_sampled_checker_finds_supermodularity(self):
+        cf = CostFunction(list(range(12)), lambda R: float(len(R) ** 2))
+        assert cf.sampled_submodularity_violations(n_samples=300, rng=0)
+
+    def test_sampled_checker_clean_on_submodular(self):
+        cf = CostFunction(list(range(12)), max_game({i: float(i) for i in range(12)}))
+        assert not cf.sampled_submodularity_violations(n_samples=200, rng=0)

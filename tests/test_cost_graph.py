@@ -1,0 +1,88 @@
+"""Tests for repro.wireless.cost_graph."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import PointSet, uniform_points
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+
+
+class TestCostGraph:
+    def test_valid_construction(self):
+        m = np.array([[0.0, 2.0], [2.0, 0.0]])
+        net = CostGraph(m)
+        assert net.n == 2 and net.cost(0, 1) == 2.0
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError):
+            CostGraph([[1.0, 2.0], [2.0, 0.0]])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            CostGraph([[0.0, 1.0], [2.0, 0.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostGraph([[0.0, -1.0], [-1.0, 0.0]])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            CostGraph(np.zeros((2, 3)))
+
+    def test_power_levels_distinct_sorted(self):
+        m = np.array([
+            [0.0, 3.0, 1.0, 3.0],
+            [3.0, 0.0, 2.0, 5.0],
+            [1.0, 2.0, 0.0, 4.0],
+            [3.0, 5.0, 4.0, 0.0],
+        ])
+        net = CostGraph(m)
+        assert list(net.power_levels(0)) == [1.0, 3.0]  # duplicates collapsed
+        assert list(net.power_levels(1)) == [2.0, 3.0, 5.0]
+
+    def test_reachable_within(self):
+        m = np.array([
+            [0.0, 1.0, 4.0],
+            [1.0, 0.0, 2.0],
+            [4.0, 2.0, 0.0],
+        ])
+        net = CostGraph(m)
+        assert list(net.reachable_within(0, 1.0)) == [1]
+        assert list(net.reachable_within(0, 4.0)) == [1, 2]
+        assert list(net.reachable_within(0, 0.5)) == []
+
+    def test_as_graph_complete(self):
+        net = CostGraph(np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float))
+        g = net.as_graph()
+        assert g.number_of_edges() == 3
+        assert g.weight(1, 2) == 3.0
+
+    def test_matrix_read_only(self):
+        net = CostGraph(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            net.matrix[0, 1] = 5.0
+
+
+class TestEuclideanCostGraph:
+    def test_costs_are_powered_distances(self):
+        ps = PointSet([[0.0, 0.0], [3.0, 4.0]])
+        net = EuclideanCostGraph(ps, alpha=2.0)
+        assert net.cost(0, 1) == pytest.approx(25.0)
+        assert net.distance(0, 1) == pytest.approx(5.0)
+        assert net.dim == 2 and net.alpha == 2.0
+
+    def test_alpha_one_is_distance(self):
+        ps = uniform_points(5, 2, rng=0)
+        net = EuclideanCostGraph(ps, alpha=1.0)
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert net.cost(i, j) == pytest.approx(ps.distance(i, j))
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanCostGraph(uniform_points(3, 2, rng=0), alpha=0.9)
+
+    def test_repr(self):
+        net = EuclideanCostGraph(uniform_points(3, 2, rng=0), alpha=2.0)
+        assert "EuclideanCostGraph" in repr(net)

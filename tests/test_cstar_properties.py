@@ -1,0 +1,86 @@
+"""Structural properties of the exact optimum C* (the object every
+beta-BB bound is measured against)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast, optimal_multicast_cost
+from repro.wireless.power import PowerAssignment
+
+
+def euclid(seed, n=6, alpha=2.0, dim=2):
+    return EuclideanCostGraph(uniform_points(n, dim, rng=seed, side=4.0), alpha)
+
+
+class TestCStarStructure:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monotone_nondecreasing(self, seed):
+        """More receivers can only cost more (the feasible set shrinks)."""
+        net = euclid(seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            size = int(rng.integers(1, net.n - 1))
+            R = set(int(x) for x in rng.choice(range(1, net.n), size=size, replace=False))
+            extra = int(rng.choice([i for i in range(1, net.n) if i not in R]))
+            assert optimal_multicast_cost(net, 0, R) <= (
+                optimal_multicast_cost(net, 0, R | {extra}) + 1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_subadditive(self, seed):
+        """C*(Q + R) <= C*(Q) + C*(R): pointwise-max of two feasible
+        assignments is feasible for the union at at most the summed cost."""
+        net = euclid(seed + 10)
+        rng = np.random.default_rng(seed)
+        agents = list(range(1, net.n))
+        Q = set(int(x) for x in rng.choice(agents, size=2, replace=False))
+        R = set(int(x) for x in rng.choice(agents, size=2, replace=False))
+        cQ = optimal_multicast_cost(net, 0, Q)
+        cR = optimal_multicast_cost(net, 0, R)
+        assert optimal_multicast_cost(net, 0, Q | R) <= cQ + cR + 1e-9
+
+    def test_pointwise_max_is_feasible(self):
+        """The combination lemma behind subadditivity, directly."""
+        net = euclid(3)
+        _, pa1 = optimal_multicast(net, 0, [1, 2])
+        _, pa2 = optimal_multicast(net, 0, [3, 4])
+        combined = PowerAssignment(np.maximum(pa1.powers, pa2.powers))
+        assert combined.reaches(net, 0, [1, 2, 3, 4])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_receiver_is_cheapest_path_cost(self, seed):
+        """C*({r}) equals the min over paths of summed hop costs (relaying
+        through intermediates, each hop paid by its transmitter)."""
+        net = CostGraph(random_cost_matrix(6, rng=seed))
+        from repro.graphs.shortest_paths import dijkstra
+
+        dist, _ = dijkstra(net.as_graph(), 0)
+        for r in range(1, 6):
+            assert optimal_multicast_cost(net, 0, [r]) == pytest.approx(dist[r])
+
+    def test_alpha_scaling_monotone(self):
+        """On unit-free geometry with distances < 1, raising alpha cheapens
+        every link, so C* cannot increase."""
+        pts = uniform_points(6, 2, rng=5, side=0.9)
+        costs = []
+        for alpha in (1.0, 2.0, 3.0):
+            net = EuclideanCostGraph(pts, alpha)
+            costs.append(optimal_multicast_cost(net, 0, [1, 2, 3]))
+        assert costs[0] >= costs[1] >= costs[2]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), data=st.data())
+def test_broadcast_dominates_any_multicast(seed, data):
+    """C*(R) <= C*(everyone): broadcast is the costliest receiver set."""
+    net = euclid(seed % 25, n=6)
+    agents = list(range(1, 6))
+    R = data.draw(st.lists(st.sampled_from(agents), min_size=1, unique=True))
+    assert optimal_multicast_cost(net, 0, R) <= (
+        optimal_multicast_cost(net, 0, agents) + 1e-9
+    )

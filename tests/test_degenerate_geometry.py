@@ -1,0 +1,99 @@
+"""Edge-case geometry: ties, grids, collinear and coincident stations.
+
+Regular grids maximise cost ties (many equal distances), coincident
+stations create zero-cost links — both are classic sources of
+tie-breaking and division-by-zero bugs in mechanism implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EuclideanJVMechanism,
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    WirelessMulticastMechanism,
+)
+from repro.geometry.points import PointSet, grid_points
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast_cost
+from repro.wireless.universal_tree import UniversalTree
+
+
+@pytest.fixture()
+def grid_net():
+    return EuclideanCostGraph(grid_points(2, 3, spacing=1.0), alpha=2.0)
+
+
+@pytest.fixture()
+def coincident_net():
+    # Stations 1 and 2 share a location; 3 sits apart.
+    coords = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [2.0, 1.0]])
+    return EuclideanCostGraph(PointSet(coords), alpha=2.0)
+
+
+class TestGridTies:
+    def test_universal_tree_mechanisms_run(self, grid_net):
+        tree = UniversalTree.from_shortest_paths(grid_net, 0)
+        profile = {i: 2.0 for i in tree.agents()}
+        shap = UniversalTreeShapleyMechanism(tree).run(profile)
+        assert shap.total_charged() == pytest.approx(shap.cost)
+        mc = UniversalTreeMCMechanism(tree).run(profile)
+        assert mc.total_charged() <= mc.cost + 1e-9
+
+    def test_jv_mechanism_on_ties(self, grid_net):
+        result = EuclideanJVMechanism(grid_net, 0).run(
+            {i: 5.0 for i in range(1, grid_net.n)}
+        )
+        assert result.receivers == frozenset(range(1, grid_net.n))
+        assert result.power.reaches(grid_net, 0, result.receivers)
+
+    def test_wireless_mechanism_on_ties(self, grid_net):
+        result = WirelessMulticastMechanism(grid_net, 0).run(
+            {i: 5.0 for i in range(1, grid_net.n)}
+        )
+        if result.receivers:
+            assert result.power.reaches(grid_net, 0, result.receivers)
+            assert result.total_charged() >= result.cost - 1e-6
+
+    def test_grid_exact_cost_unit_structure(self, grid_net):
+        """Broadcast on a 2x3 unit grid: covering neighbours costs 1 per
+        transmission; the optimum uses the diagonal reach (cost 2) or
+        several unit hops."""
+        cost = optimal_multicast_cost(grid_net, 0, range(1, 6))
+        assert 2.0 <= cost <= 5.0
+
+
+class TestCoincidentStations:
+    def test_zero_cost_link(self, coincident_net):
+        assert coincident_net.cost(1, 2) == 0.0
+
+    def test_exact_solver_handles_free_links(self, coincident_net):
+        c12 = optimal_multicast_cost(coincident_net, 0, [1])
+        c_both = optimal_multicast_cost(coincident_net, 0, [1, 2])
+        assert c_both == pytest.approx(c12)  # the twin rides for free
+
+    def test_shapley_mechanism_splits_free_riders(self, coincident_net):
+        tree = UniversalTree.from_shortest_paths(coincident_net, 0)
+        profile = {1: 5.0, 2: 5.0, 3: 5.0}
+        result = UniversalTreeShapleyMechanism(tree).run(profile)
+        assert result.total_charged() == pytest.approx(result.cost)
+        # The coincident pair pays identical shares by symmetry.
+        assert result.share(1) == pytest.approx(result.share(2))
+
+    def test_jv_mechanism_free_riders(self, coincident_net):
+        result = EuclideanJVMechanism(coincident_net, 0).run({1: 5.0, 2: 5.0, 3: 9.0})
+        assert result.receivers == frozenset({1, 2, 3})
+        assert result.share(1) == pytest.approx(result.share(2))
+
+
+class TestCollinearIn2D:
+    def test_line_embedded_in_plane(self):
+        """Collinear 2-d instances behave like d = 1 for the exact oracle."""
+        coords_2d = np.array([[x, 0.0] for x in [0.0, 1.0, 2.5, 4.0]])
+        net2 = EuclideanCostGraph(PointSet(coords_2d), alpha=2.0)
+        from repro.wireless.line import optimal_line_multicast
+
+        c2 = optimal_multicast_cost(net2, 0, [1, 2, 3])
+        c1, _ = optimal_line_multicast([0.0, 1.0, 2.5, 4.0], 2.0, 0, [1, 2, 3])
+        assert c1 == pytest.approx(c2)

@@ -1,0 +1,84 @@
+"""Unit + property tests for repro.graphs.disjoint_set."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.disjoint_set import DisjointSet
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        d = DisjointSet(range(4))
+        assert d.n_components == 4
+        assert all(d.find(i) == i for i in range(4))
+        assert d.component_size(2) == 1
+
+    def test_union_merges(self):
+        d = DisjointSet(range(4))
+        assert d.union(0, 1)
+        assert d.connected(0, 1) and not d.connected(0, 2)
+        assert d.n_components == 3
+        assert d.component_size(0) == 2
+
+    def test_union_idempotent(self):
+        d = DisjointSet(range(3))
+        d.union(0, 1)
+        assert not d.union(1, 0)
+        assert d.n_components == 2
+
+    def test_members(self):
+        d = DisjointSet(range(5))
+        d.union(0, 1)
+        d.union(1, 2)
+        assert set(d.members(2)) == {0, 1, 2}
+        assert set(d.members(3)) == {3}
+
+    def test_components_iteration(self):
+        d = DisjointSet("abcd")
+        d.union("a", "b")
+        comps = sorted(frozenset(c) for c in d.components())
+        assert sorted(map(sorted, comps)) == [["a", "b"], ["c"], ["d"]]
+
+    def test_add_idempotent_and_growable(self):
+        d = DisjointSet()
+        d.add("x")
+        d.add("x")
+        d.add("y")
+        assert len(d) == 2 and d.n_components == 2
+
+    def test_len_counts_elements(self):
+        d = DisjointSet(range(7))
+        d.union(1, 2)
+        assert len(d) == 7  # elements, not components
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 20),
+    pairs=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40),
+)
+def test_matches_naive_partition(n, pairs):
+    """DSU connectivity agrees with a naive set-merging implementation."""
+    d = DisjointSet(range(n))
+    naive = [{i} for i in range(n)]
+
+    def naive_find(x):
+        for s in naive:
+            if x in s:
+                return s
+        raise AssertionError
+
+    for a, b in pairs:
+        a, b = a % n, b % n
+        d.union(a, b)
+        sa, sb = naive_find(a), naive_find(b)
+        if sa is not sb:
+            sa |= sb
+            naive.remove(sb)
+
+    assert d.n_components == len(naive)
+    for a in range(n):
+        for b in range(n):
+            assert d.connected(a, b) == (naive_find(a) is naive_find(b))
+    for a in range(n):
+        assert set(d.members(a)) == naive_find(a)

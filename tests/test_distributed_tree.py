@@ -1,0 +1,63 @@
+"""Tests for repro.core.distributed_tree (Penna-Ventre distributed DP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed_tree import DistributedTreeNetWorth
+from repro.core.universal_tree_mechanisms import tree_efficient_set
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.universal_tree import UniversalTree
+
+
+def make_case(seed, n=8, kind="spt"):
+    net = CostGraph(random_cost_matrix(n, rng=seed))
+    builder = {"spt": UniversalTree.from_shortest_paths,
+               "mst": UniversalTree.from_mst,
+               "star": UniversalTree.star}[kind]
+    tree = builder(net, 0)
+    rng = np.random.default_rng(seed + 7)
+    typical = float(np.median(net.matrix[net.matrix > 0]))
+    profile = {i: float(rng.uniform(0, 3 * typical)) for i in tree.agents()}
+    return tree, profile
+
+
+class TestProtocolCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("kind", ["spt", "mst", "star"])
+    def test_matches_centralized_dp(self, seed, kind):
+        tree, profile = make_case(seed, kind=kind)
+        nw_central, set_central = tree_efficient_set(tree, profile)
+        nw_dist, set_dist, _ = DistributedTreeNetWorth(tree).run(profile)
+        assert nw_dist == pytest.approx(nw_central)
+        assert set_dist == set_central
+
+    def test_zero_utilities(self):
+        tree, _ = make_case(0)
+        nw, members, _ = DistributedTreeNetWorth(tree).run(
+            {i: 0.0 for i in tree.agents()}
+        )
+        assert nw == pytest.approx(0.0)
+        assert members == frozenset()
+
+
+class TestProtocolComplexity:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("kind", ["spt", "star"])
+    def test_message_count_is_linear(self, seed, kind):
+        """Exactly one summary and at most one activation per tree edge."""
+        tree, profile = make_case(seed, n=10, kind=kind)
+        n = tree.network.n
+        _, _, stats = DistributedTreeNetWorth(tree).run(profile)
+        assert n - 1 <= stats.messages <= 2 * (n - 1)
+
+    def test_star_takes_constant_rounds(self):
+        tree, profile = make_case(1, n=12, kind="star")
+        _, _, stats = DistributedTreeNetWorth(tree).run(profile)
+        assert stats.rounds <= 2  # one convergecast + one broadcast wave
+
+    def test_local_work_bounded_by_degree(self):
+        tree, profile = make_case(2, n=10)
+        _, _, stats = DistributedTreeNetWorth(tree).run(profile)
+        for x, work in stats.local_work.items():
+            assert work == len(tree.children[x])

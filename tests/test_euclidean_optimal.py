@@ -1,0 +1,148 @@
+"""Tests for repro.core.euclidean_optimal (paper section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.euclidean_optimal import (
+    EuclideanMCMechanism,
+    EuclideanShapleyMechanism,
+    euclidean_optimal_cost_function,
+    line_shapley_shares,
+    max_game_shapley,
+)
+from repro.geometry.points import uniform_points
+from repro.mechanism.cost_function import CostFunction
+from repro.mechanism.properties import (
+    check_npt,
+    check_vp,
+    find_group_deviation,
+    find_unilateral_deviation,
+)
+from repro.mechanism.shapley import shapley_shares
+from repro.mechanism.vcg import brute_force_efficient_set
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast_cost
+
+
+def alpha1_net(seed, n=7, dim=2):
+    return EuclideanCostGraph(uniform_points(n, dim, rng=seed, side=5.0), 1.0)
+
+
+def line_net(seed, n=7, alpha=2.0):
+    return EuclideanCostGraph(uniform_points(n, 1, rng=seed, side=5.0), alpha)
+
+
+def profile_for(net, source, seed, scale=2.0):
+    rng = np.random.default_rng(seed)
+    typical = float(np.median(net.matrix[net.matrix > 0]))
+    return {i: float(rng.uniform(0, scale * typical)) for i in range(net.n) if i != source}
+
+
+class TestCostFunctionDispatch:
+    def test_alpha1_is_max_distance(self):
+        net = alpha1_net(0)
+        cf = euclidean_optimal_cost_function(net, 0)
+        R = frozenset({1, 4})
+        assert cf(R) == pytest.approx(max(net.distance(0, 1), net.distance(0, 4)))
+        assert cf(frozenset()) == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_line_matches_exact_oracle(self, seed):
+        net = line_net(seed)
+        cf = euclidean_optimal_cost_function(net, 0)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            size = int(rng.integers(1, net.n))
+            R = frozenset(int(x) for x in rng.choice(range(1, net.n), size=size, replace=False))
+            assert cf(R) == pytest.approx(optimal_multicast_cost(net, 0, R))
+
+    def test_hard_case_rejected(self):
+        net = EuclideanCostGraph(uniform_points(5, 2, rng=0), 2.0)
+        with pytest.raises(ValueError, match="NP-hard"):
+            euclidean_optimal_cost_function(net, 0)
+
+    @pytest.mark.parametrize("make", [alpha1_net, line_net])
+    def test_submodular_and_monotone(self, make):
+        net = make(1, n=6)
+        cf = CostFunction(list(range(1, 6)), euclidean_optimal_cost_function(net, 0))
+        assert cf.is_nondecreasing() and cf.is_submodular()
+
+
+class TestClosedFormShapley:
+    def test_max_game_vs_enumeration(self):
+        values = {1: 2.0, 2: 5.0, 3: 5.0, 4: 9.0}
+        fast = max_game_shapley(values)
+        slow = shapley_shares(list(values), lambda R: max((values[i] for i in R), default=0.0))
+        for i in values:
+            assert fast[i] == pytest.approx(slow[i])
+        assert sum(fast.values()) == pytest.approx(9.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_line_shapley_vs_enumeration(self, seed):
+        net = line_net(seed, n=6)
+        cf = euclidean_optimal_cost_function(net, 0)
+        rng = np.random.default_rng(seed)
+        R = sorted(int(x) for x in rng.choice(range(1, 6), size=4, replace=False))
+        fast = line_shapley_shares(net.points.coords.ravel(), net.alpha, 0, R)
+        slow = shapley_shares(R, cf)
+        for i in R:
+            assert fast[i] == pytest.approx(slow[i])
+
+    def test_line_shapley_budget_balance(self):
+        net = line_net(7, n=7)
+        cf = euclidean_optimal_cost_function(net, 0)
+        R = list(range(1, 7))
+        shares = line_shapley_shares(net.points.coords.ravel(), net.alpha, 0, R)
+        assert sum(shares.values()) == pytest.approx(cf(frozenset(R)))
+
+
+@pytest.mark.parametrize("make,source", [(alpha1_net, 0), (line_net, 3)])
+class TestShapleyMechanism:
+    def test_one_bb_and_axioms(self, make, source):
+        net = make(2)
+        mech = EuclideanShapleyMechanism(net, source)
+        profile = profile_for(net, source, 5)
+        result = mech.run(profile)
+        cf = euclidean_optimal_cost_function(net, source)
+        assert result.total_charged() == pytest.approx(cf(result.receivers))  # 1-BB
+        assert check_npt(result) and check_vp(result, profile)
+        if result.receivers:
+            assert result.power.reaches(net, source, result.receivers)
+            assert result.cost == pytest.approx(cf(result.receivers))
+
+    def test_group_strategyproof_search(self, make, source):
+        net = make(3, n=5)
+        mech = EuclideanShapleyMechanism(net, source)
+        profile = profile_for(net, source, 9)
+        assert find_group_deviation(mech, profile, max_coalition_size=2,
+                                    n_samples_per_coalition=25, rng=0) is None
+
+
+@pytest.mark.parametrize("make,source", [(alpha1_net, 0), (line_net, 2)])
+class TestMCMechanism:
+    def test_efficiency_vs_brute_force(self, make, source):
+        net = make(4)
+        mech = EuclideanMCMechanism(net, source)
+        profile = profile_for(net, source, 11)
+        result = mech.run(profile)
+        agents = [i for i in range(net.n) if i != source]
+        cf = euclidean_optimal_cost_function(net, source)
+        nw_bf, set_bf = brute_force_efficient_set(agents, cf)(profile)
+        assert result.extra["net_worth"] == pytest.approx(nw_bf)
+        assert result.receivers == set_bf
+
+    def test_strategyproof(self, make, source):
+        net = make(5, n=5)
+        mech = EuclideanMCMechanism(net, source)
+        profile = profile_for(net, source, 13)
+        assert find_unilateral_deviation(mech, profile) is None
+
+    def test_axioms_and_feasibility(self, make, source):
+        net = make(6)
+        mech = EuclideanMCMechanism(net, source)
+        profile = profile_for(net, source, 17)
+        result = mech.run(profile)
+        assert check_npt(result) and check_vp(result, profile)
+        assert result.total_charged() <= result.cost + 1e-9  # never a surplus
+        if result.receivers:
+            assert result.power.reaches(net, source, result.receivers)

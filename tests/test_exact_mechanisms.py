@@ -1,0 +1,82 @@
+"""Tests for repro.core.exact_mechanisms (small-instance exact regime)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_mechanisms import ExactMCMechanism, ExactShapleyMechanism
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.mechanism.properties import (
+    check_npt,
+    check_vp,
+    find_unilateral_deviation,
+)
+from repro.mechanism.vcg import brute_force_efficient_set
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast_cost
+
+
+def case(seed, n=5, alpha=2.0, scale=2.5):
+    net = EuclideanCostGraph(uniform_points(n, 2, rng=seed, side=4.0), alpha)
+    rng = np.random.default_rng(seed + 11)
+    typical = float(np.median(net.matrix[net.matrix > 0]))
+    profile = {i: float(rng.uniform(0, scale * typical)) for i in range(1, n)}
+    return net, profile
+
+
+class TestExactShapley:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exactly_budget_balanced(self, seed):
+        net, profile = case(seed)
+        mech = ExactShapleyMechanism(net, 0)
+        result = mech.run(profile)
+        if result.receivers:
+            cstar = optimal_multicast_cost(net, 0, result.receivers)
+            assert result.total_charged() == pytest.approx(cstar)  # 1-BB
+            assert result.cost == pytest.approx(cstar)  # CO: builds the optimum
+            assert result.power.reaches(net, 0, result.receivers)
+        assert check_npt(result) and check_vp(result, profile)
+
+    def test_general_symmetric_network(self):
+        net = CostGraph(random_cost_matrix(5, rng=3))
+        rng = np.random.default_rng(3)
+        profile = {i: float(rng.uniform(0, 20)) for i in range(1, 5)}
+        result = ExactShapleyMechanism(net, 0).run(profile)
+        assert check_npt(result) and check_vp(result, profile)
+
+    def test_oracle_memoised(self):
+        net, profile = case(0)
+        mech = ExactShapleyMechanism(net, 0)
+        mech.run(profile)
+        n_cached = len(mech.oracle._cache)
+        mech.run(profile)
+        assert len(mech.oracle._cache) == n_cached  # second run hits the cache
+
+
+class TestExactMC:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_efficient_against_brute_force(self, seed):
+        net, profile = case(seed)
+        mech = ExactMCMechanism(net, 0)
+        result = mech.run(profile)
+        agents = [i for i in range(net.n) if i != 0]
+        nw_bf, set_bf = brute_force_efficient_set(agents, mech.oracle.cost)(profile)
+        assert result.extra["net_worth"] == pytest.approx(nw_bf)
+        assert result.receivers == set_bf
+        if result.receivers:
+            assert result.power.reaches(net, 0, result.receivers)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_strategyproof(self, seed):
+        net, profile = case(seed, n=4)
+        mech = ExactMCMechanism(net, 0)
+        assert find_unilateral_deviation(mech, profile) is None
+
+    def test_cost_optimal_and_no_surplus(self):
+        net, profile = case(1)
+        result = ExactMCMechanism(net, 0).run(profile)
+        if result.receivers:
+            assert result.cost == pytest.approx(
+                optimal_multicast_cost(net, 0, result.receivers)
+            )
+        assert result.total_charged() <= result.cost + 1e-9

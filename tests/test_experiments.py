@@ -1,0 +1,184 @@
+"""Tests for repro.analysis.experiments — every runner's invariants on
+small parameters.  These are the same assertions EXPERIMENTS.md quotes."""
+
+import math
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.tables import format_table
+
+
+class TestExpF1:
+    def test_reproduces_paper_numbers(self):
+        out = E.exp_f1_collusion()
+        assert out["gsp_violated"]
+        for i, expected in out["expected_truthful"].items():
+            assert out["measured_truthful"][i] == pytest.approx(expected)
+        for i, expected in out["expected_collusive"].items():
+            assert out["measured_collusive"][i] == pytest.approx(expected)
+
+
+class TestExpF2:
+    def test_core_empty_for_alpha2_not_alpha1(self):
+        out = E.exp_f2_empty_core(m_values=(6.0,))
+        row = out["rows"][0]
+        assert row["core_empty"] and not row["core_empty_alpha1"]
+        assert row["pair < 2C/5"] and row["single > C/5"]
+        assert row["least_core_eps"] > 0
+
+
+class TestExpT1:
+    def test_lemma21_and_mechanism_invariants(self):
+        out = E.exp_t1_universal_tree(n_instances=2, n=6, seed=0)
+        for row in out["rows"]:
+            assert row["submodularity_violations"] == 0
+            assert row["monotonicity_violations"] == 0
+            assert row["shapley_bb_factor"] == pytest.approx(1.0)
+            assert abs(row["mc_efficiency_gap"]) < 1e-9
+            assert row["mc_revenue_ratio"] <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("kind", ["mst", "star"])
+    def test_other_trees(self, kind):
+        out = E.exp_t1_universal_tree(n_instances=1, n=6, seed=1, tree_kind=kind)
+        assert out["rows"][0]["submodularity_violations"] == 0
+
+
+class TestExpT2:
+    def test_nwst_bb_and_sp(self):
+        out = E.exp_t2_nwst(n_instances=2, n=12, k=4, seed=0, check_sp=True)
+        for row in out["rows"]:
+            assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+            assert not row["profitable_deviation"]
+
+
+class TestExpT3:
+    def test_wireless_bb(self):
+        out = E.exp_t3_wireless(n_instances=2, n=6, seed=0)
+        for row in out["rows"]:
+            assert row["feasible"]
+            assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+
+
+class TestExpT4:
+    def test_exactness_and_optimal_mechanisms(self):
+        out = E.exp_t4_euclidean_optimal(n_instances=2, n=6, seed=0)
+        for row in out["rows"]:
+            assert row["solver_vs_exact_err"] < 1e-9
+            assert row["submodularity_violations"] == 0
+            assert row["shapley_bb_factor"] == pytest.approx(1.0)
+            assert abs(row["mc_efficiency_gap"]) < 1e-9
+
+
+class TestExpT5:
+    def test_runs_and_counts(self):
+        out = E.exp_t5_core_emptiness(n_instances=4, n=5, seed=0)
+        for row in out["rows"]:
+            assert 0 <= row["fraction_empty"] <= 1
+        # alpha = 1 yields a submodular C*: the core is never empty.
+        alpha1 = [r for r in out["rows"] if "alpha=1" in r["case"]][0]
+        assert alpha1["empty_cores"] == 0
+
+
+class TestExpT6:
+    def test_ratios_below_paper_bounds(self):
+        out = E.exp_t6_steiner_bounds(n_instances=3, n=7, seed=0,
+                                      alphas=(2.0,), dims=(1, 2))
+        for row in out["rows"]:
+            assert 1.0 - 1e-9 <= row["worst_steiner_multicast_ratio"]
+            assert row["worst_steiner_multicast_ratio"] <= row["paper_bound_3d"] + 1e-9
+            assert row["worst_mst_broadcast_ratio"] <= row["paper_bound_3d"] + 1e-9
+
+
+class TestExpT7:
+    def test_jv_bb_and_cross_monotonicity(self):
+        out = E.exp_t7_jv(n_instances=2, n=6, seed=0, check_gsp=True)
+        for row in out["rows"]:
+            assert row["bb_ratio"] <= row["paper_bound"] + 1e-9
+            assert row["cross_monotonicity_violations"] == 0
+            assert not row["group_deviation_found"]
+
+
+class TestExpE1:
+    def test_nonsubmodularity_split(self):
+        out = E.exp_e1_nonsubmodularity(n_instances=6, n=5, seed=0)
+        by_case = {row["case"]: row for row in out["rows"]}
+        # Lemma 3.1: alpha = 1 is always submodular.
+        assert by_case["alpha=1, d=2"]["C*_non_submodular"] == 0
+        assert by_case["alpha=1, d=2"]["shapley_not_cross_monotonic"] == 0
+
+
+class TestExpA4:
+    def test_heuristic_comparison(self):
+        out = E.exp_a4_multicast_heuristics(n_instances=3, n=7, seed=0)
+        names = {row["heuristic"] for row in out["rows"]}
+        assert names == {"spt", "mst", "steiner_kmb", "bip"}
+        for row in out["rows"]:
+            assert row["mean_ratio"] >= 1.0 - 1e-9
+            assert 0 <= row["best_on"]
+
+
+class TestExpE2:
+    def test_distributed_matches_and_is_linear(self):
+        out = E.exp_e2_distributed(sizes=(6, 12), seed=0)
+        for row in out["rows"]:
+            assert row["identical_result"]
+            assert row["messages"] <= row["message_bound_2(n-1)"]
+
+
+class TestExpE4:
+    def test_shapley_has_lowest_worst_case_loss(self):
+        out = E.exp_e4_efficiency_loss(n_instances=2, n=6, n_profiles=20, seed=0)
+        by_method = {row["method"]: row for row in out["rows"]}
+        shapley = by_method["shapley"]
+        for name, row in by_method.items():
+            assert row["worst_loss"] >= -1e-9
+            if name != "shapley":
+                assert shapley["worst_loss"] <= row["worst_loss"] + 1e-9
+
+
+class TestExpE3:
+    def test_matrix_shape_and_axioms(self):
+        out = E.exp_e3_properties_matrix(seed=1, n=4)
+        assert len(out["rows"]) == 7
+        for row in out["rows"]:
+            assert row["npt"] and row["vp"] and row["cs"]
+            assert not row["sp_deviation"]  # all strategyproof
+        nwst = [r for r in out["rows"] if "NWST" in r["mechanism"]][0]
+        assert nwst["gsp_deviation"]  # the Fig. 1 collusion is found
+
+
+class TestAblations:
+    def test_a1_tree_ablation_ratios_reasonable(self):
+        out = E.exp_a1_tree_ablation(n_instances=2, n=6, seed=0)
+        kinds = {row["tree"] for row in out["rows"]}
+        assert kinds == {"spt", "mst", "star"}
+        for row in out["rows"]:
+            assert row["mean_cost_ratio"] >= 1.0 - 1e-9
+
+    def test_a2_branch_at_least_as_good(self):
+        out = E.exp_a2_spider_ablation(n_instances=2, n=12, k=4, seed=0)
+        by_mode = {row["mode"]: row for row in out["rows"]}
+        assert by_mode["branch"]["mean_bb_ratio"] <= by_mode["classic"]["mean_bb_ratio"] + 1e-6
+
+    def test_a3_family_total_invariant(self):
+        out = E.exp_a3_jv_weights(n=6, seed=0)
+        totals = [row["total"] for row in out["rows"]]
+        assert totals[0] == pytest.approx(totals[1])
+        for row in out["rows"]:
+            assert row["cross_monotonicity_violations"] == 0
+            assert row["total"] == pytest.approx(row["closure_mst"])
+
+
+class TestTables:
+    def test_format_table(self):
+        rows = [{"a": 1.23456, "b": True, "c": "x"}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text and "1.235" in text and "yes" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]

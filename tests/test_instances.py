@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.instances (Fig. 1 / Fig. 2 reconstructions)."""
+
+import pytest
+
+from repro.analysis.instances import (
+    fig1_collusion_instance,
+    pentagon_instance,
+    random_euclidean_suite,
+    random_symmetric_suite,
+    random_utilities,
+)
+from repro.graphs.nwst import find_min_ratio_spider
+from repro.graphs.traversal import is_connected
+
+
+class TestFig1:
+    def test_spider_structure_matches_paper(self):
+        """The minimum-ratio spider is {1,5,7} at ratio 1 (the paper's Sp2)."""
+        inst = fig1_collusion_instance()
+        spider = find_min_ratio_spider(inst.graph, inst.weights, inst.terminals)
+        assert spider is not None
+        assert spider.terminals == frozenset({1, 5, 7})
+        assert spider.ratio == pytest.approx(1.0)
+
+    def test_sp1_ratio_after_dropping_7(self):
+        """Restricted to {1,5,6} the best spider has ratio 4/3 (Sp1)."""
+        inst = fig1_collusion_instance()
+        spider = find_min_ratio_spider(inst.graph, inst.weights, [1, 5, 6])
+        assert spider is not None
+        assert spider.ratio == pytest.approx(4 / 3)
+
+    def test_utilities_as_published(self):
+        inst = fig1_collusion_instance()
+        assert inst.utilities == {1: 3.0, 5: 3.0, 6: 3.0, 7: 1.5}
+        assert inst.colluder == 7
+
+    def test_graph_connected(self):
+        inst = fig1_collusion_instance()
+        assert is_connected(inst.graph)
+
+
+class TestPentagon:
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return pentagon_instance(m=6.0, alpha=2.0)
+
+    def test_costs_cover_all_coalitions(self, inst):
+        assert len(inst.costs) == 2**5
+
+    def test_lemma33_inequalities(self, inst):
+        """The two facts driving the empty-core proof."""
+        agents = list(inst.external)
+        grand = inst.cost_fn(frozenset(agents))
+        for a in agents:
+            assert inst.cost_fn(frozenset({a})) > grand / 5
+        pair = inst.cost_fn(frozenset(agents[:2]))
+        assert pair < 2 * grand / 5
+
+    def test_adjacent_pair_served_through_internal(self, inst):
+        """Serving two adjacent externals via the shared internal is
+        cheaper than two separate spokes."""
+        agents = list(inst.external)
+        pair = inst.cost_fn(frozenset(agents[:2]))
+        two_spokes = 2 * inst.cost_fn(frozenset({agents[0]}))
+        assert pair < two_spokes
+
+    def test_costs_monotone(self, inst):
+        for Q, c in inst.costs.items():
+            for R, cr in inst.costs.items():
+                if Q <= R:
+                    assert c <= cr + 1e-9
+
+    def test_chain_graph_connected(self, inst):
+        assert is_connected(inst.chain_graph)
+
+
+class TestRandomSuites:
+    def test_symmetric_suite_deterministic(self):
+        a = random_symmetric_suite(3, 5, rng=0)
+        b = random_symmetric_suite(3, 5, rng=0)
+        assert len(a) == 3
+        assert (a[0].matrix == b[0].matrix).all()
+
+    def test_euclidean_suite(self):
+        nets = random_euclidean_suite(2, 6, 3, 2.0, rng=1)
+        assert all(net.dim == 3 and net.alpha == 2.0 for net in nets)
+
+    def test_random_utilities_exclude_source(self):
+        net = random_euclidean_suite(1, 6, 2, 2.0, rng=0)[0]
+        u = random_utilities(net, 2, rng=0)
+        assert 2 not in u and len(u) == 5
+        assert all(v >= 0 for v in u.values())

@@ -1,0 +1,95 @@
+"""Tests for repro.wireless.line: exact interval Dijkstra, the paper's
+chain construction, and the all-intervals table."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import PointSet, uniform_points
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.line import (
+    chain_line_multicast,
+    line_all_interval_costs,
+    optimal_line_multicast,
+)
+from repro.wireless.memt import optimal_multicast_cost
+
+
+class TestExactLineSolver:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("alpha", [1.0, 2.0, 3.0])
+    def test_matches_generic_exact_oracle(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        pts = uniform_points(6, 1, rng=rng, side=5.0)
+        net = EuclideanCostGraph(pts, alpha)
+        xs = pts.coords.ravel()
+        src = int(rng.integers(0, 6))
+        others = [i for i in range(6) if i != src]
+        R = sorted(int(x) for x in rng.choice(others, size=3, replace=False))
+        cost, pa = optimal_line_multicast(xs, alpha, src, R)
+        assert cost == pytest.approx(optimal_multicast_cost(net, src, R))
+        assert pa.reaches(net, src, R)
+
+    def test_unsorted_coords_handled(self):
+        xs = [5.0, 1.0, 3.0, 0.0]
+        cost, pa = optimal_line_multicast(xs, 2.0, 3, [0])
+        net = EuclideanCostGraph(PointSet(xs), 2.0)
+        assert pa.reaches(net, 3, [0])
+        assert cost == pytest.approx(optimal_multicast_cost(net, 3, [0]))
+
+    def test_empty_receivers(self):
+        cost, pa = optimal_line_multicast([0.0, 1.0], 2.0, 0, [])
+        assert cost == 0.0 and pa.cost() == 0.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            optimal_line_multicast([0.0, 1.0], 0.5, 0, [1])
+
+    def test_backward_coverage_counterexample(self):
+        """The instance where a rightward transmission covers a receiver
+        behind the transmitter — the paper's chain construction misses it."""
+        xs = [2.559, 4.752, 0.721, 4.743, 1.559, 2.117]
+        exact, _ = optimal_line_multicast(xs, 2.0, 4, [0, 1, 2, 3, 5])
+        chain, _ = chain_line_multicast(xs, 2.0, 4, [0, 1, 2, 3, 5])
+        assert exact == pytest.approx(5.2767, abs=1e-3)
+        assert chain > exact + 0.3  # strictly suboptimal here
+
+
+class TestChainConstruction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_upper_bound_and_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = uniform_points(7, 1, rng=rng, side=5.0)
+        net = EuclideanCostGraph(pts, 2.0)
+        xs = pts.coords.ravel()
+        R = sorted(int(x) for x in rng.choice(range(1, 7), size=3, replace=False))
+        chain_cost, pa = chain_line_multicast(xs, 2.0, 0, R)
+        exact_cost, _ = optimal_line_multicast(xs, 2.0, 0, R)
+        assert chain_cost >= exact_cost - 1e-9
+        assert pa.reaches(net, 0, R)
+
+    def test_single_receiver_adjacent(self):
+        cost, _ = chain_line_multicast([0.0, 2.0], 2.0, 0, [1])
+        assert cost == pytest.approx(4.0)
+
+
+class TestAllIntervalCosts:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_table_matches_direct_solves(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = uniform_points(6, 1, rng=rng, side=4.0)
+        xs = pts.coords.ravel()
+        src = int(rng.integers(0, 6))
+        table = line_all_interval_costs(xs, 2.0, src)
+        for f in range(6):
+            for l in range(6):
+                if xs[f] > xs[l]:
+                    continue
+                key = tuple(sorted((f, l), key=lambda i: (xs[i], i)))
+                direct, _ = optimal_line_multicast(xs, 2.0, src, {f, l} - {src})
+                assert table[key] == pytest.approx(direct), (f, l)
+
+    def test_covers_all_pairs(self):
+        xs = [0.0, 1.0, 2.0]
+        table = line_all_interval_costs(xs, 2.0, 1)
+        assert (0, 2) in table and (1, 1) in table
+        assert table[(1, 1)] == 0.0

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` experiment-report CLI."""
+
+import pytest
+
+from repro.__main__ import RUNNERS, main
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["F1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F1" in out and "truthful" in out
+        assert "gsp_violated: True" in out
+
+    def test_lowercase_accepted(self, capsys):
+        assert main(["a3"]) == 0
+        assert "EXP-A3" in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["ZZ"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_registry_covers_design_doc(self):
+        expected = {"F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7",
+                    "E1", "E2", "E3", "E4", "A1", "A2", "A3", "A4"}
+        assert set(RUNNERS) == expected
+
+    @pytest.mark.parametrize("key", ["E2", "A1"])
+    def test_fast_runners_execute(self, key, capsys):
+        assert main([key]) == 0
+        assert f"EXP-{key}" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Tests for repro.mechanism.base."""
+
+import pytest
+
+from repro.mechanism.base import CostSharingMechanism, MechanismResult, with_report
+
+
+class TestMechanismResult:
+    def test_share_defaults_zero_for_nonreceivers(self):
+        r = MechanismResult(receivers=frozenset({1}), shares={1: 2.0}, cost=2.0)
+        assert r.share(1) == 2.0 and r.share(2) == 0.0
+        assert r.total_charged() == 2.0
+
+    def test_shares_must_be_receivers(self):
+        with pytest.raises(ValueError):
+            MechanismResult(receivers=frozenset({1}), shares={2: 1.0}, cost=1.0)
+
+    def test_welfare(self):
+        r = MechanismResult(receivers=frozenset({1, 2}), shares={1: 1.0, 2: 3.0}, cost=4.0)
+        u = {1: 5.0, 2: 2.0, 3: 9.0}
+        w = r.welfare(u)
+        assert w == {1: 4.0, 2: -1.0, 3: 0.0}
+
+    def test_net_worth_uses_built_cost(self):
+        r = MechanismResult(receivers=frozenset({1}), shares={1: 1.0}, cost=4.0)
+        assert r.net_worth({1: 10.0}) == 6.0
+
+
+class _Fixed(CostSharingMechanism):
+    def __init__(self):
+        self.agents = [1, 2]
+
+    def run(self, profile):
+        u = self.validate_profile(profile)
+        return MechanismResult(receivers=frozenset(u), shares={a: 0.0 for a in u}, cost=0.0)
+
+
+class TestValidateProfile:
+    def test_missing_agent(self):
+        with pytest.raises(ValueError):
+            _Fixed().run({1: 1.0})
+
+    def test_negative_utility(self):
+        with pytest.raises(ValueError):
+            _Fixed().run({1: 1.0, 2: -0.5})
+
+    def test_extra_agents_ignored(self):
+        result = _Fixed().run({1: 1.0, 2: 2.0, 99: 5.0})
+        assert 99 not in result.receivers
+
+
+def test_with_report_copies():
+    base = {1: 1.0, 2: 2.0}
+    modified = with_report(base, 1, 9.0)
+    assert modified[1] == 9.0 and base[1] == 1.0

@@ -1,0 +1,113 @@
+"""Cross-mechanism contract tests.
+
+Every mechanism in the library must satisfy the same basic contract on any
+profile: receivers come from the agent set, shares are only charged to
+receivers, NPT, VP, and the budget discipline appropriate to its kind
+(cost recovery for the BB-flavoured mechanisms; no surplus for the MC
+ones).  Hypothesis drives random utility profiles against fixed instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EuclideanJVMechanism,
+    EuclideanMCMechanism,
+    EuclideanShapleyMechanism,
+    NWSTMechanism,
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    WirelessMulticastMechanism,
+)
+from repro.core.exact_mechanisms import ExactMCMechanism, ExactShapleyMechanism
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_node_weighted_instance
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.universal_tree import UniversalTree
+
+_NET_2D = EuclideanCostGraph(uniform_points(6, 2, rng=42, side=4.0), 2.0)
+_NET_1D = EuclideanCostGraph(uniform_points(6, 1, rng=43, side=4.0), 2.0)
+_NET_A1 = EuclideanCostGraph(uniform_points(6, 2, rng=44, side=4.0), 1.0)
+_TREE = UniversalTree.from_shortest_paths(_NET_2D, 0)
+_NWST_G, _NWST_W, _NWST_T = random_node_weighted_instance(11, 4, rng=45)
+
+# (name, mechanism factory, budget discipline)
+CASES = [
+    ("ut-shapley", lambda: UniversalTreeShapleyMechanism(_TREE), "recovery"),
+    ("ut-mc", lambda: UniversalTreeMCMechanism(_TREE), "no-surplus"),
+    ("jv", lambda: EuclideanJVMechanism(_NET_2D, 0), "recovery"),
+    ("euclid-shapley-d1", lambda: EuclideanShapleyMechanism(_NET_1D, 0), "recovery"),
+    ("euclid-mc-d1", lambda: EuclideanMCMechanism(_NET_1D, 0), "no-surplus"),
+    ("euclid-shapley-a1", lambda: EuclideanShapleyMechanism(_NET_A1, 0), "recovery"),
+    ("euclid-mc-a1", lambda: EuclideanMCMechanism(_NET_A1, 0), "no-surplus"),
+    ("exact-shapley", lambda: ExactShapleyMechanism(_NET_2D, 0), "recovery"),
+    ("exact-mc", lambda: ExactMCMechanism(_NET_2D, 0), "no-surplus"),
+    ("wireless", lambda: WirelessMulticastMechanism(_NET_2D, 0), "recovery"),
+    ("nwst", lambda: NWSTMechanism(_NWST_G, _NWST_W, _NWST_T), "recovery"),
+]
+
+
+def assert_contract(mechanism, profile, discipline):
+    result = mechanism.run(profile)
+    assert result.receivers <= set(mechanism.agents)
+    assert set(result.shares) <= set(result.receivers)
+    for i in result.receivers:
+        share = result.share(i)
+        assert share >= -1e-9  # NPT
+        assert share <= profile[i] + 1e-6  # VP
+    total = result.total_charged()
+    if discipline == "recovery":
+        assert total >= result.cost - 1e-6
+    else:
+        assert total <= result.cost + 1e-6
+    return result
+
+
+@pytest.mark.parametrize("name,factory,discipline", CASES,
+                         ids=[c[0] for c in CASES])
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_contract_under_random_profiles(name, factory, discipline, data):
+    mechanism = factory()
+    scale = float(np.median(
+        _NET_2D.matrix[_NET_2D.matrix > 0]
+    )) * 3.0
+    profile = {
+        a: data.draw(st.floats(0.0, scale, allow_nan=False), label=f"u_{a}")
+        for a in mechanism.agents
+    }
+    assert_contract(mechanism, profile, discipline)
+
+
+@pytest.mark.parametrize("name,factory,discipline", CASES,
+                         ids=[c[0] for c in CASES])
+def test_contract_under_extreme_profiles(name, factory, discipline):
+    mechanism = factory()
+    agents = list(mechanism.agents)
+    # All zeros: nobody can be charged anything.
+    zero = {a: 0.0 for a in agents}
+    result = assert_contract(mechanism, zero, discipline)
+    assert result.total_charged() == pytest.approx(0.0, abs=1e-9)
+    # All huge: everyone served (consumer sovereignty in the aggregate).
+    huge = {a: 1e7 for a in agents}
+    result = assert_contract(mechanism, huge, discipline)
+    assert result.receivers == frozenset(agents)
+    # One agent huge, rest zero.
+    lonely = dict(zero)
+    lonely[agents[0]] = 1e7
+    result = assert_contract(mechanism, lonely, discipline)
+    assert agents[0] in result.receivers
+
+
+@pytest.mark.parametrize("name,factory,discipline", CASES,
+                         ids=[c[0] for c in CASES])
+def test_rejects_invalid_profiles(name, factory, discipline):
+    mechanism = factory()
+    agents = list(mechanism.agents)
+    with pytest.raises(ValueError):
+        mechanism.run({a: -1.0 for a in agents})
+    with pytest.raises(ValueError):
+        mechanism.run({agents[0]: 1.0})  # missing agents

@@ -1,0 +1,109 @@
+"""Tests for repro.wireless.memt: exact oracle + heuristic baselines."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.memt import (
+    bip_broadcast,
+    bip_multicast,
+    mst_multicast,
+    optimal_broadcast,
+    optimal_multicast,
+    optimal_multicast_cost,
+    spt_multicast,
+    steiner_multicast,
+)
+from repro.wireless.power import PowerAssignment
+
+
+def brute_force_memt(net: CostGraph, source, receivers):
+    """Enumerate every power-level combination (tiny n only)."""
+    levels = [[0.0, *net.power_levels(i)] for i in range(net.n)]
+    best = float("inf")
+    for combo in itertools.product(*levels):
+        pa = PowerAssignment(list(combo))
+        if sum(combo) < best and pa.reaches(net, source, receivers):
+            best = sum(combo)
+    return best
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        net = CostGraph(random_cost_matrix(4, rng=seed))
+        receivers = [1, 2, 3]
+        cost, pa = optimal_multicast(net, 0, receivers)
+        assert cost == pytest.approx(brute_force_memt(net, 0, receivers))
+        assert pa.reaches(net, 0, receivers)
+        assert pa.cost() == pytest.approx(cost)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_subset_receivers(self, seed):
+        net = CostGraph(random_cost_matrix(5, rng=seed + 10))
+        receivers = [2, 4]
+        cost, pa = optimal_multicast(net, 0, receivers)
+        assert cost == pytest.approx(brute_force_memt(net, 0, receivers))
+        assert pa.reaches(net, 0, receivers)
+
+    def test_empty_receivers(self):
+        net = CostGraph(random_cost_matrix(4, rng=0))
+        cost, pa = optimal_multicast(net, 0, [])
+        assert cost == 0.0 and pa.cost() == 0.0
+
+    def test_source_excluded_from_receivers(self):
+        net = CostGraph(random_cost_matrix(4, rng=0))
+        c1 = optimal_multicast_cost(net, 0, [0, 1])
+        c2 = optimal_multicast_cost(net, 0, [1])
+        assert c1 == pytest.approx(c2)
+
+    def test_monotone_in_receivers(self):
+        net = CostGraph(random_cost_matrix(6, rng=2))
+        c_small = optimal_multicast_cost(net, 0, [1])
+        c_big = optimal_multicast_cost(net, 0, [1, 2, 3, 4, 5])
+        assert c_small <= c_big + 1e-12
+
+    def test_size_guard(self):
+        net = CostGraph(np.zeros((25, 25)))
+        with pytest.raises(ValueError):
+            optimal_multicast(net, 0, [1])
+
+    def test_broadcast_specialisation(self):
+        net = CostGraph(random_cost_matrix(5, rng=4))
+        cost, pa = optimal_broadcast(net, 0)
+        assert cost == pytest.approx(optimal_multicast_cost(net, 0, [1, 2, 3, 4]))
+        assert pa.reaches(net, 0, range(1, 5))
+
+
+@pytest.mark.parametrize("heuristic", [spt_multicast, mst_multicast, steiner_multicast,
+                                       bip_multicast])
+class TestHeuristics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_and_at_least_optimal(self, heuristic, seed):
+        pts = uniform_points(7, 2, rng=seed, side=4.0)
+        net = EuclideanCostGraph(pts, 2.0)
+        receivers = [1, 3, 5]
+        pa = heuristic(net, 0, receivers)
+        assert pa.reaches(net, 0, receivers)
+        assert pa.cost() >= optimal_multicast_cost(net, 0, receivers) - 1e-9
+
+    def test_empty_receivers_zero_power(self, heuristic):
+        net = EuclideanCostGraph(uniform_points(5, 2, rng=0), 2.0)
+        assert heuristic(net, 0, []).cost() == 0.0
+
+
+class TestBIP:
+    def test_broadcast_covers_everyone(self):
+        net = EuclideanCostGraph(uniform_points(8, 2, rng=1, side=4.0), 2.0)
+        pa = bip_broadcast(net, 0)
+        assert pa.reaches(net, 0, range(1, 8))
+
+    def test_pruning_never_costs_more(self):
+        net = EuclideanCostGraph(uniform_points(8, 2, rng=2, side=4.0), 2.0)
+        full = bip_broadcast(net, 0).cost()
+        pruned = bip_multicast(net, 0, [1, 2]).cost()
+        assert pruned <= full + 1e-9

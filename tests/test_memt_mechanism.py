@@ -1,0 +1,93 @@
+"""Tests for repro.core.memt_mechanism (paper section 2.2.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.memt_mechanism import WirelessMulticastMechanism
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.mechanism.properties import check_cs, check_npt, check_vp, find_unilateral_deviation
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast_cost
+
+
+def euclidean_case(seed, n=6, scale=18.0):
+    pts = uniform_points(n, 2, rng=seed, side=4.0)
+    net = EuclideanCostGraph(pts, 2.0)
+    rng = np.random.default_rng(seed + 77)
+    profile = {i: float(rng.uniform(0.0, scale)) for i in range(1, n)}
+    return net, profile
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasibility_cost_recovery_axioms(self, seed):
+        net, profile = euclidean_case(seed)
+        mech = WirelessMulticastMechanism(net, 0)
+        result = mech.run(profile)
+        assert check_npt(result)
+        assert check_vp(result, profile)
+        assert result.total_charged() >= result.cost - 1e-6
+        if result.receivers:
+            assert result.power.reaches(net, 0, result.receivers)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bb_bound_vs_exact_cstar(self, seed):
+        net, profile = euclidean_case(seed)
+        result = WirelessMulticastMechanism(net, 0).run(profile)
+        if not result.receivers:
+            return
+        cstar = optimal_multicast_cost(net, 0, result.receivers)
+        k = len(result.receivers)
+        assert result.total_charged() <= 3 * math.log(k + 1) * cstar + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_general_symmetric_networks(self, seed):
+        net = CostGraph(random_cost_matrix(6, rng=seed))
+        rng = np.random.default_rng(seed)
+        profile = {i: float(rng.uniform(0, 25)) for i in range(1, 6)}
+        result = WirelessMulticastMechanism(net, 0).run(profile)
+        assert check_npt(result) and check_vp(result, profile)
+        if result.receivers:
+            assert result.power.reaches(net, 0, result.receivers)
+            cstar = optimal_multicast_cost(net, 0, result.receivers)
+            k = len(result.receivers)
+            assert result.total_charged() <= 3 * math.log(k + 1) * cstar + 1e-9
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_strategyproofness_sweep(self, seed):
+        net, profile = euclidean_case(seed, n=5)
+        mech = WirelessMulticastMechanism(net, 0)
+        assert find_unilateral_deviation(mech, profile) is None
+
+    def test_consumer_sovereignty(self):
+        net, _ = euclidean_case(1, n=5)
+        mech = WirelessMulticastMechanism(net, 0)
+        zero = {i: 0.0 for i in range(1, 5)}
+        assert check_cs(mech, zero, 2)
+
+    def test_zero_utilities_nobody_served(self):
+        net, _ = euclidean_case(0)
+        result = WirelessMulticastMechanism(net, 0).run({i: 0.0 for i in range(1, 6)})
+        assert result.total_charged() == pytest.approx(0.0)
+        assert result.receivers == frozenset()
+
+    def test_restricted_receiver_set(self):
+        net, profile = euclidean_case(3)
+        mech = WirelessMulticastMechanism(net, 0, receivers=[1, 2])
+        result = mech.run({1: profile[1], 2: profile[2]})
+        assert result.receivers <= {1, 2}
+
+    def test_source_cannot_be_receiver(self):
+        net, _ = euclidean_case(0)
+        with pytest.raises(ValueError):
+            WirelessMulticastMechanism(net, 0, receivers=[0, 1])
+
+    def test_extra_charge_accounting(self):
+        net, profile = euclidean_case(4)
+        result = WirelessMulticastMechanism(net, 0).run(profile)
+        if result.receivers:
+            total = result.extra["charged_nwst"] + result.extra["charged_extra"]
+            assert result.total_charged() == pytest.approx(total, rel=1e-6)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.memt_reduction (Caragiannis et al., §2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.memt_reduction import (
+    memt_to_nwst,
+    nwst_solution_to_power,
+    station_of,
+)
+from repro.geometry.points import uniform_points
+from repro.graphs.nwst import exact_node_weighted_steiner
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.memt import optimal_multicast, optimal_multicast_cost
+
+
+@pytest.fixture()
+def net():
+    return CostGraph(random_cost_matrix(5, rng=0))
+
+
+class TestReductionStructure:
+    def test_supernode_layout(self, net):
+        inst = memt_to_nwst(net, 0, [1, 2])
+        for i in range(net.n):
+            assert ("in", i) in inst.graph
+            assert inst.weights[("in", i)] == 0.0
+            levels = net.power_levels(i)
+            for m, c in enumerate(levels):
+                out = ("out", i, m)
+                assert out in inst.graph
+                assert inst.weights[out] == pytest.approx(float(c))
+                assert inst.graph.has_edge(("in", i), out)
+
+    def test_output_edges_match_coverage(self, net):
+        inst = memt_to_nwst(net, 0, [1, 2])
+        for i in range(net.n):
+            for m, c in enumerate(net.power_levels(i)):
+                out = ("out", i, m)
+                for j in range(net.n):
+                    if j == i:
+                        continue
+                    expected = net.cost(i, j) <= float(c) + 1e-12
+                    assert inst.graph.has_edge(out, ("in", j)) == expected
+
+    def test_terminals_are_receivers(self, net):
+        inst = memt_to_nwst(net, 0, [2, 4])
+        assert inst.source_terminal == ("in", 0)
+        assert set(inst.terminal_of) == {2, 4}
+
+    def test_station_of(self):
+        assert station_of(("in", 3)) == 3
+        assert station_of(("out", 7, 2)) == 7
+
+
+class TestCostCorrespondence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_nwst_optimum_lower_bounds_memt(self, seed):
+        """Any multicast assignment induces an NWST solution of equal cost,
+        so the NWST optimum is at most C*."""
+        net = CostGraph(random_cost_matrix(5, rng=seed))
+        receivers = [1, 3]
+        inst = memt_to_nwst(net, 0, receivers)
+        terminals = [inst.source_terminal, *(inst.terminal_of[r] for r in receivers)]
+        nwst_opt = exact_node_weighted_steiner(inst.graph, inst.weights, terminals)
+        cstar = optimal_multicast_cost(net, 0, receivers)
+        assert nwst_opt <= cstar + 1e-9
+
+
+class TestBackMapping:
+    def optimal_bought_nodes(self, net, source, receivers):
+        """NWST node set corresponding to an optimal power assignment."""
+        _, pa = optimal_multicast(net, source, receivers)
+        inst = memt_to_nwst(net, source, receivers)
+        bought = {("in", i) for i in range(net.n)}
+        # Buy the output node matching each transmitting station's level.
+        for i in range(net.n):
+            if pa[i] > 0:
+                levels = inst.levels[i]
+                m = int(np.argmin(np.abs(levels - pa[i])))
+                bought.add(("out", i, m))
+        # Keep only the connected part from the source terminal.
+        from repro.graphs.traversal import reachable_set
+
+        sub = inst.graph.subgraph(bought)
+        return inst, frozenset(reachable_set(sub, inst.source_terminal))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oriented_power_is_feasible(self, seed):
+        net = CostGraph(random_cost_matrix(5, rng=seed + 3))
+        receivers = [1, 2, 4]
+        inst, bought = self.optimal_bought_nodes(net, 0, receivers)
+        oriented = nwst_solution_to_power(net, inst, bought, 0, receivers)
+        assert oriented.power.reaches(net, 0, receivers)
+        # Every transmitter serves at least one receiver downstream.
+        for i, served in oriented.downstream.items():
+            assert oriented.power[i] > 0
+            assert served
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_euclidean_round_trip(self, seed):
+        pts = uniform_points(6, 2, rng=seed, side=4.0)
+        net = EuclideanCostGraph(pts, 2.0)
+        receivers = [1, 2, 3]
+        inst, bought = self.optimal_bought_nodes(net, 0, receivers)
+        oriented = nwst_solution_to_power(net, inst, bought, 0, receivers)
+        assert oriented.power.reaches(net, 0, receivers)
+        # The oriented assignment of an optimal solution costs at most
+        # twice the NWST weight (reduction's factor-2 argument).
+        paid_total = float(oriented.paid.sum())
+        assert oriented.power.cost() <= 2 * paid_total + 1e-9
+
+    def test_missing_receiver_raises(self, net):
+        inst = memt_to_nwst(net, 0, [1])
+        bought = frozenset({("in", 0)})
+        with pytest.raises(ValueError):
+            nwst_solution_to_power(net, inst, bought, 0, [1])
+
+    def test_missing_source_raises(self, net):
+        inst = memt_to_nwst(net, 0, [1])
+        bought = frozenset({("in", 1)})
+        with pytest.raises(ValueError):
+            nwst_solution_to_power(net, inst, bought, 0, [1])

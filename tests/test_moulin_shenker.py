@@ -1,0 +1,124 @@
+"""Tests for repro.mechanism.moulin_shenker."""
+
+import pytest
+
+from repro.mechanism.moulin_shenker import check_cross_monotonicity, moulin_shenker
+from repro.mechanism.shapley import shapley_method
+
+
+def max_game_method(a):
+    """Shapley of the max game — cross-monotonic (submodular game)."""
+    return shapley_method(lambda R: max((a[i] for i in R), default=0.0))
+
+
+class TestMoulinShenker:
+    def test_everyone_affordable_stays(self):
+        a = {1: 1.0, 2: 2.0, 3: 4.0}
+        method = max_game_method(a)
+        profile = {1: 10.0, 2: 10.0, 3: 10.0}
+        result = moulin_shenker([1, 2, 3], method, profile)
+        assert result.receivers == frozenset({1, 2, 3})
+        assert result.total_charged() == pytest.approx(4.0)  # BB: C(N)
+        assert result.cost == pytest.approx(4.0)
+
+    def test_deficient_agents_dropped(self):
+        a = {1: 1.0, 2: 2.0, 3: 9.0}
+        method = max_game_method(a)
+        # Agent 3's Shapley share of the full game exceeds its utility.
+        profile = {1: 10.0, 2: 10.0, 3: 1.0}
+        result = moulin_shenker([1, 2, 3], method, profile)
+        assert 3 not in result.receivers
+        assert result.receivers == frozenset({1, 2})
+        assert result.total_charged() == pytest.approx(2.0)
+
+    def test_drop_order_independence_for_cross_monotonic(self):
+        a = {1: 3.0, 2: 5.0, 3: 8.0, 4: 2.0}
+        method = max_game_method(a)
+        profile = {1: 0.4, 2: 1.2, 3: 2.0, 4: 0.1}
+        batch = moulin_shenker([1, 2, 3, 4], method, profile)
+        single = moulin_shenker([1, 2, 3, 4], method, profile, one_at_a_time=True)
+        assert batch.receivers == single.receivers
+        assert batch.total_charged() == pytest.approx(single.total_charged())
+
+    def test_vp_and_npt_hold(self):
+        a = {1: 2.0, 2: 6.0, 3: 3.0}
+        method = max_game_method(a)
+        profile = {1: 1.5, 2: 2.5, 3: 0.2}
+        result = moulin_shenker([1, 2, 3], method, profile)
+        for i in result.receivers:
+            assert 0.0 <= result.share(i) <= profile[i] + 1e-9
+
+    def test_empty_result_when_nobody_affords(self):
+        a = {1: 5.0, 2: 5.0}
+        method = max_game_method(a)
+        result = moulin_shenker([1, 2], method, {1: 0.1, 2: 0.1})
+        assert result.receivers == frozenset()
+        assert result.total_charged() == 0.0
+
+    def test_build_hook_used(self):
+        a = {1: 1.0, 2: 2.0}
+        method = max_game_method(a)
+        built = []
+
+        def build(R):
+            built.append(R)
+            return 1.23, "artifact"
+
+        result = moulin_shenker([1, 2], method, {1: 9.0, 2: 9.0}, build=build)
+        assert result.cost == 1.23 and result.power == "artifact"
+        assert built == [frozenset({1, 2})]
+
+
+class TestFixpointMaximality:
+    def test_result_is_the_largest_affordable_set(self):
+        """For cross-monotonic methods, M(xi)'s fixpoint is the unique
+        maximal set where everyone affords its share — verified exhaustively
+        on a small instance."""
+        import itertools
+
+        a = {1: 2.0, 2: 4.0, 3: 7.0, 4: 3.0}
+        method = max_game_method(a)
+        profile = {1: 0.9, 2: 1.1, 3: 3.0, 4: 0.4}
+        result = moulin_shenker([1, 2, 3, 4], method, profile)
+        R = result.receivers
+
+        def affordable(S):
+            shares = method(frozenset(S))
+            return all(profile[i] >= shares[i] - 1e-9 for i in S)
+
+        assert affordable(R)
+        for r in range(len(R) + 1, 5):
+            for S in itertools.combinations([1, 2, 3, 4], r):
+                if set(S) > set(R):
+                    assert not affordable(S)
+        # And every affordable set is contained in R (maximality, not just
+        # maximal cardinality).
+        for r in range(1, 5):
+            for S in itertools.combinations([1, 2, 3, 4], r):
+                if affordable(S):
+                    assert set(S) <= set(R)
+
+
+class TestCrossMonotonicityChecker:
+    def test_clean_on_shapley_of_submodular(self):
+        method = max_game_method({1: 1.0, 2: 3.0, 3: 6.0})
+        assert check_cross_monotonicity([1, 2, 3], method) == []
+
+    def test_catches_violation(self):
+        # Pathological method: share grows with the set size.
+        def bad(R):
+            return {i: float(len(R)) for i in R}
+
+        violations = check_cross_monotonicity([1, 2, 3], bad)
+        assert violations
+        Q, R, i = violations[0]
+        assert Q < R and i in Q
+
+    def test_sampled_path_on_large_ground_set(self):
+        def bad(R):
+            return {i: float(len(R)) for i in R}
+
+        violations = check_cross_monotonicity(
+            list(range(15)), bad, exhaustive_limit=5, n_samples=100, rng=0
+        )
+        assert violations

@@ -1,0 +1,218 @@
+"""Tests for repro.graphs.nwst: exact oracle, spiders, state machine, greedy."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.nwst import (
+    GreedySpiderSolver,
+    NWSTState,
+    Spider,
+    exact_node_weighted_steiner,
+    find_min_ratio_spider,
+)
+from repro.graphs.random_graphs import as_rng, random_node_weighted_instance
+from repro.graphs.traversal import is_connected
+
+
+def brute_force_nwst(graph: Graph, weights, terminals):
+    """Minimum node-weight connected subgraph containing all terminals, by
+    enumerating node subsets (tiny instances only)."""
+    nodes = [v for v in graph.nodes() if v not in terminals]
+    best = float("inf")
+    base = set(terminals)
+    for r in range(len(nodes) + 1):
+        for extra in itertools.combinations(nodes, r):
+            chosen = base | set(extra)
+            if is_connected(graph.subgraph(chosen)):
+                cost = sum(weights.get(x, 0.0) for x in chosen)
+                best = min(best, cost)
+    return best
+
+
+class TestExactOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        graph, weights, terminals = random_node_weighted_instance(9, 3, rng=seed)
+        exact = exact_node_weighted_steiner(graph, weights, terminals)
+        brute = brute_force_nwst(graph, weights, terminals)
+        assert exact == pytest.approx(brute)
+
+    def test_single_terminal(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        assert exact_node_weighted_steiner(g, {"a": 2.0}, ["a"]) == 2.0
+        assert exact_node_weighted_steiner(g, {}, []) == 0.0
+
+    def test_two_terminals_is_cheapest_path(self):
+        g = Graph()
+        for u, v in [("s", "m1"), ("m1", "t"), ("s", "m2"), ("m2", "t")]:
+            g.add_edge(u, v, 1.0)
+        w = {"m1": 5.0, "m2": 2.0, "s": 0.0, "t": 0.0}
+        assert exact_node_weighted_steiner(g, w, ["s", "t"]) == pytest.approx(2.0)
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_node(9)
+        with pytest.raises(ValueError):
+            exact_node_weighted_steiner(g, {}, [0, 9])
+
+    def test_counts_terminal_weights(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        assert exact_node_weighted_steiner(g, {"a": 1.5, "b": 2.5}, ["a", "b"]) == 4.0
+
+
+class TestSpiderFinder:
+    def build_star(self):
+        """Hub of weight 3 adjacent to 4 terminals; decoy of weight 10."""
+        g = Graph()
+        w = {"hub": 3.0, "decoy": 10.0}
+        for t in range(4):
+            g.add_edge("hub", ("t", t), 1.0)
+            g.add_edge("decoy", ("t", t), 1.0)
+            w[("t", t)] = 0.0
+        return g, w, [("t", i) for i in range(4)]
+
+    def test_picks_cheapest_center_and_all_terminals(self):
+        g, w, terms = self.build_star()
+        spider = find_min_ratio_spider(g, w, terms)
+        assert spider is not None
+        assert spider.terminals == frozenset(terms)
+        assert spider.ratio == pytest.approx(3.0 / 4.0)
+        assert "decoy" not in spider.nodes
+
+    def test_min_terminals_respected(self):
+        g, w, terms = self.build_star()
+        assert find_min_ratio_spider(g, w, terms[:2]) is None  # fewer than 3
+        sp = find_min_ratio_spider(g, w, terms[:3], min_terminals=3)
+        assert sp is not None and len(sp.terminals) == 3
+
+    def test_counts_exclude_protected_from_ratio(self):
+        g, w, terms = self.build_star()
+        counts = {terms[0]: 0}
+        spider = find_min_ratio_spider(g, w, terms, counts=counts)
+        assert spider is not None
+        # Still covers everything; ratio divides only by countable terminals.
+        assert spider.n_countable == len(spider.terminals & set(terms[1:]))
+        assert spider.ratio == pytest.approx(spider.cost / spider.n_countable)
+
+    def test_branch_mode_beats_classic_on_junction_instance(self):
+        # Terminals pair up behind a shared junction; a branch leg pays the
+        # junction once where classic legs pay it twice.
+        g = Graph()
+        w = {"c": 1.0, "j1": 4.0, "j2": 4.0}
+        for i, j in [(0, "j1"), (1, "j1"), (2, "j2"), (3, "j2")]:
+            g.add_edge(("t", i), j, 1.0)
+            w[("t", i)] = 0.0
+        g.add_edge("c", "j1", 1.0)
+        g.add_edge("c", "j2", 1.0)
+        classic = find_min_ratio_spider(g, w, [("t", i) for i in range(4)], mode="classic")
+        branch = find_min_ratio_spider(g, w, [("t", i) for i in range(4)], mode="branch")
+        assert branch is not None and classic is not None
+        assert branch.ratio <= classic.ratio
+
+    def test_invalid_mode(self):
+        g, w, terms = self.build_star()
+        with pytest.raises(ValueError):
+            find_min_ratio_spider(g, w, terms, mode="bogus")
+
+    def test_prefix_fallback_for_many_terminals(self):
+        g = Graph()
+        w = {"hub": 2.0}
+        terms = []
+        for t in range(6):
+            node = ("t", t)
+            g.add_edge("hub", node, 1.0)
+            w[node] = 0.0
+            terms.append(node)
+        spider = find_min_ratio_spider(g, w, terms, max_dp_terminals=3)
+        assert spider is not None
+        assert spider.terminals == frozenset(terms)
+        assert spider.ratio == pytest.approx(2.0 / 6.0)
+
+
+class TestNWSTState:
+    def test_contract_merges_members_and_buys_nodes(self):
+        g = Graph()
+        w = {"hub": 3.0, "x": 1.0}
+        terms = []
+        for t in range(3):
+            node = ("t", t)
+            g.add_edge("hub", node, 1.0)
+            w[node] = 0.0
+            terms.append(node)
+        g.add_edge("hub", "x", 1.0)
+        state = NWSTState(g, w, terms)
+        spider = state.min_ratio_spider()
+        meta = state.contract_spider(spider)
+        assert state.terminals == {meta}
+        assert state.member_terminals(meta) == frozenset(terms)
+        assert "hub" in state.bought
+        assert state.bought_weight() == pytest.approx(3.0)
+        assert "x" in state.graph and state.graph.has_edge(meta, "x")
+
+    def test_pass_through_terminal_absorbed(self):
+        # A leg path that runs THROUGH a terminal must absorb it.
+        g = Graph()
+        w = {"m": 2.0}
+        # chain: center hub - t0 - m - t1 ; plus t2 off the hub
+        g.add_edge("hub", ("t", 0), 1.0)
+        g.add_edge(("t", 0), "m", 1.0)
+        g.add_edge("m", ("t", 1), 1.0)
+        g.add_edge("hub", ("t", 2), 1.0)
+        w["hub"] = 0.5
+        for t in range(3):
+            w[("t", t)] = 0.0
+        terms = [("t", i) for i in range(3)]
+        state = NWSTState(g, w, terms)
+        spider = state.min_ratio_spider()
+        meta = state.contract_spider(spider)
+        # Whatever spider was chosen, the state stays consistent:
+        assert all(t in state.graph for t in state.terminals)
+        members = set().union(*(state.member_terminals(t) for t in state.terminals))
+        assert members == set(terms)
+        assert meta in state.terminals
+
+    def test_connect_pair(self):
+        g = Graph()
+        w = {"mid": 2.5, "a": 0.0, "b": 0.0}
+        g.add_edge("a", "mid", 1.0)
+        g.add_edge("mid", "b", 1.0)
+        state = NWSTState(g, w, ["a", "b"])
+        meta, cost = state.connect_pair("a", "b")
+        assert cost == pytest.approx(2.5)
+        assert state.terminals == {meta}
+        assert state.solution_is_connected()
+
+    def test_missing_terminal_rejected(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            NWSTState(g, {}, [0, 99])
+
+
+class TestGreedySolver:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("mode", ["branch", "classic"])
+    def test_feasible_and_within_bound(self, seed, mode):
+        graph, weights, terminals = random_node_weighted_instance(12, 4, rng=seed)
+        solution = GreedySpiderSolver(mode=mode).solve(graph, weights, terminals)
+        assert set(terminals) <= solution.nodes
+        assert is_connected(graph.subgraph(solution.nodes))
+        exact = exact_node_weighted_steiner(graph, weights, terminals)
+        assert solution.cost >= exact - 1e-9
+        assert solution.charged >= solution.cost - 1e-9
+        k = len(terminals)
+        bound = max(1.0, 1.5 * math.log(k)) if mode == "branch" else max(1.0, 2 * math.log(k))
+        if exact > 1e-9:
+            assert solution.charged <= bound * exact * (1 + 1e-9) + 1e-9
+
+    def test_two_terminals_optimal(self):
+        graph, weights, terminals = random_node_weighted_instance(10, 2, rng=1)
+        solution = GreedySpiderSolver().solve(graph, weights, terminals)
+        exact = exact_node_weighted_steiner(graph, weights, terminals)
+        assert solution.cost == pytest.approx(exact)

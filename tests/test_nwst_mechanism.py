@@ -1,0 +1,169 @@
+"""Tests for repro.core.nwst_mechanism (paper section 2.2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.instances import fig1_collusion_instance
+from repro.core.nwst_mechanism import NWSTMechanism
+from repro.graphs.adjacency import Graph
+from repro.graphs.nwst import GreedySpiderSolver, exact_node_weighted_steiner
+from repro.graphs.random_graphs import random_node_weighted_instance
+from repro.graphs.traversal import is_connected
+from repro.mechanism.properties import check_cs, check_npt, check_vp, find_unilateral_deviation
+
+
+def random_case(seed, n=13, k=4):
+    graph, weights, terminals = random_node_weighted_instance(
+        n, k, rng=seed, extra_edge_prob=0.2, weight_low=1.0, weight_high=5.0
+    )
+    rng = np.random.default_rng(seed + 1000)
+    profile = {t: float(rng.uniform(0.0, 9.0)) for t in terminals}
+    return graph, weights, terminals, profile
+
+
+class TestFig1:
+    """The paper's own worked example, exactly."""
+
+    def test_truthful_run(self):
+        inst = fig1_collusion_instance()
+        mech = NWSTMechanism(inst.graph, inst.weights, inst.terminals)
+        result = mech.run(inst.utilities)
+        assert result.receivers == frozenset(inst.terminals)
+        assert result.share(1) == pytest.approx(1.5)
+        assert result.share(5) == pytest.approx(1.5)
+        assert result.share(6) == pytest.approx(1.5)
+        assert result.share(7) == pytest.approx(1.5)
+        welfare = result.welfare(inst.utilities)
+        assert welfare == pytest.approx(inst.expected_truthful_welfare)
+
+    def test_collusive_run_drops_agent7_and_improves_others(self):
+        inst = fig1_collusion_instance()
+        mech = NWSTMechanism(inst.graph, inst.weights, inst.terminals)
+        deviated = dict(inst.utilities)
+        deviated[7] = 1.5 - 0.2
+        result = mech.run(deviated)
+        assert result.receivers == frozenset({1, 5, 6})
+        welfare = result.welfare(inst.utilities)
+        for i, expected in inst.expected_collusive_welfare.items():
+            assert welfare[i] == pytest.approx(expected)
+        assert result.extra["n_restarts"] == 1
+
+    def test_not_group_strategyproof(self):
+        """No member loses, three strictly gain: the Fig. 1 phenomenon."""
+        inst = fig1_collusion_instance()
+        mech = NWSTMechanism(inst.graph, inst.weights, inst.terminals)
+        w_true = mech.run(inst.utilities).welfare(inst.utilities)
+        deviated = dict(inst.utilities)
+        deviated[7] = 1.2
+        w_coll = mech.run(deviated).welfare(inst.utilities)
+        assert all(w_coll[i] >= w_true[i] - 1e-9 for i in inst.terminals)
+        assert sum(w_coll[i] > w_true[i] + 1e-9 for i in inst.terminals) == 3
+
+    def test_unilateral_deviations_unprofitable_on_fig1(self):
+        """Collusion pays but no single agent can gain (Thm 2.3)."""
+        inst = fig1_collusion_instance()
+        mech = NWSTMechanism(inst.graph, inst.weights, inst.terminals)
+        assert find_unilateral_deviation(mech, inst.utilities) is None
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cost_recovery_vp_npt(self, seed):
+        graph, weights, terminals, profile = random_case(seed)
+        mech = NWSTMechanism(graph, weights, terminals)
+        result = mech.run(profile)
+        assert check_npt(result)
+        assert check_vp(result, profile)
+        assert result.total_charged() >= result.cost - 1e-9
+        if result.receivers:
+            nodes = result.extra["bought_nodes"]
+            assert set(result.receivers) <= set(nodes)
+            assert is_connected(graph.subgraph(nodes))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bb_bound_vs_exact(self, seed):
+        graph, weights, terminals, profile = random_case(seed)
+        result = NWSTMechanism(graph, weights, terminals).run(profile)
+        if not result.receivers:
+            return
+        opt = exact_node_weighted_steiner(graph, weights, sorted(result.receivers))
+        k = len(result.receivers)
+        bound = max(1.0, 1.5 * math.log(max(k, 2)))
+        if opt > 1e-9:
+            assert result.total_charged() <= bound * opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem_22_mechanism_tree_equals_algorithm(self, seed):
+        """The surviving run coincides with the plain greedy on the final
+        terminal set (the heart of the Thm 2.2 proof)."""
+        graph, weights, terminals, profile = random_case(seed)
+        result = NWSTMechanism(graph, weights, terminals).run(profile)
+        if not result.receivers:
+            return
+        algo = GreedySpiderSolver().solve(graph, weights, sorted(result.receivers))
+        assert result.cost == pytest.approx(algo.cost)
+        assert result.extra["bought_nodes"] == algo.nodes
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_strategyproofness_sweep(self, seed):
+        graph, weights, terminals, profile = random_case(seed, n=11, k=3)
+        mech = NWSTMechanism(graph, weights, terminals)
+        assert find_unilateral_deviation(mech, profile) is None
+
+    def test_consumer_sovereignty(self):
+        graph, weights, terminals, _ = random_case(0)
+        mech = NWSTMechanism(graph, weights, terminals)
+        zero = {t: 0.0 for t in terminals}
+        assert check_cs(mech, zero, terminals[0])
+
+    def test_zero_utilities_drop_everyone_when_costly(self):
+        graph, weights, terminals, _ = random_case(2)
+        mech = NWSTMechanism(graph, weights, terminals)
+        result = mech.run({t: 0.0 for t in terminals})
+        # Connecting these terminals costs > 0, so nobody can afford it.
+        assert result.total_charged() == pytest.approx(0.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rerun_identical(self, seed):
+        """The mechanism must be a deterministic function of the profile
+        (strategyproofness audits re-run it; dict-order effects would
+        poison them)."""
+        graph, weights, terminals, profile = random_case(seed)
+        mech = NWSTMechanism(graph, weights, terminals)
+        r1 = mech.run(profile)
+        r2 = mech.run(dict(reversed(list(profile.items()))))
+        assert r1.receivers == r2.receivers
+        assert r1.cost == pytest.approx(r2.cost)
+        for i in r1.receivers:
+            assert r1.share(i) == pytest.approx(r2.share(i))
+
+
+class TestProtectedTerminals:
+    def test_protected_connected_never_charged(self):
+        g = Graph()
+        w = {"hub": 3.0}
+        terms = []
+        for t in range(3):
+            node = ("t", t)
+            g.add_edge("hub", node, 1.0)
+            w[node] = 0.0
+            terms.append(node)
+        g.add_edge("hub", "src", 1.0)
+        w["src"] = 0.0
+        mech = NWSTMechanism(g, w, terms, protected=["src"])
+        result = mech.run({t: 5.0 for t in terms})
+        assert result.receivers == frozenset(terms)
+        # The source is connected (hub bought) but pays nothing.
+        assert "src" in result.extra["bought_nodes"]
+        assert result.total_charged() == pytest.approx(3.0)
+        assert result.share(("t", 0)) == pytest.approx(1.0)
+
+    def test_protected_cannot_be_agent(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            NWSTMechanism(g, {}, ["a"], protected=["a"])

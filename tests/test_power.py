@@ -1,0 +1,73 @@
+"""Tests for repro.wireless.power."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.power import PowerAssignment
+
+
+@pytest.fixture()
+def net():
+    # 0 -1- 1 -2- 2 ; 0 -4- 2
+    return CostGraph(np.array([
+        [0.0, 1.0, 4.0],
+        [1.0, 0.0, 2.0],
+        [4.0, 2.0, 0.0],
+    ]))
+
+
+class TestPowerAssignment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerAssignment([-1.0])
+        with pytest.raises(ValueError):
+            PowerAssignment(np.zeros((2, 2)))
+
+    def test_cost(self):
+        pa = PowerAssignment([1.0, 2.0, 0.0])
+        assert pa.cost() == 3.0
+        assert pa[1] == 2.0 and pa.n == 3
+
+    def test_zeros(self):
+        pa = PowerAssignment.zeros(4)
+        assert pa.cost() == 0.0 and pa.n == 4
+
+    def test_implements(self, net):
+        pa = PowerAssignment([1.0, 0.0, 0.0])
+        assert pa.implements(net, 0, 1)
+        assert not pa.implements(net, 0, 2)
+        assert not pa.implements(net, 0, 0)
+
+    def test_transmission_digraph(self, net):
+        pa = PowerAssignment([1.0, 2.0, 0.0])
+        g = pa.transmission_digraph(net)
+        assert g.has_edge(0, 1) and not g.has_edge(0, 2)
+        assert g.has_edge(1, 0) and g.has_edge(1, 2)
+        assert g.out_degree(2) == 0
+
+    def test_reaches_multihop(self, net):
+        pa = PowerAssignment([1.0, 2.0, 0.0])
+        assert pa.reaches(net, 0, [2])  # via 1
+        assert pa.reaches(net, 0, [1, 2])
+        assert not PowerAssignment([1.0, 0.0, 0.0]).reaches(net, 0, [2])
+
+    def test_reaches_trivial(self, net):
+        pa = PowerAssignment.zeros(3)
+        assert pa.reaches(net, 0, [])
+        assert pa.reaches(net, 0, [0])  # source itself
+
+    def test_raised(self, net):
+        pa = PowerAssignment([1.0, 0.0, 0.0])
+        up = pa.raised(0, 4.0)
+        assert up[0] == 4.0 and pa[0] == 1.0  # original untouched
+        assert up.raised(0, 2.0)[0] == 4.0  # never lowers
+
+    def test_size_mismatch(self, net):
+        with pytest.raises(ValueError):
+            PowerAssignment([1.0]).transmission_digraph(net)
+
+    def test_read_only(self):
+        pa = PowerAssignment([1.0])
+        with pytest.raises(ValueError):
+            pa.powers[0] = 5.0

@@ -1,0 +1,126 @@
+"""Tests for repro.mechanism.properties — the auditors must catch planted
+violations and stay quiet on well-behaved mechanisms."""
+
+import pytest
+
+from repro.mechanism.base import CostSharingMechanism, MechanismResult
+from repro.mechanism.properties import (
+    audit_basic_axioms,
+    bb_factor,
+    candidate_misreports,
+    check_cs,
+    check_npt,
+    check_vp,
+    efficiency_gap,
+    find_group_deviation,
+    find_unilateral_deviation,
+)
+
+
+class FixedPrice(CostSharingMechanism):
+    """Serve anyone reporting >= price; charge exactly price.  This is
+    strategyproof (posted price) — a clean baseline for the auditors."""
+
+    def __init__(self, price=2.0, agents=(1, 2, 3)):
+        self.price = price
+        self.agents = list(agents)
+
+    def run(self, profile):
+        u = self.validate_profile(profile)
+        R = frozenset(i for i in self.agents if u[i] >= self.price)
+        return MechanismResult(
+            receivers=R,
+            shares={i: self.price for i in R},
+            cost=self.price * len(R),
+        )
+
+
+class FirstPrice(CostSharingMechanism):
+    """Pathological: charges each receiver its own report (classic
+    manipulable first-price rule)."""
+
+    def __init__(self, agents=(1, 2)):
+        self.agents = list(agents)
+
+    def run(self, profile):
+        u = self.validate_profile(profile)
+        R = frozenset(i for i in self.agents if u[i] > 0.5)
+        return MechanismResult(receivers=R, shares={i: u[i] for i in R},
+                               cost=0.5 * len(R))
+
+
+class Overcharger(CostSharingMechanism):
+    """Violates VP: charges double the report."""
+
+    def __init__(self, agents=(1,)):
+        self.agents = list(agents)
+
+    def run(self, profile):
+        u = self.validate_profile(profile)
+        R = frozenset(self.agents)
+        return MechanismResult(receivers=R, shares={i: 2 * u[i] for i in R}, cost=0.0)
+
+
+class TestStaticAxioms:
+    def test_npt_and_vp_pass_on_posted_price(self):
+        result = FixedPrice().run({1: 3.0, 2: 1.0, 3: 5.0})
+        assert check_npt(result)
+        assert check_vp(result, {1: 3.0, 2: 1.0, 3: 5.0})
+        assert result.receivers == frozenset({1, 3})
+
+    def test_vp_fails_on_overcharger(self):
+        profile = {1: 2.0}
+        assert not check_vp(Overcharger().run(profile), profile)
+
+    def test_bb_factor(self):
+        result = FixedPrice(price=3.0).run({1: 5.0, 2: 0.0, 3: 0.0})
+        assert bb_factor(result, 1.5) == pytest.approx(2.0)
+        assert bb_factor(result, 0.0) == float("inf")
+        empty = FixedPrice(price=3.0).run({1: 0.0, 2: 0.0, 3: 0.0})
+        assert bb_factor(empty, 0.0) == 1.0
+
+    def test_cs(self):
+        assert check_cs(FixedPrice(), {1: 0.0, 2: 0.0, 3: 0.0}, 1)
+
+    def test_audit_report_shape(self):
+        report = audit_basic_axioms(FixedPrice(), {1: 3.0, 2: 0.0, 3: 3.0},
+                                    optimal_cost=4.0, check_consumer_sovereignty=True)
+        assert report["npt"] and report["vp"] and report["cs"]
+        assert report["bb_factor"] == pytest.approx(1.0)
+        assert report["receivers"] == [1, 3]
+
+
+class TestDeviationSearch:
+    def test_posted_price_is_strategyproof(self):
+        assert find_unilateral_deviation(FixedPrice(), {1: 3.0, 2: 1.0, 3: 2.5}) is None
+
+    def test_first_price_manipulable(self):
+        deviation = find_unilateral_deviation(FirstPrice(), {1: 4.0, 2: 3.0})
+        assert deviation is not None
+        (i,) = deviation.coalition
+        assert deviation.reports[i] < {1: 4.0, 2: 3.0}[i]
+        assert deviation.gain > 0
+
+    def test_group_search_finds_nothing_on_posted_price(self):
+        assert find_group_deviation(FixedPrice(), {1: 3.0, 2: 1.0, 3: 2.5},
+                                    max_coalition_size=2, rng=0) is None
+
+    def test_group_search_catches_first_price(self):
+        deviation = find_group_deviation(FirstPrice(), {1: 4.0, 2: 3.0},
+                                         max_coalition_size=1, rng=0)
+        assert deviation is not None
+
+    def test_candidate_misreports_exclude_truth(self):
+        grid = candidate_misreports(2.0, {1: 2.0, 2: 3.0})
+        assert 2.0 not in grid
+        assert 0.0 in grid and all(v >= 0 for v in grid)
+
+
+class TestEfficiencyGap:
+    def test_zero_for_optimal(self):
+        result = MechanismResult(receivers=frozenset({1}), shares={1: 1.0}, cost=1.0)
+        assert efficiency_gap(result, {1: 5.0}, optimal_net_worth=4.0) == pytest.approx(0.0)
+
+    def test_positive_for_suboptimal(self):
+        result = MechanismResult(receivers=frozenset(), shares={}, cost=0.0)
+        assert efficiency_gap(result, {1: 5.0}, optimal_net_worth=4.0) == pytest.approx(4.0)

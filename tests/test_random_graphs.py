@@ -1,0 +1,71 @@
+"""Tests for repro.graphs.random_graphs (determinism + structure)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.random_graphs import (
+    as_rng,
+    random_connected_graph,
+    random_cost_matrix,
+    random_node_weighted_instance,
+)
+from repro.graphs.traversal import is_connected
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_seed_determinism(self):
+        assert as_rng(7).uniform() == as_rng(7).uniform()
+
+
+class TestCostMatrix:
+    def test_shape_and_symmetry(self):
+        m = random_cost_matrix(8, rng=0)
+        assert m.shape == (8, 8)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+        off = m[~np.eye(8, dtype=bool)]
+        assert (off >= 1.0).all() and (off <= 10.0).all()
+
+    def test_metric_closure_option(self):
+        m = random_cost_matrix(8, rng=1, metric=True)
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    assert m[i, j] <= m[i, k] + m[k, j] + 1e-9
+
+    def test_determinism(self):
+        assert np.allclose(random_cost_matrix(6, rng=42), random_cost_matrix(6, rng=42))
+
+
+class TestConnectedGraph:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connected(self, seed):
+        g = random_connected_graph(20, rng=seed)
+        assert len(g) == 20 and is_connected(g)
+
+    def test_nodes_are_python_ints(self):
+        g = random_connected_graph(6, rng=0)
+        for node in g.nodes():
+            assert type(node) is int
+
+
+class TestNodeWeightedInstance:
+    def test_structure(self):
+        g, w, terms = random_node_weighted_instance(12, 4, rng=0)
+        assert len(terms) == 4
+        assert is_connected(g)
+        for t in terms:
+            assert w[t] == 0.0
+            # Terminals attach only to relay nodes.
+            for nbr, _ in g.neighbors(t):
+                assert nbr not in terms
+        relays = [v for v in g.nodes() if v not in terms]
+        assert all(w[v] > 0 for v in relays)
+
+    def test_needs_a_relay(self):
+        with pytest.raises(ValueError):
+            random_node_weighted_instance(4, 4, rng=0)

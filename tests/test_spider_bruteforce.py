@@ -1,0 +1,80 @@
+"""Brute-force validation of the minimum-ratio spider search.
+
+`find_min_ratio_spider` (classic mode) must return exactly the minimum of
+cost/|covered| over all centers and terminal subsets where legs are
+node-weighted shortest paths — checked here by exhaustive enumeration on
+small instances.  Branch mode must never be worse than classic.
+"""
+
+import itertools
+
+import pytest
+
+from repro.graphs.node_weighted import node_weighted_dijkstra
+from repro.graphs.nwst import find_min_ratio_spider
+from repro.graphs.random_graphs import random_node_weighted_instance
+
+
+def brute_force_classic_ratio(graph, weights, terminals, min_terminals=3):
+    """min over centers v and subsets S (|S| >= 3) of
+    (w(v) + sum of leg distances) / |S| with single-terminal legs."""
+    best = float("inf")
+    term_list = list(terminals)
+    for v in graph.nodes():
+        dist, _ = node_weighted_dijkstra(graph, weights, v)
+        legs = sorted(dist.get(t, float("inf")) for t in term_list)
+        # Optimal subset of a given size takes the cheapest legs.
+        total = float(weights.get(v, 0.0))
+        for size, leg in enumerate(legs, start=1):
+            if leg == float("inf"):
+                break
+            total += leg
+            if size >= min_terminals:
+                best = min(best, total / size)
+    return best
+
+
+class TestSpiderBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_classic_mode_is_exact(self, seed):
+        graph, weights, terminals = random_node_weighted_instance(
+            10, 4, rng=seed, extra_edge_prob=0.3
+        )
+        spider = find_min_ratio_spider(graph, weights, terminals, mode="classic")
+        expected = brute_force_classic_ratio(graph, weights, terminals)
+        assert spider is not None
+        assert spider.ratio == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_branch_never_worse_than_classic(self, seed):
+        graph, weights, terminals = random_node_weighted_instance(
+            10, 5, rng=seed + 50, extra_edge_prob=0.3
+        )
+        classic = find_min_ratio_spider(graph, weights, terminals, mode="classic")
+        branch = find_min_ratio_spider(graph, weights, terminals, mode="branch")
+        assert classic is not None and branch is not None
+        assert branch.ratio <= classic.ratio + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_spider_node_set_supports_its_cost(self, seed):
+        """The bought node set's true weight never exceeds the charged cost
+        (legs may overlap, making the cost an upper bound)."""
+        graph, weights, terminals = random_node_weighted_instance(
+            10, 4, rng=seed + 100, extra_edge_prob=0.3
+        )
+        spider = find_min_ratio_spider(graph, weights, terminals)
+        assert spider is not None
+        true_weight = sum(weights.get(x, 0.0) for x in spider.nodes)
+        assert true_weight <= spider.cost + 1e-9
+        assert spider.terminals <= spider.nodes
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_spider_nodes_connected(self, seed):
+        from repro.graphs.traversal import is_connected
+
+        graph, weights, terminals = random_node_weighted_instance(
+            10, 4, rng=seed + 200, extra_edge_prob=0.3
+        )
+        spider = find_min_ratio_spider(graph, weights, terminals)
+        assert spider is not None
+        assert is_connected(graph.subgraph(spider.nodes))

@@ -1,0 +1,87 @@
+"""Unit tests for repro.graphs.traversal."""
+
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.traversal import (
+    bfs_numbering,
+    bfs_order,
+    bfs_parents,
+    connected_components,
+    dfs_order,
+    is_connected,
+    reachable_set,
+    weakly_connected_components,
+)
+
+
+def path_graph(n):
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, 1.0)
+    return g
+
+
+class TestBFS:
+    def test_order_on_path(self):
+        g = path_graph(5)
+        assert bfs_order(g, 0) == [0, 1, 2, 3, 4]
+        assert bfs_order(g, 2)[0] == 2
+
+    def test_parents_form_tree(self):
+        g = path_graph(4)
+        g.add_edge(0, 3, 1.0)
+        parents = bfs_parents(g, 0)
+        assert parents[0] is None
+        assert parents[3] == 0  # direct edge found at depth 1
+        assert parents[2] in (1, 3)
+
+    def test_numbering_starts_at_zero(self):
+        g = path_graph(3)
+        numbering = bfs_numbering(g, 0)
+        assert numbering == {0: 0, 1: 1, 2: 2}
+
+    def test_unreachable_not_included(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_node(2)
+        assert set(bfs_order(g, 0)) == {0, 1}
+        assert reachable_set(g, 2) == {2}
+
+    def test_directed_respects_orientation(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 1, 1.0)
+        assert set(bfs_order(g, 0)) == {0, 1}
+        assert set(bfs_order(g, 2)) == {2, 1}
+
+
+class TestDFS:
+    def test_preorder_on_tree(self):
+        g = Graph()
+        for u, v in [(0, 1), (0, 2), (1, 3)]:
+            g.add_edge(u, v, 1.0)
+        order = dfs_order(g, 0)
+        assert order[0] == 0 and set(order) == {0, 1, 2, 3}
+        # Child subtree fully visited before the next sibling.
+        assert order.index(3) < order.index(2) or order.index(2) < order.index(1)
+
+
+class TestComponents:
+    def test_connected_components(self):
+        g = path_graph(3)
+        g.add_edge(10, 11, 1.0)
+        comps = sorted(connected_components(g), key=len)
+        assert [sorted(c) for c in comps] == [[10, 11], [0, 1, 2]]
+
+    def test_weakly_connected(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 1, 1.0)
+        comps = weakly_connected_components(g)
+        assert len(comps) == 1 and comps[0] == {0, 1, 2}
+
+    def test_is_connected(self):
+        g = path_graph(4)
+        assert is_connected(g)
+        assert is_connected(g, nodes=[0, 1])
+        assert not is_connected(g, nodes=[0, 2])  # 1 missing breaks the path
+        assert is_connected(Graph())  # vacuous

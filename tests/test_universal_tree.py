@@ -1,0 +1,122 @@
+"""Tests for repro.wireless.universal_tree (Lemma 2.1 structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import uniform_points
+from repro.graphs.random_graphs import random_cost_matrix
+from repro.mechanism.cost_function import CostFunction
+from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.universal_tree import UniversalTree
+
+
+@pytest.fixture()
+def net():
+    return CostGraph(random_cost_matrix(7, rng=0))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("builder", ["from_shortest_paths", "from_mst", "star"])
+    def test_spans_all_stations(self, net, builder):
+        tree = getattr(UniversalTree, builder)(net, 0)
+        assert set(tree.parents) == set(range(7))
+        assert tree.parents[0] is None
+        assert sorted(tree.agents()) == list(range(1, 7))
+
+    def test_star_structure(self, net):
+        tree = UniversalTree.star(net, 2)
+        assert all(tree.parents[i] == 2 for i in range(7) if i != 2)
+
+    def test_spt_paths_are_shortest(self):
+        pts = uniform_points(7, 2, rng=1, side=4.0)
+        net = EuclideanCostGraph(pts, 2.0)
+        tree = UniversalTree.from_shortest_paths(net, 0)
+        from repro.graphs.shortest_paths import dijkstra
+
+        dist, _ = dijkstra(net.as_graph(), 0)
+        for i in range(1, 7):
+            path = tree.path_to_root(i)
+            total = sum(net.cost(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(dist[i])
+
+    def test_cycle_rejected(self, net):
+        parents = {0: None, 1: 2, 2: 1, 3: 0, 4: 0, 5: 0, 6: 0}
+        with pytest.raises(ValueError):
+            UniversalTree(net, 0, parents)
+
+    def test_incomplete_rejected(self, net):
+        with pytest.raises(ValueError):
+            UniversalTree(net, 0, {0: None, 1: 0})
+
+    def test_source_parent_must_be_none(self, net):
+        parents = {i: (i - 1 if i else 6) for i in range(7)}
+        with pytest.raises(ValueError):
+            UniversalTree(net, 0, parents)
+
+
+class TestRestriction:
+    def test_subtree_is_union_of_paths(self, net):
+        tree = UniversalTree.from_mst(net, 0)
+        R = [3, 5]
+        nodes = tree.subtree_nodes(R)
+        expected = set()
+        for r in R:
+            expected.update(tree.path_to_root(r))
+        assert nodes == expected
+
+    def test_power_is_max_child_edge(self, net):
+        tree = UniversalTree.star(net, 0)
+        R = [2, 4]
+        pa = tree.power_assignment(R)
+        assert pa[0] == pytest.approx(max(net.cost(0, 2), net.cost(0, 4)))
+        assert pa.cost() == pytest.approx(tree.cost(R))
+        assert pa.reaches(net, 0, R)
+
+    def test_empty_receivers_zero(self, net):
+        tree = UniversalTree.from_mst(net, 0)
+        assert tree.cost([]) == 0.0
+        assert tree.cost([0]) == 0.0  # source is never a receiver
+
+    @pytest.mark.parametrize("builder", ["from_shortest_paths", "from_mst", "star"])
+    def test_multicast_feasibility_for_all_subsets(self, net, builder):
+        tree = getattr(UniversalTree, builder)(net, 0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            size = int(rng.integers(1, 7))
+            R = sorted(int(x) for x in rng.choice(range(1, 7), size=size, replace=False))
+            assert tree.power_assignment(R).reaches(net, 0, R)
+
+
+class TestLemma21:
+    """The induced cost function is non-decreasing and submodular."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("builder", ["from_shortest_paths", "from_mst", "star"])
+    def test_exhaustive_on_small_instances(self, seed, builder):
+        net = CostGraph(random_cost_matrix(6, rng=seed))
+        tree = getattr(UniversalTree, builder)(net, 0)
+        cf = CostFunction(tree.agents(), lambda R: tree.cost(R))
+        assert cf.is_nondecreasing()
+        assert cf.is_submodular()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_lemma21_submodularity_property(seed, data):
+    """Random covering-pair submodularity checks on bigger instances."""
+    net = CostGraph(random_cost_matrix(9, rng=seed))
+    tree = UniversalTree.from_shortest_paths(net, 0)
+    agents = tree.agents()
+    A = set(data.draw(st.lists(st.sampled_from(agents), max_size=6, unique=True)))
+    rest = [a for a in agents if a not in A]
+    if len(rest) < 2:
+        return
+    i = data.draw(st.sampled_from(rest))
+    j = data.draw(st.sampled_from([a for a in rest if a != i]))
+    cA = tree.cost(A)
+    cB = tree.cost(A | {j})
+    assert tree.cost(A | {i}) - cA >= tree.cost(A | {i, j}) - cB - 1e-9
+    # Monotone too.
+    assert cB >= cA - 1e-9

@@ -1,0 +1,116 @@
+"""Tests for repro.mechanism.vcg (marginal-cost mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanism.properties import find_unilateral_deviation
+from repro.mechanism.vcg import MarginalCostMechanism, brute_force_efficient_set
+
+
+def make_max_game_mechanism(a):
+    agents = list(a)
+    cost = lambda R: max((a[i] for i in R), default=0.0)
+    solver = brute_force_efficient_set(agents, cost)
+    return MarginalCostMechanism(agents, solver, cost), cost
+
+
+class TestBruteForceEfficientSet:
+    def test_picks_max_welfare(self):
+        a = {1: 2.0, 2: 10.0}
+        cost = lambda R: max((a[i] for i in R), default=0.0)
+        solver = brute_force_efficient_set([1, 2], cost)
+        nw, R = solver({1: 5.0, 2: 1.0})
+        assert nw == pytest.approx(3.0) and R == frozenset({1})
+
+    def test_prefers_largest_among_ties(self):
+        # Adding agent 1 to {2} costs nothing extra (same max) and adds 0
+        # utility: welfare tie, so the largest efficient set includes it.
+        a = {1: 1.0, 2: 5.0}
+        cost = lambda R: max((a[i] for i in R), default=0.0)
+        solver = brute_force_efficient_set([1, 2], cost)
+        _, R = solver({1: 0.0, 2: 9.0})
+        assert R == frozenset({1, 2})
+
+    def test_empty_when_nothing_worth_serving(self):
+        a = {1: 5.0}
+        cost = lambda R: max((a[i] for i in R), default=0.0)
+        nw, R = brute_force_efficient_set([1], cost)({1: 1.0})
+        assert nw == 0.0 and R == frozenset()
+
+
+class TestMarginalCostMechanism:
+    def test_efficient_selection(self):
+        mech, cost = make_max_game_mechanism({1: 1.0, 2: 2.0, 3: 6.0})
+        profile = {1: 3.0, 2: 3.0, 3: 1.0}
+        result = mech.run(profile)
+        assert result.receivers == frozenset({1, 2})
+        assert result.extra["net_worth"] == pytest.approx(4.0)
+
+    def test_vcg_shares_are_marginal(self):
+        mech, _ = make_max_game_mechanism({1: 4.0, 2: 4.0})
+        profile = {1: 3.0, 2: 3.0}
+        result = mech.run(profile)
+        # NW = 2, without either agent NW = 0 -> welfare 2... capped by VP.
+        # w_i = NW - NW_{-i} = 2 - 0 = 2 -> c_i = u_i - w_i = 1.
+        assert result.receivers == frozenset({1, 2})
+        for i in (1, 2):
+            assert result.share(i) == pytest.approx(1.0)
+
+    def test_never_runs_surplus(self):
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            a = {i: float(rng.uniform(1, 10)) for i in range(1, 5)}
+            mech, cost = make_max_game_mechanism(a)
+            profile = {i: float(rng.uniform(0, 12)) for i in a}
+            result = mech.run(profile)
+            assert result.total_charged() <= result.cost + 1e-9
+
+    def test_npt_vp(self):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            a = {i: float(rng.uniform(1, 10)) for i in range(1, 5)}
+            mech, _ = make_max_game_mechanism(a)
+            profile = {i: float(rng.uniform(0, 12)) for i in a}
+            result = mech.run(profile)
+            for i in result.receivers:
+                assert -1e-9 <= result.share(i) <= profile[i] + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_strategyproof_on_random_profiles(self, seed):
+        rng = np.random.default_rng(seed)
+        a = {i: float(rng.uniform(1, 8)) for i in range(1, 5)}
+        mech, _ = make_max_game_mechanism(a)
+        profile = {i: float(rng.uniform(0, 10)) for i in a}
+        assert find_unilateral_deviation(mech, profile) is None
+
+    def test_not_group_strategyproof(self):
+        """The paper (§1.1): "MC is not group strategyproof".  Classic VCG
+        collusion: two agents who each value the service at 0.6 jointly
+        over-report; each agent's VCG payment collapses to 0 because the
+        other's inflated report carries the efficient set on its own."""
+        from repro.mechanism.base import with_report
+
+        a = {1: 1.0, 2: 1.0}
+        mech, _ = make_max_game_mechanism(a)
+        truth = {1: 0.6, 2: 0.6}
+        honest = mech.run(truth)
+        w_honest = honest.welfare(truth)
+        assert w_honest[1] == pytest.approx(0.2)  # pays 0.4 of the shared 1.0
+
+        both_lie = with_report(with_report(truth, 1, 10.0), 2, 10.0)
+        collusive = mech.run(both_lie)
+        w_collusive = {i: truth[i] - collusive.share(i) for i in (1, 2)}
+        assert w_collusive[1] == pytest.approx(0.6)  # served for free
+        assert w_collusive[2] == pytest.approx(0.6)
+        # Nobody worse, both strictly better: group-SP violated.
+        assert all(w_collusive[i] > w_honest[i] + 1e-9 for i in (1, 2))
+
+    def test_group_deviation_finder_catches_vcg_collusion(self):
+        from repro.mechanism.properties import find_group_deviation
+
+        a = {1: 1.0, 2: 1.0}
+        mech, _ = make_max_game_mechanism(a)
+        deviation = find_group_deviation(mech, {1: 0.6, 2: 0.6},
+                                         max_coalition_size=2, rng=0)
+        assert deviation is not None
+        assert len(deviation.coalition) == 2
