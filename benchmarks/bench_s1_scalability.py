@@ -4,6 +4,11 @@ These are honest pytest-benchmark timings (multiple rounds) of each
 mechanism's `run`, showing the polynomial mechanisms scale and locating
 the expensive pieces (the NWST spider search dominates the section 2.2
 pipeline, as the paper's complexity discussion predicts).
+
+The n = 120 universal-tree/JV cases and the n = 40 NWST case exercise the
+``repro.engine`` array backend (vectorised Dijkstra/Prim, lockstep
+node-weighted distances); machine-readable results land in
+``benchmarks/out/BENCH_S1.json`` (see conftest).
 """
 
 import numpy as np
@@ -31,7 +36,7 @@ def euclid_case(n, dim=2, alpha=2.0, seed=0, scale=3.0):
 
 
 @pytest.mark.benchmark(group="EXP-S1 universal-tree-shapley")
-@pytest.mark.parametrize("n", [10, 20, 40])
+@pytest.mark.parametrize("n", [10, 20, 40, 120])
 def test_scaling_universal_tree_shapley(benchmark, n):
     net, profile = euclid_case(n)
     mech = UniversalTreeShapleyMechanism(UniversalTree.from_shortest_paths(net, 0))
@@ -40,7 +45,7 @@ def test_scaling_universal_tree_shapley(benchmark, n):
 
 
 @pytest.mark.benchmark(group="EXP-S1 universal-tree-mc")
-@pytest.mark.parametrize("n", [10, 20, 40])
+@pytest.mark.parametrize("n", [10, 20, 40, 120])
 def test_scaling_universal_tree_mc(benchmark, n):
     net, profile = euclid_case(n)
     mech = UniversalTreeMCMechanism(UniversalTree.from_shortest_paths(net, 0))
@@ -49,7 +54,7 @@ def test_scaling_universal_tree_mc(benchmark, n):
 
 
 @pytest.mark.benchmark(group="EXP-S1 jv")
-@pytest.mark.parametrize("n", [10, 20, 40])
+@pytest.mark.parametrize("n", [10, 20, 40, 120])
 def test_scaling_jv(benchmark, n):
     net, profile = euclid_case(n)
     mech = EuclideanJVMechanism(net, 0)
@@ -67,7 +72,7 @@ def test_scaling_line_shapley(benchmark, n):
 
 
 @pytest.mark.benchmark(group="EXP-S1 nwst")
-@pytest.mark.parametrize("n,k", [(12, 4), (16, 5)])
+@pytest.mark.parametrize("n,k", [(12, 4), (16, 5), (40, 5)])
 def test_scaling_nwst(benchmark, n, k):
     graph, weights, terminals = random_node_weighted_instance(n, k, rng=0)
     rng = np.random.default_rng(0)

@@ -4,13 +4,27 @@ Each benchmark runs its experiment once (the runners are deterministic),
 asserts the paper's invariants, and writes the result table to
 ``benchmarks/out/<name>.txt`` so the numbers quoted in EXPERIMENTS.md are
 regenerable even under pytest's output capture.
+
+Every benchmark session additionally emits machine-readable timings of the
+EXP-S1 scalability cases to ``benchmarks/out/BENCH_S1.json``
+(min/mean/stddev/rounds per benchmark, grouped like the console table) so
+the performance trajectory can be tracked across PRs — CI uploads the file
+as a build artifact.  Only benchmarks in the ``EXP-S1 *`` groups are
+recorded (the one-round experiment wrappers in the other bench files are
+wall-clock reports, not statistics); sessions *merge* into the existing
+file keyed by benchmark ``fullname``, so a partial run (``-k``) refreshes
+only the cases it actually timed.  This happens in
+``pytest_sessionfinish`` rather than via ``--benchmark-json`` so that a
+plain ``pytest benchmarks/...`` invocation records results too.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+BENCH_JSON = OUT_DIR / "BENCH_S1.json"
 
 
 def record(name: str, text: str) -> None:
@@ -23,3 +37,43 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` with a single round (runners are deterministic and some
     are expensive; wall-clock, not statistics, is what we report)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _bench_row(bench) -> dict:
+    row = {
+        "name": getattr(bench, "name", None),
+        "fullname": getattr(bench, "fullname", None),
+        "group": getattr(bench, "group", None),
+        "params": getattr(bench, "param", None),
+    }
+    try:
+        stats = bench.as_dict(include_data=False, flat=True)
+        for key in ("min", "max", "mean", "stddev", "median", "rounds", "iterations"):
+            if key in stats:
+                row[key] = stats[key]
+    except Exception:  # pragma: no cover - defensive against plugin drift
+        pass
+    return row
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    rows = [_bench_row(b) for b in bench_session.benchmarks
+            if str(getattr(b, "group", "")).startswith("EXP-S1")]
+    if not rows:
+        return
+    merged: dict[str, dict] = {}
+    try:
+        previous = json.loads(BENCH_JSON.read_text())
+        merged = {row["fullname"]: row for row in previous.get("benchmarks", [])
+                  if row.get("fullname")}
+    except (OSError, ValueError):
+        pass  # first run, or an unreadable file: start fresh
+    for row in rows:
+        merged[row.get("fullname") or row.get("name") or str(len(merged))] = row
+    payload = {"schema": 1, "benchmarks": sorted(merged.values(),
+                                                 key=lambda r: str(r.get("fullname")))}
+    OUT_DIR.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, default=str) + "\n")

@@ -1,6 +1,10 @@
-"""Legacy setup shim (the environment has no `wheel` package, so the PEP 660
-editable-install path is unavailable; `pip install -e .` uses this instead).
-Metadata lives in pyproject.toml."""
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml (PEP 621); normal environments install
+with ``pip install -e .``.  This file only exists for offline containers
+that lack the ``wheel`` package (where pip's PEP 660 editable path cannot
+run): there, ``python setup.py develop`` still works.
+"""
 
 from setuptools import setup
 

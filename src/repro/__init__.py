@@ -7,6 +7,10 @@ Navarra, *Sharing the cost of multicast transmissions in wireless networks*
 Layering (each layer only depends on the ones above it):
 
 * :mod:`repro.graphs` / :mod:`repro.geometry` — pure algorithmic substrate;
+* :mod:`repro.engine` — array graph backends, vectorised kernels and the
+  batched mechanism pipeline (the substrate half sits beside
+  :mod:`repro.graphs`; :mod:`repro.engine.batch` sits above
+  :mod:`repro.core`);
 * :mod:`repro.wireless` — the paper's wireless power model + exact oracles;
 * :mod:`repro.mechanism` — mechanism-design vocabulary and axiom auditors;
 * :mod:`repro.core` — the paper's mechanisms;
@@ -25,14 +29,17 @@ from repro.core import (
     UniversalTreeShapleyMechanism,
     WirelessMulticastMechanism,
 )
+from repro.engine import CSRGraph, DenseGraph
 from repro.geometry import PointSet, uniform_points
 from repro.mechanism import MechanismResult
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CSRGraph",
     "CostGraph",
+    "DenseGraph",
     "EuclideanCostGraph",
     "EuclideanJVMechanism",
     "EuclideanMCMechanism",

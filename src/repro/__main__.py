@@ -39,6 +39,8 @@ RUNNERS = {
            lambda: E.exp_e3_properties_matrix()),
     "E4": ("Efficiency loss of BB methods (Shapley vs marginal vectors)",
            lambda: E.exp_e4_efficiency_loss()),
+    "S2": ("Batched mechanism pipeline (repro.engine.batch)",
+           lambda: E.exp_s2_batch_pipeline()),
     "A1": ("Ablation — universal-tree choice", lambda: E.exp_a1_tree_ablation()),
     "A2": ("Ablation — spider flavour", lambda: E.exp_a2_spider_ablation()),
     "A3": ("Ablation — JV share family", lambda: E.exp_a3_jv_weights()),

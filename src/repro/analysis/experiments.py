@@ -145,9 +145,11 @@ def exp_f2_empty_core(m_values: Sequence[float] = (6.0, 8.0, 10.0),
 
 def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
                           tree_kind: str = "spt") -> dict:
+    from repro.engine.batch import sweep_instances
+
     rng = as_rng(seed)
-    rows = []
-    for idx, network in enumerate(random_symmetric_suite(n_instances, n, rng)):
+
+    def run_one(network: CostGraph) -> dict:
         source = 0
         tree = _build_tree(network, source, tree_kind)
         agents = tree.agents()
@@ -168,8 +170,7 @@ def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
             res_m.total_charged() / res_m.cost if res_m.cost > 0 else 1.0
         )
 
-        rows.append({
-            "instance": idx,
+        return {
             "submodularity_violations": submodular_violations,
             "monotonicity_violations": monotone_violations,
             "shapley_bb_factor": shapley_bb,
@@ -177,7 +178,9 @@ def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
             "mc_efficiency_gap": mc_gap,
             "mc_revenue_ratio": mc_revenue_ratio,
             "mc_receivers": len(res_m.receivers),
-        })
+        }
+
+    rows = sweep_instances(random_symmetric_suite(n_instances, n, rng), run_one)
     return {"rows": rows}
 
 
@@ -568,6 +571,7 @@ def exp_e4_efficiency_loss(n_instances: int = 4, n: int = 7,
     this experiment measures the worst-case and mean welfare loss of each
     method over random profiles.
     """
+    from repro.engine.batch import MethodCache
     from repro.mechanism.moulin_shenker import moulin_shenker
     from repro.mechanism.shapley import marginal_vector_method, shapley_method
 
@@ -579,11 +583,14 @@ def exp_e4_efficiency_loss(n_instances: int = 4, n: int = 7,
         agents = tree.agents()
         cost_fn = lambda R, t=tree: t.cost(R)
         solver = brute_force_efficient_set(agents, cost_fn)
+        # Memoised per network: the exponential Shapley evaluation of a
+        # receiver set is shared by every profile that visits it.
         methods = {
-            "shapley": shapley_method(cost_fn),
-            "marginal (ascending ids)": marginal_vector_method(sorted(agents), cost_fn),
-            "marginal (descending ids)": marginal_vector_method(
-                sorted(agents, reverse=True), cost_fn),
+            "shapley": MethodCache(shapley_method(cost_fn)),
+            "marginal (ascending ids)": MethodCache(
+                marginal_vector_method(sorted(agents), cost_fn)),
+            "marginal (descending ids)": MethodCache(
+                marginal_vector_method(sorted(agents, reverse=True), cost_fn)),
         }
         for _ in range(n_profiles // n_instances):
             profile = random_utilities(network, source, rng)
@@ -631,6 +638,73 @@ def exp_e2_distributed(sizes: Sequence[int] = (8, 16, 32), seed: int = 0,
             "rounds": stats.rounds,
             "tree_depth": depth,
         })
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# EXP-S2 — the batched mechanism pipeline (repro.engine.batch)
+# ---------------------------------------------------------------------------
+
+def exp_s2_batch_pipeline(n: int = 24, n_profiles: int = 60, seed: int = 0) -> dict:
+    """Throughput of serving many utility profiles over one network.
+
+    The naive service loop rebuilds the instance artifacts (universal tree /
+    metric closure) and re-evaluates every cost-share set per profile; the
+    batched pipeline builds them once and memoises ``xi(R)`` across the
+    whole stream.  Outcomes are asserted identical (the runner raises on
+    divergence — the caches only avoid recomputing pure functions), so the
+    rows report pure speedup.
+    """
+    from repro.engine.batch import JVBatch, UniversalTreeBatch
+
+    rng = as_rng(seed)
+    network = random_euclidean_suite(1, n, 2, 2.0, rng)[0]
+    source = 0
+    profiles = [random_utilities(network, source, rng, scale=2.0)
+                for _ in range(n_profiles)]
+
+    def same(a, b):
+        return (a.receivers == b.receivers and a.shares == b.shares
+                and a.cost == b.cost)
+
+    def time_pipeline(label, naive_fn, batched_fn, cache):
+        t0 = time.perf_counter()
+        naive = [naive_fn(p) for p in profiles]
+        naive_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched = batched_fn(profiles)
+        batched_s = time.perf_counter() - t0
+        identical = all(map(same, naive, batched))
+        if not identical:
+            raise AssertionError(f"batched {label} diverged from the naive loop")
+        return {
+            "pipeline": label,
+            "profiles": n_profiles,
+            "naive_seconds": naive_s,
+            "batched_seconds": batched_s,
+            "speedup": naive_s / batched_s if batched_s > 0 else float("inf"),
+            "cache_hit_rate": cache.hit_rate,
+            "identical_results": identical,
+        }
+
+    batch_ut = UniversalTreeBatch(network, source, kind="spt")
+    batch_jv = JVBatch(network, source)
+    rows = [
+        time_pipeline(
+            "universal-tree Shapley (§2.1)",
+            lambda p: UniversalTreeShapleyMechanism(
+                UniversalTree.from_shortest_paths(network, source)
+            ).run(p),
+            batch_ut.shapley,
+            batch_ut.shapley_method,
+        ),
+        time_pipeline(
+            "Jain-Vazirani Euclidean (§3.2)",
+            lambda p: EuclideanJVMechanism(network, source).run(p),
+            batch_jv.run,
+            batch_jv.shares_method,
+        ),
+    ]
     return {"rows": rows}
 
 

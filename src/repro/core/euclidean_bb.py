@@ -58,14 +58,18 @@ class EuclideanJVMechanism(CostSharingMechanism):
             from repro.wireless.power import PowerAssignment
 
             return 0.0, PowerAssignment.zeros(self.network.n)
-        tree = kmb_steiner_tree(self.network.as_graph(), [self.source, *sorted(R)])
+        tree = kmb_steiner_tree(self.network.as_dense(), [self.source, *sorted(R)])
         power = steiner_heuristic_power(
             self.network, [(u, v) for u, v, _ in tree.edges], self.source
         )
         return power.cost(), power
 
-    def run(self, profile: Profile) -> MechanismResult:
+    def run(self, profile: Profile, *, method=None) -> MechanismResult:
+        """Run the mechanism; ``method`` optionally substitutes a memoised
+        wrapper of ``self.jv.shares`` (see
+        :class:`repro.engine.batch.MethodCache`)."""
         u = self.validate_profile(profile)
-        result = moulin_shenker(self.agents, self.jv.shares, u, build=self._build)
+        xi = self.jv.shares if method is None else method
+        result = moulin_shenker(self.agents, xi, u, build=self._build)
         result.extra["closure_mst_weight"] = self.jv.closure_mst_weight(result.receivers)
         return result

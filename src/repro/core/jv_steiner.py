@@ -30,7 +30,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.graphs.mst import kruskal_complete
+from repro.engine.moats import moat_mst_weight, moat_shares
 from repro.mechanism.base import Agent
 from repro.wireless.cost_graph import CostGraph
 
@@ -79,35 +79,17 @@ class JVSteinerShares:
         return float(self.agent_weights.get(i, 1.0))
 
     def shares(self, R: frozenset) -> dict[Agent, float]:
-        """``xi(R, .)`` via the moat process (O(k^2 log k))."""
+        """``xi(R, .)`` via the moat process (O(k^2 log k)).
+
+        Runs on the index-array kernel of :mod:`repro.engine.moats` — same
+        merge schedule and shares as the dict-graph Kruskal trace, without
+        materialising a graph or component snapshots per call.
+        """
         R = sorted(set(R) - {self.source})
         if not R:
             return {}
-        pts = [self.source, *R]
-
-        def dist(u: int, v: int) -> float:
-            return float(self.closure[u, v])
-
-        _, events = kruskal_complete(pts, dist, trace=True)
-
-        shares = {i: 0.0 for i in R}
-        # Component bookkeeping: birth time and member tuple, keyed by the
-        # frozenset of members (unique through the merge process).
-        birth: dict[frozenset, float] = {frozenset([p]): 0.0 for p in pts}
-        for ev in events:
-            for side in (ev.component_u, ev.component_v):
-                if self.source in side:
-                    continue  # the source's component never pays
-                t0 = birth.pop(side)
-                span = ev.weight - t0
-                if span <= 0:
-                    continue
-                total_w = sum(self._weight(i) for i in side)
-                for i in side:
-                    shares[i] += span * self._weight(i) / total_w
-            merged = ev.component_u | ev.component_v
-            birth[merged] = ev.weight
-        return shares
+        weight_of = None if self.agent_weights is None else self._weight
+        return moat_shares(self.closure, self.source, R, weight_of)
 
     def method(self):
         """Adapter for :func:`repro.mechanism.moulin_shenker.moulin_shenker`."""
@@ -119,6 +101,4 @@ class JVSteinerShares:
         R = sorted(set(R) - {self.source})
         if not R:
             return 0.0
-        pts = [self.source, *R]
-        tree, _ = kruskal_complete(pts, lambda u, v: float(self.closure[u, v]))
-        return sum(w for _, _, w in tree)
+        return moat_mst_weight(self.closure, self.source, R)

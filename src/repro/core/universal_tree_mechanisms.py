@@ -9,7 +9,8 @@ submodular, so two classical constructions apply:
   ``y_1..y_k`` sorted by edge cost, the power increment
   ``c(x, y_i) - c(x, y_{i-1})`` is split equally among the receivers routed
   through ``y_i .. y_k``.  :func:`universal_tree_shapley_shares` implements
-  it in O(n^2); the test-suite proves it equal to the exponential Eq. (4).
+  it in O(|T(R)|) on the flat :mod:`repro.engine.trees` kernel; the
+  test-suite proves it equal to the exponential Eq. (4).
 
 * the **marginal-cost (MC) mechanism** — efficient and strategyproof.
   :func:`tree_efficient_set` finds the largest efficient receiver set by a
@@ -21,12 +22,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.engine.trees import efficient_set, water_filling_shares
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
 from repro.mechanism.moulin_shenker import moulin_shenker
 from repro.mechanism.vcg import MarginalCostMechanism
 from repro.wireless.universal_tree import UniversalTree
-
-_EPS = 1e-12
 
 
 def universal_tree_shapley_shares(
@@ -35,49 +35,12 @@ def universal_tree_shapley_shares(
     """Water-filling Shapley shares of ``C_T`` restricted to ``receivers``.
 
     Equals the Shapley value (paper Eq. (4)) of the universal-tree cost
-    function — see the property tests.  O(|T(R)|^2).
+    function — see the property tests.  Runs on the flat
+    :class:`~repro.engine.trees.TreeIndex` kernel: one bottom-up counting
+    sweep plus one top-down accumulation, O(|T(R)|) per call instead of the
+    per-node receiver-set unions of the naive formulation.
     """
-    R = set(receivers) - {tree.source}
-    if not R:
-        return {}
-    nodes = tree.subtree_nodes(R)
-
-    # Receivers served through each node's subtree (within T(R)).
-    served: dict[Agent, set[Agent]] = {}
-
-    def collect(x: Agent) -> set[Agent]:
-        s: set[Agent] = {x} & R
-        for y in tree.children[x]:
-            if y in nodes:
-                s |= collect(y)
-        served[x] = s
-        return s
-
-    collect(tree.source)
-
-    shares = {i: 0.0 for i in R}
-    for x in nodes:
-        kids = [y for y in tree.children[x] if y in nodes]
-        if not kids:
-            continue
-        kids.sort(key=lambda y: (tree.network.cost(x, y), y))
-        # Suffix receiver groups: increment i is paid by everyone routed
-        # through children y_i..y_k.
-        suffix: list[set[Agent]] = [set() for _ in range(len(kids) + 1)]
-        for idx in range(len(kids) - 1, -1, -1):
-            suffix[idx] = suffix[idx + 1] | served[kids[idx]]
-        prev_cost = 0.0
-        for idx, y in enumerate(kids):
-            c = tree.network.cost(x, y)
-            increment = c - prev_cost
-            prev_cost = c
-            payers = suffix[idx]
-            if increment <= _EPS or not payers:
-                continue
-            per_head = increment / len(payers)
-            for i in payers:
-                shares[i] += per_head
-    return shares
+    return water_filling_shares(tree.index(), receivers)
 
 
 def tree_efficient_set(
@@ -90,52 +53,10 @@ def tree_efficient_set(
     ``(welfare, size)`` of its subtree given the station is wired in; a
     parent then chooses which children to activate, paying the maximum
     child-edge cost among activated ones.  Maximising welfare (then size)
-    decomposes because both add across children.
+    decomposes because both add across children.  Runs on the iterative
+    set-free kernel of :mod:`repro.engine.trees`.
     """
-    # value[v] = (welfare, size, receiver_set) given v is in T(R), counting
-    # v's utility (every wired station joins R: it rides for free) and the
-    # powers inside v's subtree, but not v's parent edge.
-    value: dict[Agent, tuple[float, int, frozenset]] = {}
-
-    def solve(v: Agent) -> tuple[float, int, frozenset]:
-        kids = [y for y in tree.children[v]]
-        kids.sort(key=lambda y: (tree.network.cost(v, y), y))
-        child = {y: solve(y) for y in kids}
-        best = (0.0, 0, frozenset())  # activate nothing below v
-        for j, yj in enumerate(kids):
-            # y_j is the most expensive activated child; cheaper ones join
-            # for free exactly when their subtree value is non-negative.
-            w = child[yj][0] - tree.network.cost(v, yj)
-            size = child[yj][1]
-            members = set(child[yj][2])
-            for yi in kids[:j]:
-                cw, cs, cm = child[yi]
-                if cw > _EPS or (abs(cw) <= _EPS and cs > 0):
-                    w += cw
-                    size += cs
-                    members |= cm
-            cand = (w, size, frozenset(members))
-            if cand[0] > best[0] + _EPS or (
-                abs(cand[0] - best[0]) <= _EPS and cand[1] > best[1]
-            ):
-                best = cand
-        if v == tree.source:
-            result = best
-        else:
-            u_v = float(profile.get(v, 0.0))
-            result = (best[0] + u_v, best[1] + 1, best[2] | {v})
-        value[v] = result
-        return result
-
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 2 * tree.network.n + 100))
-    try:
-        welfare, _, members = solve(tree.source)
-    finally:
-        sys.setrecursionlimit(old_limit)
-    return welfare, members
+    return efficient_set(tree.index(), profile)
 
 
 class UniversalTreeShapleyMechanism(CostSharingMechanism):
@@ -146,11 +67,16 @@ class UniversalTreeShapleyMechanism(CostSharingMechanism):
         self.tree = tree
         self.agents = tree.agents()
 
-    def run(self, profile: Profile) -> MechanismResult:
+    def run(self, profile: Profile, *, method=None) -> MechanismResult:
+        """Run the mechanism; ``method`` optionally substitutes a memoised
+        wrapper of the Shapley method (see
+        :class:`repro.engine.batch.MethodCache`) — same values, shared
+        across profiles."""
         u = self.validate_profile(profile)
 
-        def method(R: frozenset) -> dict[Agent, float]:
-            return universal_tree_shapley_shares(self.tree, R)
+        if method is None:
+            def method(R: frozenset) -> dict[Agent, float]:
+                return universal_tree_shapley_shares(self.tree, R)
 
         def build(R: frozenset) -> tuple[float, object]:
             power = self.tree.power_assignment(R)

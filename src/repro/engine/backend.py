@@ -1,0 +1,76 @@
+"""The graph-backend protocol and backend coercion helpers.
+
+:class:`GraphBackend` names the structural contract every graph container
+in this codebase satisfies — the adjacency-map :class:`~repro.graphs.adjacency.Graph`
+and :class:`~repro.graphs.adjacency.DiGraph` as well as the array-backed
+:class:`~repro.engine.dense.DenseGraph` / :class:`~repro.engine.dense.CSRGraph`.
+Neighbour iteration is exposed as ``neighbors`` on undirected containers
+and ``successors`` on directed ones (array graphs provide both names);
+:func:`out_neighbors` dispatches on the ``directed`` flag.
+
+The algorithm entry points in :mod:`repro.graphs` accept any backend and
+take the vectorised path when :func:`is_array_backend` holds, so callers
+choose a representation once (``CostGraph.as_dense()`` for the complete
+wireless cost graphs, plain ``Graph`` for arbitrary hashable-node
+instances) and everything downstream follows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from typing import Protocol, runtime_checkable
+
+from repro.engine.dense import ArrayGraph, CSRGraph, DenseGraph, _contiguous_int_labels
+
+Node = Hashable
+
+
+@runtime_checkable
+class GraphBackend(Protocol):
+    """What every graph container must offer the algorithm layer."""
+
+    directed: bool
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Node]: ...
+
+    def __contains__(self, node: Node) -> bool: ...
+
+    def nodes(self) -> list[Node]: ...
+
+    def has_edge(self, u: Node, v: Node) -> bool: ...
+
+    def weight(self, u: Node, v: Node) -> float: ...
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]: ...
+
+
+def is_array_backend(graph: object) -> bool:
+    """True when ``graph`` carries the vectorised array kernels."""
+    return isinstance(graph, ArrayGraph)
+
+
+def out_neighbors(graph, node: Node) -> Iterator[tuple[Node, float]]:
+    """``(neighbour, weight)`` pairs leaving ``node`` on any backend."""
+    if graph.directed:
+        return graph.successors(node)
+    return graph.neighbors(node)
+
+
+def as_array_backend(graph, *, prefer: str = "dense") -> ArrayGraph | None:
+    """Coerce ``graph`` to an array backend, or ``None`` when impossible.
+
+    Array graphs pass through unchanged.  Adjacency-map graphs convert iff
+    their node labels are exactly ``0..n-1`` (arbitrary hashable labels
+    stay on the dict path — relabelling is the caller's decision).
+    ``prefer`` picks ``'dense'`` or ``'csr'`` for the converted copy.
+    """
+    if isinstance(graph, ArrayGraph):
+        return graph
+    if prefer not in ("dense", "csr"):
+        raise ValueError(f"unknown backend preference: {prefer!r}")
+    if not _contiguous_int_labels(graph):
+        return None
+    cls = DenseGraph if prefer == "dense" else CSRGraph
+    return cls.from_graph(graph)

@@ -1,0 +1,169 @@
+"""Batched mechanism pipeline: many profiles / many instances, one sweep.
+
+A production deployment of these mechanisms doesn't price one utility
+profile at a time — it serves streams of scenarios over a slowly-changing
+network.  Everything that depends only on the *instance* (the universal
+tree, the metric closure, the cost-share values ``xi(R)`` of every
+receiver set the Moulin-Shenker iteration visits) is reusable across
+profiles; only the drop sequence is profile-specific.  This module
+memoises exactly those pieces:
+
+* :class:`MethodCache` — a transparent memo for any cost-sharing method
+  ``xi(R) -> shares``.  Receiver sets repeat heavily across profiles (the
+  iteration always starts from the full set and descends), so hit rates
+  climb quickly.
+* :func:`run_profiles` — Moulin-Shenker over a profile stream with a
+  shared method cache.
+* :class:`UniversalTreeBatch` / :class:`JVBatch` — the section 2.1 and
+  section 3.2 pipelines with the tree / closure built once.
+* :func:`sweep_instances` — evaluate a per-instance runner over an
+  instance stream, collecting rows.
+
+Results are identical to per-call mechanism runs — the caches only avoid
+recomputing pure functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.mechanism.base import Agent, MechanismResult, Profile
+from repro.mechanism.moulin_shenker import Method, moulin_shenker
+
+
+class MethodCache:
+    """Memoise a cost-sharing method ``xi(R) -> {agent: share}``.
+
+    The wrapped method must be pure (every ``xi`` in this codebase is).
+    Returned dicts are fresh copies, so callers may mutate them safely.
+    """
+
+    def __init__(self, method: Method) -> None:
+        self._method = method
+        self._cache: dict[frozenset, dict[Agent, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, R: frozenset) -> dict[Agent, float]:
+        key = frozenset(R)
+        found = self._cache.get(key)
+        if found is None:
+            found = dict(self._method(key))
+            self._cache[key] = found
+            self.misses += 1
+        else:
+            self.hits += 1
+        return dict(found)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def run_profiles(
+    agents: Sequence[Agent],
+    method: Method,
+    profiles: Iterable[Profile],
+    *,
+    build: Callable[[frozenset], tuple[float, object | None]] | None = None,
+    cache: bool = True,
+) -> list[MechanismResult]:
+    """Run ``M(method)`` on every profile, sharing one method cache.
+
+    Pass an existing :class:`MethodCache` as ``method`` to share it across
+    calls (its statistics keep accumulating); with ``cache=False`` the
+    underlying method is called directly — unwrapping any
+    :class:`MethodCache` handed in — reproducing the naive per-profile
+    loop.
+    """
+    xi: Method
+    if cache:
+        xi = method if isinstance(method, MethodCache) else MethodCache(method)
+    else:
+        xi = method._method if isinstance(method, MethodCache) else method
+    return [moulin_shenker(agents, xi, profile, build=build) for profile in profiles]
+
+
+class UniversalTreeBatch:
+    """The section 2.1 pipeline over one network: tree built once, the
+    Shapley method memoised across every profile evaluated."""
+
+    def __init__(self, network, source: int = 0, *, kind: str = "spt",
+                 backend: str = "auto") -> None:
+        from repro.core.universal_tree_mechanisms import universal_tree_shapley_shares
+        from repro.wireless.universal_tree import UniversalTree
+
+        self.network = network
+        self.source = source
+        if kind == "spt":
+            self.tree = UniversalTree.from_shortest_paths(network, source, backend=backend)
+        elif kind == "mst":
+            self.tree = UniversalTree.from_mst(network, source, backend=backend)
+        elif kind == "star":
+            self.tree = UniversalTree.star(network, source)
+        else:
+            raise ValueError(f"unknown universal tree kind {kind!r}")
+        self.agents = self.tree.agents()
+        self.shapley_method = MethodCache(
+            lambda R: universal_tree_shapley_shares(self.tree, R)
+        )
+
+    def _build(self, R: frozenset) -> tuple[float, object]:
+        power = self.tree.power_assignment(R)
+        return power.cost(), power
+
+    def shapley(self, profiles: Iterable[Profile]) -> list[MechanismResult]:
+        """Shapley-value mechanism over the profile stream."""
+        return run_profiles(self.agents, self.shapley_method, profiles,
+                            build=self._build)
+
+    def marginal_cost(self, profiles: Iterable[Profile]) -> list[MechanismResult]:
+        """Marginal-cost mechanism over the profile stream (the tree DP is
+        already per-profile; only the tree itself is shared)."""
+        from repro.core.universal_tree_mechanisms import UniversalTreeMCMechanism
+
+        mech = UniversalTreeMCMechanism(self.tree)
+        return [mech.run(profile) for profile in profiles]
+
+
+class JVBatch:
+    """The section 3.2 pipeline over one network: metric closure computed
+    once, the Jain-Vazirani moat shares memoised across profiles."""
+
+    def __init__(self, network, source: int = 0,
+                 agent_weights: Mapping[Agent, float] | None = None) -> None:
+        from repro.core.euclidean_bb import EuclideanJVMechanism
+
+        self.mechanism = EuclideanJVMechanism(network, source, agent_weights)
+        self.shares_method = MethodCache(self.mechanism.jv.shares)
+
+    def run(self, profiles: Iterable[Profile]) -> list[MechanismResult]:
+        return [self.mechanism.run(profile, method=self.shares_method)
+                for profile in profiles]
+
+
+def sweep_instances(
+    instances: Iterable[Any],
+    runner: Callable[[Any], Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Evaluate ``runner`` on every instance, tagging rows with an index.
+
+    The experiment-suite convenience (EXP-T1 runs on it): ``runner``
+    returns one plain dict per instance, and the instance index becomes
+    the leading ``"instance"`` column unless the runner set one — ready
+    for :func:`repro.analysis.tables.format_table`.
+    """
+    rows: list[dict[str, Any]] = []
+    for idx, instance in enumerate(instances):
+        row = dict(runner(instance))
+        if "instance" not in row:
+            row = {"instance": idx, **row}
+        rows.append(row)
+    return rows

@@ -1,0 +1,111 @@
+"""Kruskal moat kernels for the Jain-Vazirani Steiner cost shares.
+
+The seed implementation of :class:`repro.core.jv_steiner.JVSteinerShares`
+materialised a dict :class:`~repro.graphs.adjacency.Graph` over the
+terminals and snapshotted every merge component as a frozenset — ``O(k^2)``
+allocations per evaluation, re-paid on every Moulin-Shenker round.  These
+kernels run the same moat process straight off the metric-closure matrix:
+edges come from ``triu`` index arrays, components live in an integer
+union-find with member lists, and shares accumulate into a flat vector.
+
+Tie-breaking replicates :func:`repro.graphs.mst.kruskal_mst` exactly
+(sort key ``(weight, repr(u), repr(v))`` with ``(u, v)`` oriented by
+position in ``pts``), so the merge schedule — and therefore every share
+of the default equal-split family — matches the reference formulation
+bit-for-bit.  In the weighted family a component's weight total is
+accumulated over its members in *sorted station order* (a deterministic
+choice; the retired frozenset-based formulation summed in hash order, so
+weighted shares may differ from it in the last ulp).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.disjoint_set import DisjointSet
+
+
+def _sorted_closure_edges(closure: np.ndarray, pts: Sequence[int]):
+    """Closure edges among ``pts`` in Kruskal order, as index pairs."""
+    k = len(pts)
+    sub = closure[np.ix_(pts, pts)]
+    iu, iv = np.triu_indices(k, 1)
+    w = sub[iu, iv]
+    order = sorted(
+        range(len(w)),
+        key=lambda e: (w[e], repr(pts[int(iu[e])]), repr(pts[int(iv[e])])),
+    )
+    return [(int(iu[e]), int(iv[e]), float(w[e])) for e in order]
+
+
+def moat_shares(
+    closure: np.ndarray,
+    source: int,
+    members: Sequence[int],
+    weight_of: Callable[[int], float] | None = None,
+) -> dict[int, float]:
+    """``xi(R, .)`` of the JV moat process over ``{source} + members``.
+
+    Kruskal on the metric closure, reading edge weight as time: every
+    component not containing the source accrues cost at unit rate between
+    its merge events, split among its members (equally, or proportionally
+    to ``weight_of`` when given).  An agent stops paying when its
+    component absorbs the source.  ``sum(shares) == closure MST weight``
+    exactly.
+    """
+    pts = [source, *members]
+    k = len(pts)
+    shares = [0.0] * k
+    if k <= 1:
+        return {}
+    dsu = DisjointSet(range(k))
+    birth = {i: 0.0 for i in range(k)}  # keyed by current component root
+    src_root = 0
+    for a, b, t in _sorted_closure_edges(closure, pts):
+        ra, rb = dsu.find(a), dsu.find(b)
+        if ra == rb:
+            continue
+        # The component of the edge's first endpoint pays first (the
+        # reference event order), the source's component never pays.
+        for root in (ra, rb):
+            if root == src_root:
+                continue
+            span = t - birth[root]
+            if span <= 0:
+                continue
+            side = dsu.members(root)
+            if weight_of is None:
+                for i in side:
+                    shares[i] += span * 1.0 / len(side)
+            else:
+                total_w = sum(weight_of(pts[i]) for i in sorted(side))
+                for i in side:
+                    shares[i] += span * weight_of(pts[i]) / total_w
+        dsu.union(a, b)
+        merged_root = dsu.find(a)
+        birth[merged_root] = t  # the merged component is born at time t
+        if src_root in (ra, rb):
+            src_root = merged_root
+        if dsu.n_components == 1:
+            break
+    return {pts[i]: shares[i] for i in range(1, k)}
+
+
+def moat_mst_weight(closure: np.ndarray, source: int, members: Sequence[int]) -> float:
+    """MST weight of the metric closure over ``{source} + members`` (the
+    total the moat shares sum to), accumulated in Kruskal acceptance order
+    so the float matches the reference sum exactly."""
+    pts = [source, *members]
+    k = len(pts)
+    if k <= 1:
+        return 0.0
+    dsu = DisjointSet(range(k))
+    total = 0.0
+    for a, b, w in _sorted_closure_edges(closure, pts):
+        if dsu.union(a, b):
+            total += w
+            if dsu.n_components == 1:
+                break
+    return total

@@ -1,0 +1,162 @@
+"""Array-form universal-tree kernels (paper section 2.1, vectorised).
+
+The seed implementations of the water-filling Shapley shares and the
+efficient-set tree DP materialised per-node *receiver sets* (``O(n^2)`` set
+unions per evaluation, ``O(n^3)`` over a Moulin-Shenker run).  These
+kernels work on a flat :class:`TreeIndex` — parent array, BFS order, and
+per-node child lists pre-sorted by edge cost — and replace the set algebra
+with suffix counts and a single top-down accumulation pass, making one
+evaluation ``O(n)`` / ``O(sum of children^2)`` with no per-call allocation
+of set objects.
+
+Both kernels replicate the reference semantics operation-for-operation
+(same comparison epsilons, same tie rules, same float accumulation order
+in the DP), so mechanism outputs are unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+_EPS = 1e-12
+
+
+class TreeIndex:
+    """Flat index of a rooted spanning tree over stations ``0..n-1``.
+
+    ``children[x]`` keeps the order handed in (the universal-tree
+    convention: sorted by ``(edge cost, child id)`` — the order the
+    water-filling shares are defined over); ``child_cost[x]`` aligns with
+    it.  ``order`` is a BFS order from the source, so a reverse sweep is
+    bottom-up.
+    """
+
+    __slots__ = ("n", "source", "parent", "children", "child_cost", "order")
+
+    def __init__(self, n: int, source: int, parents: Mapping[int, int | None],
+                 children: Mapping[int, list[int]],
+                 cost: Callable[[int, int], float]) -> None:
+        self.n = n
+        self.source = source
+        self.parent = [-1] * n
+        for child, par in parents.items():
+            self.parent[child] = -1 if par is None else par
+        self.children = [list(children[x]) for x in range(n)]
+        self.child_cost = [[cost(x, y) for y in self.children[x]] for x in range(n)]
+        order = [source]
+        for x in order:  # grows while iterating: BFS without a deque
+            order.extend(self.children[x])
+        if len(order) != n:
+            raise ValueError("parent/children maps do not form a spanning tree")
+        self.order = order
+
+
+def water_filling_shares(tree: TreeIndex, receivers: Iterable[int]) -> dict[int, float]:
+    """Water-filling Shapley shares of the universal-tree cost function
+    restricted to ``receivers`` (paper Eq. (4) closed form).
+
+    At each station of ``T(R)`` with wired children sorted by edge cost,
+    the power increment ``c_i - c_{i-1}`` is split equally among the
+    receivers routed through the ``i``-th-or-costlier children.  A
+    receiver's share is the sum of those per-head increments along its
+    root path, accumulated top-down in one pass.
+    """
+    R = set(receivers) - {tree.source}
+    if not R:
+        return {}
+    parent = tree.parent
+    in_t = bytearray(tree.n)
+    in_t[tree.source] = 1
+    for r in R:
+        x = r
+        while not in_t[x]:
+            in_t[x] = 1
+            x = parent[x]
+    # Receivers served through each wired node's subtree.
+    cnt = [0] * tree.n
+    for i in R:
+        cnt[i] = 1
+    for x in reversed(tree.order):
+        if in_t[x] and x != tree.source:
+            cnt[parent[x]] += cnt[x]
+    # acc[x] = total per-head payments along the root -> x path.
+    acc = [0.0] * tree.n
+    for x in tree.order:
+        if not in_t[x]:
+            continue
+        kids = tree.children[x]
+        costs = tree.child_cost[x]
+        active = [(kids[i], costs[i]) for i in range(len(kids)) if in_t[kids[i]]]
+        if not active:
+            continue
+        suffix = [0] * len(active)
+        running = 0
+        for idx in range(len(active) - 1, -1, -1):
+            running += cnt[active[idx][0]]
+            suffix[idx] = running
+        prev_cost = 0.0
+        pay = 0.0
+        for idx, (y, c) in enumerate(active):
+            increment = c - prev_cost
+            prev_cost = c
+            if increment > _EPS and suffix[idx] > 0:
+                pay += increment / suffix[idx]
+            acc[y] = acc[x] + pay
+    return {i: acc[i] for i in R}
+
+
+def efficient_set(tree: TreeIndex, profile: Mapping[int, float]) -> tuple[float, frozenset]:
+    """``(max net worth, largest efficient receiver set)`` of the
+    universal-tree cost function — the bottom-up DP of
+    :func:`repro.core.universal_tree_mechanisms.tree_efficient_set`,
+    iterative and set-free.
+
+    For each station the DP keeps the lexicographically maximal
+    ``(welfare, size)`` given the station is wired in; the winning child
+    configuration is recorded as the index of the most expensive activated
+    child (cheaper children join exactly when their subtree value is
+    non-negative) and the receiver set is rebuilt in one descent at the
+    end.
+    """
+    n, source = tree.n, tree.source
+    val_w = [0.0] * n
+    val_size = [0] * n
+    choice = [-1] * n  # index into children[x] of the costliest activated child
+    for v in reversed(tree.order):
+        kids = tree.children[v]
+        costs = tree.child_cost[v]
+        best_w, best_size, best_j = 0.0, 0, -1
+        for j in range(len(kids)):
+            w = val_w[kids[j]] - costs[j]
+            size = val_size[kids[j]]
+            for i in range(j):
+                cw = val_w[kids[i]]
+                cs = val_size[kids[i]]
+                if cw > _EPS or (abs(cw) <= _EPS and cs > 0):
+                    w += cw
+                    size += cs
+            if w > best_w + _EPS or (abs(w - best_w) <= _EPS and size > best_size):
+                best_w, best_size, best_j = w, size, j
+        choice[v] = best_j
+        if v == source:
+            val_w[v], val_size[v] = best_w, best_size
+        else:
+            val_w[v] = best_w + float(profile.get(v, 0.0))
+            val_size[v] = best_size + 1
+    # Rebuild the winning receiver set by replaying the choices.
+    members: list[int] = []
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        if v != source:
+            members.append(v)
+        j = choice[v]
+        if j < 0:
+            continue
+        kids = tree.children[v]
+        stack.append(kids[j])
+        for i in range(j):
+            cw = val_w[kids[i]]
+            if cw > _EPS or (abs(cw) <= _EPS and val_size[kids[i]] > 0):
+                stack.append(kids[i])
+    return val_w[source], frozenset(members)

@@ -4,6 +4,13 @@ Everything here is implemented from scratch (no networkx inside the
 library); the test-suite cross-checks the implementations against networkx
 where an oracle exists.
 
+The algorithm entry points (``dijkstra``, ``all_pairs_dijkstra``,
+``prim_mst``, ``metric_closure``, and everything built on them) accept any
+:class:`~repro.engine.backend.GraphBackend` — the adjacency-map containers
+below for arbitrary hashable nodes, or the array-backed
+:class:`~repro.engine.dense.DenseGraph` / ``CSRGraph`` for integer-labelled
+graphs, which dispatch to vectorised kernels.
+
 Modules
 -------
 adjacency
@@ -40,7 +47,7 @@ from repro.graphs.addressable_heap import AddressableHeap
 from repro.graphs.arborescence import minimum_arborescence
 from repro.graphs.disjoint_set import DisjointSet
 from repro.graphs.mst import MergeEvent, kruskal_complete, kruskal_mst, prim_mst
-from repro.graphs.node_weighted import node_weighted_dijkstra
+from repro.graphs.node_weighted import node_weighted_arc_matrix, node_weighted_dijkstra
 from repro.graphs.nwst import (
     GreedySpiderSolver,
     Spider,
@@ -80,6 +87,7 @@ __all__ = [
     "kruskal_mst",
     "metric_closure",
     "minimum_arborescence",
+    "node_weighted_arc_matrix",
     "node_weighted_dijkstra",
     "prim_mst",
     "reconstruct_path",

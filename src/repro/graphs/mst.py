@@ -84,11 +84,18 @@ def prim_mst(graph: Graph, root: Node | None = None) -> list[tuple[Node, Node, f
     Only the component containing ``root`` is spanned; a disconnected graph
     therefore yields the MST of that component.
     Edges are returned as ``(parent, child, w)`` in attachment order.
+    Array-backed graphs (:class:`~repro.engine.dense.ArrayGraph`) run the
+    vectorised masked-min kernel; the tree can differ from the heap path
+    only on exact weight ties (same total weight either way).
     """
     if len(graph) == 0:
         return []
     if root is None:
         root = next(iter(graph))
+    from repro.engine.dense import ArrayGraph
+
+    if isinstance(graph, ArrayGraph):
+        return graph.prim_arrays(int(root))
     in_tree = {root}
     attach: dict[Node, Node] = {}
     heap = AddressableHeap()

@@ -34,6 +34,10 @@ def node_weighted_dijkstra(
     ``dist[v]`` is the minimum total weight of the nodes on a path from
     ``source`` to ``v``, *excluding* ``w(source)`` but including ``w(v)``.
     Weights must be non-negative.
+
+    With ``targets`` the search stops once every target is settled; as in
+    :func:`repro.graphs.shortest_paths.dijkstra`, only settled nodes appear
+    in the result (``dist`` and ``parent`` share their key set).
     """
     dist: dict[Node, float] = {}
     parent: dict[Node, Node | None] = {source: None}
@@ -55,6 +59,8 @@ def node_weighted_dijkstra(
                 raise ValueError(f"negative node weight on {v!r}: {wv}")
             if heap.push_or_decrease(v, d + wv):
                 parent[v] = u
+    if remaining is not None:
+        parent = {v: p for v, p in parent.items() if v in dist}
     return dist, parent
 
 
@@ -68,3 +74,32 @@ def all_sources_node_weighted(
 ) -> dict[Node, dict[Node, float]]:
     """Node-weighted distances from every node (n Dijkstra runs)."""
     return {u: node_weighted_dijkstra(graph, weights, u)[0] for u in graph.nodes()}
+
+
+def node_weighted_arc_matrix(graph: Graph, weights: Mapping[Node, float],
+                             node_list: list[Node]):
+    """The node-weighted metric as a dense arc-weight matrix over
+    ``node_list``: ``A[a, b] = w(node_list[b])`` when the edge exists,
+    ``inf`` otherwise — walking ``a -> b`` pays the weight of ``b``.
+
+    Feeding this to :func:`repro.engine.dense.batched_dijkstra` yields the
+    all-sources node-weighted distance matrix in one vectorised sweep
+    (identical floats to per-source :func:`node_weighted_dijkstra`).
+    """
+    import numpy as np
+
+    index = {u: a for a, u in enumerate(node_list)}
+    n = len(node_list)
+    wvec = np.empty(n)
+    for u, a in index.items():
+        wu = float(weights.get(u, 0.0))
+        if wu < 0:
+            raise ValueError(f"negative node weight on {u!r}: {wu}")
+        wvec[a] = wu
+    arcs = np.full((n, n), np.inf)
+    for u in node_list:
+        a = index[u]
+        for v, _ in graph.neighbors(u):
+            b = index[v]
+            arcs[a, b] = wvec[b]
+    return arcs

@@ -34,8 +34,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.dense import batched_dijkstra
 from repro.graphs.adjacency import Graph
-from repro.graphs.node_weighted import node_weighted_dijkstra
+from repro.graphs.node_weighted import node_weighted_arc_matrix, node_weighted_dijkstra
 from repro.graphs.shortest_paths import reconstruct_path
 
 Node = Hashable
@@ -108,28 +109,25 @@ def find_min_ratio_spider(
         if c > 0:
             countable_mask |= 1 << i
 
-    # Node-weighted Dijkstra from every node: dist excludes the source weight.
-    dist: dict[Node, dict[Node, float]] = {}
-    parent: dict[Node, dict[Node, Node | None]] = {}
+    # All-sources node-weighted distances in one lockstep sweep (distances
+    # exclude the source's own weight): D[a, b] = dist node a -> node b,
+    # T = D restricted to terminal columns (profiling: the junction
+    # enumeration is the hot path of the whole NWST pipeline).  Identical
+    # floats to per-node heap Dijkstras, at a fraction of the cost.
     node_list = graph.nodes()
     node_index = {u: a for a, u in enumerate(node_list)}
-    for v in node_list:
-        d, p = node_weighted_dijkstra(graph, weights, v)
-        dist[v] = d
-        parent[v] = p
-
-    # Dense distance matrices for the vectorised branch computation:
-    # D[a, b] = node-weighted distance node a -> node b,
-    # T = D restricted to terminal columns (profiling: the junction
-    # enumeration is the hot path of the whole NWST pipeline).
     n_nodes = len(node_list)
-    D = np.full((n_nodes, n_nodes), np.inf)
-    for u in node_list:
-        a = node_index[u]
-        row = dist[u]
-        for v, dv in row.items():
-            D[a, node_index[v]] = dv
+    D = batched_dijkstra(node_weighted_arc_matrix(graph, weights, node_list))
     T = D[:, [node_index[t] for t in term_list]] if k else np.zeros((n_nodes, 0))
+
+    # Predecessor maps are only needed to walk the *winning* spider's legs;
+    # recover them lazily with the deterministic dict Dijkstra.
+    parent_cache: dict[Node, dict[Node, Node | None]] = {}
+
+    def parent_map(src: Node) -> dict[Node, Node | None]:
+        if src not in parent_cache:
+            parent_cache[src] = node_weighted_dijkstra(graph, weights, src)[1]
+        return parent_cache[src]
 
     best: tuple[float, float, str] | None = None  # (ratio, cost, center repr)
     best_payload: tuple[Node, tuple[int, ...], dict] | None = None
@@ -137,8 +135,7 @@ def find_min_ratio_spider(
     use_prefix = k > max_dp_terminals  # classic fallback without the 2^k DP
     for center in node_list:
         wv = float(weights.get(center, 0.0))
-        dc = dist[center]
-        leg = [dc.get(t, _INF) for t in term_list]
+        leg = [float(x) for x in T[node_index[center]]]
         if sum(1 for c in leg if c < _INF) < min_terminals:
             continue
 
@@ -222,7 +219,7 @@ def find_min_ratio_spider(
     nodes: set[Node] = {center}
     if info.get("prefix"):
         for i in covered:
-            nodes.update(reconstruct_path(parent[center], term_list[i]))
+            nodes.update(reconstruct_path(parent_map(center), term_list[i]))
     else:
         S = info["S"]
         choice = info["choice"]
@@ -232,16 +229,16 @@ def find_min_ratio_spider(
             assert ch is not None
             if ch[0] == "single":
                 i = ch[1]
-                nodes.update(reconstruct_path(parent[center], term_list[i]))
+                nodes.update(reconstruct_path(parent_map(center), term_list[i]))
                 S ^= 1 << i
             else:
                 _, i, j = ch
                 # Lazy junction recovery: argmin over u of
                 # D[center, u] + T[u, i] + T[u, j].
                 u = node_list[int(np.argmin(c_row + T[:, i] + T[:, j]))]
-                nodes.update(reconstruct_path(parent[center], u))
-                nodes.update(reconstruct_path(parent[u], term_list[i]))
-                nodes.update(reconstruct_path(parent[u], term_list[j]))
+                nodes.update(reconstruct_path(parent_map(center), u))
+                nodes.update(reconstruct_path(parent_map(u), term_list[i]))
+                nodes.update(reconstruct_path(parent_map(u), term_list[j]))
                 S ^= (1 << i) | (1 << j)
 
     terminals_cov = frozenset(term_list[i] for i in covered)

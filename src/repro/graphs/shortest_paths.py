@@ -4,12 +4,20 @@ Used for shortest-path universal trees (section 2.1 of the paper), the
 metric closure behind the KMB Steiner approximation and the Jain-Vazirani
 cost shares, and as a building block of the node-weighted variant in
 :mod:`repro.graphs.node_weighted`.
+
+Every entry point accepts any :class:`~repro.engine.backend.GraphBackend`:
+adjacency-map graphs run the addressable-heap implementation, array graphs
+(:class:`~repro.engine.dense.DenseGraph` / ``CSRGraph``) dispatch to their
+vectorised masked-min kernels.  Distances are identical either way; parent
+pointers can differ only on exact distance ties.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
 
+from repro.engine.backend import out_neighbors as _out_neighbors
+from repro.engine.dense import ArrayGraph
 from repro.graphs.addressable_heap import AddressableHeap
 from repro.graphs.adjacency import DiGraph, Graph
 
@@ -17,7 +25,7 @@ Node = Hashable
 
 
 def dijkstra(
-    graph: Graph | DiGraph,
+    graph: Graph | DiGraph | ArrayGraph,
     source: Node,
     targets: Iterable[Node] | None = None,
 ) -> tuple[dict[Node, float], dict[Node, Node | None]]:
@@ -26,12 +34,15 @@ def dijkstra(
     Parameters
     ----------
     graph:
-        Undirected or directed graph.
+        Undirected or directed graph (dict- or array-backed).
     source:
         Start node.
     targets:
-        Optional early-exit set: the search stops once every target has been
-        settled. Distances of unsettled nodes are absent from the result.
+        Optional early-exit set: the search stops once every target has
+        been settled.  Only settled nodes appear in the result — ``dist``
+        and ``parent`` always have exactly the same keys, so an unsettled
+        node can never be silently path-reconstructed through provisional
+        predecessors.
 
     Returns
     -------
@@ -40,6 +51,8 @@ def dijkstra(
         ``parent[v]`` the predecessor on one shortest path (``None`` at the
         source).
     """
+    if isinstance(graph, ArrayGraph):
+        return _dijkstra_array(graph, source, targets)
     remaining = set(targets) if targets is not None else None
     dist: dict[Node, float] = {}
     parent: dict[Node, Node | None] = {source: None}
@@ -59,15 +72,42 @@ def dijkstra(
                 continue
             if heap.push_or_decrease(v, d + w):
                 parent[v] = u
+    if remaining is not None:
+        # Early exit leaves provisional parent entries for nodes that were
+        # relaxed but never settled; drop them so dist/parent agree.
+        parent = {v: p for v, p in parent.items() if v in dist}
     return dist, parent
 
 
-def dijkstra_distances(graph: Graph | DiGraph, source: Node) -> dict[Node, float]:
+def _dijkstra_array(
+    graph: ArrayGraph, source: Node, targets: Iterable[Node] | None
+) -> tuple[dict[Node, float], dict[Node, Node | None]]:
+    dist_arr, parent_arr, order = graph.dijkstra_arrays(int(source), targets)
+    dist: dict[Node, float] = {}
+    parent: dict[Node, Node | None] = {}
+    for u in order:
+        u = int(u)
+        dist[u] = float(dist_arr[u])
+        p = int(parent_arr[u])
+        parent[u] = p if p >= 0 else None
+    return dist, parent
+
+
+def dijkstra_distances(graph: Graph | DiGraph | ArrayGraph, source: Node) -> dict[Node, float]:
     return dijkstra(graph, source)[0]
 
 
-def all_pairs_dijkstra(graph: Graph | DiGraph) -> dict[Node, dict[Node, float]]:
-    """All-pairs shortest distances (one Dijkstra per node)."""
+def all_pairs_dijkstra(graph: Graph | DiGraph | ArrayGraph) -> dict[Node, dict[Node, float]]:
+    """All-pairs shortest distances (one Dijkstra per node; array graphs
+    run every source in lockstep through one vectorised sweep)."""
+    if isinstance(graph, ArrayGraph) and hasattr(graph, "all_pairs_arrays"):
+        import numpy as np
+
+        d = graph.all_pairs_arrays()
+        return {
+            int(u): {int(v): float(d[u, v]) for v in np.flatnonzero(np.isfinite(d[u]))}
+            for u in range(graph.n)
+        }
     return {u: dijkstra(graph, u)[0] for u in graph.nodes()}
 
 
@@ -82,15 +122,11 @@ def reconstruct_path(parent: dict[Node, Node | None], target: Node) -> list[Node
     return path
 
 
-def shortest_path(graph: Graph | DiGraph, source: Node, target: Node) -> tuple[list[Node], float]:
+def shortest_path(
+    graph: Graph | DiGraph | ArrayGraph, source: Node, target: Node
+) -> tuple[list[Node], float]:
     """Convenience wrapper: one shortest path and its length."""
     dist, parent = dijkstra(graph, source, targets=[target])
     if target not in dist:
         raise ValueError(f"no path from {source!r} to {target!r}")
     return reconstruct_path(parent, target), dist[target]
-
-
-def _out_neighbors(graph: Graph | DiGraph, node: Node):
-    if graph.directed:
-        return graph.successors(node)  # type: ignore[union-attr]
-    return graph.neighbors(node)  # type: ignore[union-attr]

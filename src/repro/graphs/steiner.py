@@ -17,11 +17,22 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
+from repro.engine.backend import as_array_backend
+from repro.engine.dense import ArrayGraph, batched_dijkstra
 from repro.graphs.adjacency import Graph
 from repro.graphs.mst import kruskal_complete, prim_mst
 from repro.graphs.shortest_paths import all_pairs_dijkstra, dijkstra, reconstruct_path
 
 Node = Hashable
+
+
+def _all_pairs_fast(graph: Graph | ArrayGraph) -> dict[Node, dict[Node, float]]:
+    """All-pairs distances, coerced onto the array backend when the node
+    labels allow it (``0..n-1`` ints).  Distance-only consumers — the
+    Dreyfus-Wagner programs below — get identical floats either way, so
+    the coercion is pure speedup with no tie sensitivity."""
+    arr = as_array_backend(graph)
+    return all_pairs_dijkstra(graph if arr is None else arr)
 
 
 @dataclass(frozen=True)
@@ -35,9 +46,17 @@ class MetricClosure:
         return 0.0 if u == v else self.distance[u][v]
 
 
-def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
-    """Shortest-path closure restricted to ``terminals``."""
+def metric_closure(graph: Graph | ArrayGraph, terminals: Sequence[Node]) -> MetricClosure:
+    """Shortest-path closure restricted to ``terminals``.
+
+    Array-backed graphs run every terminal's Dijkstra in one lockstep
+    sweep (:func:`repro.engine.dense.batched_dijkstra`); dict graphs run
+    one early-exit heap Dijkstra per terminal.  Distances agree exactly;
+    witness paths may differ only between equally-short alternatives.
+    """
     terminals = list(terminals)
+    if isinstance(graph, ArrayGraph) and hasattr(graph, "matrix"):
+        return _metric_closure_dense(graph, terminals)
     distance: dict[Node, dict[Node, float]] = {}
     paths: dict[tuple[Node, Node], list[Node]] = {}
     targets = set(terminals)
@@ -51,6 +70,32 @@ def metric_closure(graph: Graph, terminals: Sequence[Node]) -> MetricClosure:
                 raise ValueError(f"terminals {t!r} and {other!r} are disconnected")
             row[other] = dist[other]
             paths[(t, other)] = reconstruct_path(parent, other)
+        distance[t] = row
+    return MetricClosure(distance, paths)
+
+
+def _metric_closure_dense(graph: ArrayGraph, terminals: list[Node]) -> MetricClosure:
+    import numpy as np
+
+    term_idx = [int(t) for t in terminals]
+    dist_mat, parent_mat = batched_dijkstra(graph.matrix, term_idx, return_parents=True)
+    distance: dict[Node, dict[Node, float]] = {}
+    paths: dict[tuple[Node, Node], list[Node]] = {}
+    for a, t in enumerate(terminals):
+        row = {}
+        parents = parent_mat[a]
+        for other in terminals:
+            if other == t:
+                continue
+            d = dist_mat[a, int(other)]
+            if not np.isfinite(d):
+                raise ValueError(f"terminals {t!r} and {other!r} are disconnected")
+            row[other] = float(d)
+            path = [int(other)]
+            while path[-1] != int(t):
+                path.append(int(parents[path[-1]]))
+            path.reverse()
+            paths[(t, other)] = path
         distance[t] = row
     return MetricClosure(distance, paths)
 
@@ -122,7 +167,7 @@ def dreyfus_wagner(graph: Graph, terminals: Sequence[Node]) -> float:
     if k <= 1:
         return 0.0
     if k == 2:
-        apsp = all_pairs_dijkstra(graph)
+        apsp = _all_pairs_fast(graph)
         return apsp[terminals[0]].get(terminals[1], float("inf"))
     table, index = _dreyfus_wagner_table(graph, terminals[:-1])
     return table[(1 << (k - 1)) - 1][index[terminals[-1]]]
@@ -155,7 +200,7 @@ def _dreyfus_wagner_table(
     """The DW table ``S[mask][v]`` = min cost tree spanning ``base[mask] + v``."""
     nodes = graph.nodes()
     index = {v: i for i, v in enumerate(nodes)}
-    apsp = all_pairs_dijkstra(graph)
+    apsp = _all_pairs_fast(graph)
     inf = float("inf")
 
     def d(u: Node, v: Node) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable, Iterable
 
+from repro.engine.backend import out_neighbors as _out_neighbors
 from repro.graphs.adjacency import DiGraph, Graph
 
 Node = Hashable
@@ -93,9 +94,3 @@ def is_connected(graph: Graph, nodes: Iterable[Node] | None = None) -> bool:
 
 def reachable_set(graph: Graph | DiGraph, source: Node) -> set[Node]:
     return set(bfs_order(graph, source))
-
-
-def _out_neighbors(graph: Graph | DiGraph, node: Node):
-    if graph.directed:
-        return graph.successors(node)  # type: ignore[union-attr]
-    return graph.neighbors(node)  # type: ignore[union-attr]

@@ -16,9 +16,9 @@ from repro.wireless.power import PowerAssignment
 
 def mst_broadcast(network: CostGraph, source: int) -> PowerAssignment:
     """MST heuristic [50]: tune powers to implement the cost-graph MST
-    oriented away from the source."""
+    oriented away from the source (vectorised Prim on the dense matrix)."""
     parents: dict[int, int | None] = {source: None}
-    for p, c, _ in prim_mst(network.as_graph(), root=source):
+    for p, c, _ in prim_mst(network.as_dense(), root=source):
         parents[c] = p
     return power_from_parents(network, parents)
 

@@ -29,6 +29,7 @@ class CostGraph:
             raise ValueError("costs must be non-negative")
         self._m = 0.5 * (m + m.T)  # exact symmetry
         self._m.setflags(write=False)
+        self._dense = None  # lazily-built array backend (see as_dense)
 
     @property
     def n(self) -> int:
@@ -58,13 +59,27 @@ class CostGraph:
         return np.flatnonzero(mask)
 
     def as_graph(self) -> Graph:
-        """The complete undirected cost graph (edge weight = cost)."""
+        """The complete undirected cost graph (edge weight = cost) as an
+        adjacency map — for arbitrary-node algorithms; hot paths should
+        prefer :meth:`as_dense`."""
         g = Graph()
         g.add_nodes(range(self.n))
         for i in range(self.n):
             for j in range(i + 1, self.n):
                 g.add_edge(i, j, float(self._m[i, j]))
         return g
+
+    def as_dense(self):
+        """The complete cost graph as an array backend (cached).
+
+        Same edge weights as :meth:`as_graph`; the object dispatches the
+        :mod:`repro.graphs` algorithms to their vectorised kernels.
+        """
+        if self._dense is None:
+            from repro.engine.dense import DenseGraph
+
+            self._dense = DenseGraph.from_cost_graph(self)
+        return self._dense
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n={self.n})"

@@ -133,8 +133,7 @@ def spt_multicast(
 ) -> PowerAssignment:
     """Shortest-path-tree heuristic: union of cost-graph shortest paths."""
     receivers = sorted(set(receivers) - {source})
-    g = network.as_graph()
-    _, par = dijkstra(g, source)
+    _, par = dijkstra(network.as_dense(), source)
     parents: dict[int, int | None] = {source: None}
     for r in receivers:
         for node in reconstruct_path(par, r):
@@ -152,7 +151,7 @@ def mst_multicast(
     from repro.graphs.mst import prim_mst
 
     receivers = sorted(set(receivers) - {source})
-    tree_edges = prim_mst(network.as_graph(), root=source)
+    tree_edges = prim_mst(network.as_dense(), root=source)
     parent_of: dict[int, int | None] = {source: None}
     for p, c, _ in tree_edges:
         parent_of[c] = p
@@ -172,7 +171,7 @@ def steiner_multicast(
     """The paper's section 3.2 heuristic: 2-approximate (KMB) Steiner tree on
     the cost graph, then the Steiner-heuristic orientation."""
     receivers = sorted(set(receivers) - {source})
-    tree = kmb_steiner_tree(network.as_graph(), [source, *receivers])
+    tree = kmb_steiner_tree(network.as_dense(), [source, *receivers])
     return steiner_heuristic_power(network, [(u, v) for u, v, _ in tree.edges], source)
 
 

@@ -21,6 +21,14 @@ from repro.wireless.cost_graph import CostGraph
 from repro.wireless.power import PowerAssignment
 
 
+def _backend_graph(network: CostGraph, backend: str):
+    if backend in ("auto", "dense"):
+        return network.as_dense()
+    if backend == "dict":
+        return network.as_graph()
+    raise ValueError(f"unknown backend {backend!r} (want 'auto', 'dense' or 'dict')")
+
+
 class UniversalTree:
     """A fixed spanning tree of the network, rooted at the source."""
 
@@ -28,6 +36,7 @@ class UniversalTree:
                  parents: Mapping[int, int | None]) -> None:
         self.network = network
         self.source = source
+        self._index = None  # lazily-built flat TreeIndex (see index())
         self.parents: dict[int, int | None] = dict(parents)
         if self.parents.get(source, "missing") is not None:
             raise ValueError("source must map to parent None")
@@ -57,17 +66,26 @@ class UniversalTree:
 
     # -- constructions -----------------------------------------------------
     @classmethod
-    def from_shortest_paths(cls, network: CostGraph, source: int) -> "UniversalTree":
+    def from_shortest_paths(cls, network: CostGraph, source: int,
+                            *, backend: str = "auto") -> "UniversalTree":
         """Shortest-path tree in the cost graph (the universal tree Penna &
-        Ventre [43] use for their O(n)-CO mechanism)."""
-        _, parent = dijkstra(network.as_graph(), source)
+        Ventre [43] use for their O(n)-CO mechanism).
+
+        ``backend='auto'`` (the default) runs the vectorised Dijkstra on
+        the dense cost matrix; ``'dict'`` keeps the adjacency-map path.
+        Trees are identical except possibly on exact distance ties, where
+        either parent choice witnesses the same distances.
+        """
+        _, parent = dijkstra(_backend_graph(network, backend), source)
         return cls(network, source, parent)
 
     @classmethod
-    def from_mst(cls, network: CostGraph, source: int) -> "UniversalTree":
-        """Minimum spanning tree of the cost graph, rooted at the source."""
+    def from_mst(cls, network: CostGraph, source: int,
+                 *, backend: str = "auto") -> "UniversalTree":
+        """Minimum spanning tree of the cost graph, rooted at the source
+        (``backend`` as in :meth:`from_shortest_paths`)."""
         parents: dict[int, int | None] = {source: None}
-        for p, c, _ in prim_mst(network.as_graph(), root=source):
+        for p, c, _ in prim_mst(_backend_graph(network, backend), root=source):
             parents[c] = p
         return cls(network, source, parents)
 
@@ -113,3 +131,13 @@ class UniversalTree:
     def agents(self) -> list[int]:
         """All potential receivers (every station but the source)."""
         return [i for i in range(self.network.n) if i != self.source]
+
+    def index(self):
+        """Flat array form of the tree (cached) — the representation the
+        :mod:`repro.engine.trees` mechanism kernels run on."""
+        if self._index is None:
+            from repro.engine.trees import TreeIndex
+
+            self._index = TreeIndex(self.network.n, self.source, self.parents,
+                                    self.children, self.network.cost)
+        return self._index

@@ -137,6 +137,18 @@ class TestExpE4:
                 assert shapley["worst_loss"] <= row["worst_loss"] + 1e-9
 
 
+class TestExpS2:
+    def test_batched_pipeline_is_exact(self):
+        out = E.exp_s2_batch_pipeline(n=10, n_profiles=8, seed=0)
+        assert {row["pipeline"] for row in out["rows"]} == {
+            "universal-tree Shapley (§2.1)", "Jain-Vazirani Euclidean (§3.2)",
+        }
+        for row in out["rows"]:
+            assert row["identical_results"]  # caching never changes outcomes
+            assert 0.0 <= row["cache_hit_rate"] <= 1.0
+            assert row["naive_seconds"] > 0 and row["batched_seconds"] > 0
+
+
 class TestExpE3:
     def test_matrix_shape_and_axioms(self):
         out = E.exp_e3_properties_matrix(seed=1, n=4)

@@ -71,6 +71,71 @@ class TestDijkstra:
             reconstruct_path(parent, 5)
 
 
+class TestEarlyExitConsistency:
+    """Regression tests: the early-exit ``targets`` path must return dist
+    and parent over exactly the settled nodes — no provisional parent
+    entries that would silently path-reconstruct an unsettled node."""
+
+    def diamond(self):
+        # 0 -(1)- 1 -(1)- 3 and 0 -(1)- 2 -(10)- 3: node 2 gets relaxed
+        # (hence a provisional parent) before the search stops at 1.
+        g = Graph()
+        for u, v, w in [(0, 1, 1.0), (0, 2, 1.5), (1, 3, 1.0), (2, 3, 10.0)]:
+            g.add_edge(u, v, w)
+        return g
+
+    def test_single_target_parent_matches_dist(self):
+        dist, parent = dijkstra(self.diamond(), 0, targets=[1])
+        assert set(parent) == set(dist) == {0, 1}
+
+    def test_single_target_no_stale_reconstruction(self):
+        _, parent = dijkstra(self.diamond(), 0, targets=[1])
+        with pytest.raises(KeyError):
+            reconstruct_path(parent, 2)  # relaxed but never settled
+
+    def test_target_settled_on_final_pop_is_recorded(self):
+        g = self.diamond()
+        dist, parent = dijkstra(g, 0, targets=[3])
+        assert dist[3] == 2.0
+        assert reconstruct_path(parent, 3) == [0, 1, 3]
+
+    def test_single_target_query_matches_full_search(self):
+        g = random_connected_graph(20, rng=5)
+        full, _ = dijkstra(g, 0)
+        for t in (1, 7, 19):
+            dist, parent = dijkstra(g, 0, targets=[t])
+            assert dist[t] == full[t]
+            path = reconstruct_path(parent, t)
+            assert path[0] == 0 and path[-1] == t
+            assert sum(g.weight(a, b) for a, b in zip(path, path[1:])) == \
+                pytest.approx(dist[t])
+            assert set(parent) == set(dist)
+
+    def test_target_is_source(self):
+        dist, parent = dijkstra(self.diamond(), 0, targets=[0])
+        assert dist == {0: 0.0} and parent == {0: None}
+
+    def test_unreachable_target_leaves_consistent_maps(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_node(5)
+        dist, parent = dijkstra(g, 0, targets=[5])
+        assert 5 not in dist and 5 not in parent
+        assert set(parent) == set(dist) == {0, 1}
+
+    def test_node_weighted_mirror(self):
+        from repro.graphs.node_weighted import node_weighted_dijkstra
+
+        g = self.diamond()
+        weights = {0: 0.0, 1: 1.0, 2: 1.0, 3: 0.0}
+        dist, parent = node_weighted_dijkstra(g, weights, 0, targets=[1])
+        assert set(parent) == set(dist)
+
+    def test_shortest_path_single_target_regression(self):
+        path, length = shortest_path(self.diamond(), 0, 3)
+        assert path == [0, 1, 3] and length == 2.0
+
+
 class TestHelpers:
     def test_shortest_path_wrapper(self):
         g = Graph()
