@@ -1,0 +1,86 @@
+"""Facade overhead: ``MulticastSession.run`` vs direct mechanism calls.
+
+The session facade must be free to adopt: dispatching through the
+registry + method caches may add at most 5% wall-clock over calling a
+pre-built mechanism's ``run`` directly on the same profile stream (in
+practice the memoised ``xi(R)`` makes it *faster*, which EXP-S2 reports
+as speedup).  Timings are best-of-rounds to damp scheduler noise; the
+facade stream is additionally recorded under the ``EXP-S1
+session-facade`` group so it merges into ``benchmarks/out/BENCH_S1.json``
+alongside the other scalability cases.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import MulticastSession, ScenarioSpec
+from repro.core import EuclideanJVMechanism, UniversalTreeShapleyMechanism
+from repro.wireless import UniversalTree
+
+from conftest import record
+
+N = 40
+N_PROFILES = 25
+ROUNDS = 3
+MAX_OVERHEAD = 1.05
+
+
+def _case(seed=0):
+    spec = ScenarioSpec.from_random(n=N, dim=2, alpha=2.0, seed=seed, side=5.0)
+    network = spec.build_network()
+    rng = np.random.default_rng(seed)
+    typical = float(np.median(network.matrix[network.matrix > 0]))
+    profiles = [
+        {i: float(rng.uniform(0, 3.0 * typical)) for i in spec.agents()}
+        for _ in range(N_PROFILES)
+    ]
+    return spec, network, profiles
+
+
+def _direct_mechanism(name, network):
+    if name == "tree-shapley":
+        return UniversalTreeShapleyMechanism(UniversalTree.from_shortest_paths(network, 0))
+    return EuclideanJVMechanism(network, 0)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.benchmark(group="EXP-S1 session-facade")
+@pytest.mark.parametrize("name", ["tree-shapley", "jv"])
+def test_facade_overhead(benchmark, name):
+    spec, network, profiles = _case()
+    direct = _direct_mechanism(name, network)
+    session = MulticastSession(spec)
+
+    def run_direct():
+        return [direct.run(p) for p in profiles]
+
+    def run_facade():
+        return [session.run(name, p) for p in profiles]
+
+    # Identical outcomes first (also warms the session's lazy state so the
+    # timing compares steady-state serving, not one-off construction).
+    for a, b in zip(run_direct(), run_facade()):
+        assert a.receivers == b.receivers and a.shares == b.shares and a.cost == b.cost
+
+    direct_s = _best_of(run_direct)
+    facade_s = _best_of(run_facade)
+    benchmark.pedantic(run_facade, rounds=ROUNDS, iterations=1)
+
+    overhead = facade_s / direct_s
+    record(f"BENCH_API_{name.replace('-', '_')}",
+           f"session facade [{name}] n={N} profiles={N_PROFILES}: "
+           f"direct {direct_s:.4f}s, facade {facade_s:.4f}s, "
+           f"overhead x{overhead:.3f} (limit x{MAX_OVERHEAD})")
+    assert overhead <= MAX_OVERHEAD, (
+        f"session facade added {overhead:.3f}x over direct calls (limit {MAX_OVERHEAD}x)"
+    )

@@ -1,11 +1,18 @@
 """Quickstart: share the cost of a wireless multicast among selfish receivers.
 
-Builds a small planar wireless network, then runs the two classical
-universal-tree mechanisms of the paper's section 2.1 side by side:
+Describes a small planar wireless network as a declarative, JSON-ready
+:class:`repro.api.ScenarioSpec`, binds a caching
+:class:`repro.api.MulticastSession` to it, and prices one utility profile
+under the two classical universal-tree mechanisms of the paper's
+section 2.1 side by side:
 
-* the Shapley value mechanism — budget balanced + group strategyproof;
-* the marginal-cost (VCG) mechanism — efficient + strategyproof, but it
-  can run a deficit.
+* ``tree-shapley`` — budget balanced + group strategyproof;
+* ``tree-mc`` — efficient + strategyproof (VCG), but it can run a deficit.
+
+The same spec + profiles drive the command line:
+
+    python -m repro run --scenario spec.json --mechanism tree-shapley \\
+        --profiles profiles.json --json
 
 Run:  python examples/quickstart.py
 """
@@ -13,31 +20,29 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core import UniversalTreeMCMechanism, UniversalTreeShapleyMechanism
-from repro.geometry import uniform_points
-from repro.wireless import EuclideanCostGraph, UniversalTree
+from repro.api import MulticastSession, ScenarioSpec
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    # Utilities draw from their own stream — independent of the seed the
+    # scenario uses for its point layout.
+    rng = np.random.default_rng(42)
 
-    # A 9-station network in a 5x5 km area; power falls as 1/d^2.
-    points = uniform_points(9, dim=2, side=5.0, rng=rng)
-    network = EuclideanCostGraph(points, alpha=2.0)
-    source = 0
+    # A 9-station network in a 5x5 km area; power falls as 1/d^2.  The
+    # spec is frozen and JSON-round-trippable — it IS the wire request.
+    spec = ScenarioSpec.from_random(n=9, dim=2, alpha=2.0, seed=7, side=5.0)
+    session = MulticastSession(spec)
 
     # Every other station is a selfish agent with a private utility.
-    agents = [i for i in range(network.n) if i != source]
-    utilities = {i: float(rng.uniform(0.0, 25.0)) for i in agents}
+    utilities = {i: float(rng.uniform(0.0, 25.0)) for i in spec.agents()}
 
-    # Fix a universal spanning tree (shortest-path tree from the source).
-    tree = UniversalTree.from_shortest_paths(network, source)
-
-    shapley = UniversalTreeShapleyMechanism(tree).run(utilities)
-    mc = UniversalTreeMCMechanism(tree).run(utilities)
+    # The session builds the network and the universal tree once and
+    # memoises the Shapley cost shares across any further profiles.
+    shapley = session.run("tree-shapley", utilities)
+    mc = session.run("tree-mc", utilities)
 
     rows = []
-    for i in agents:
+    for i in spec.agents():
         rows.append({
             "agent": i,
             "utility": utilities[i],
@@ -54,6 +59,8 @@ def main() -> None:
           f"for a tree of cost {mc.cost:.3f}  "
           f"(efficient; deficit = {mc.cost - mc.total_charged():.3f})")
     print(f"MC net worth (max achievable welfare): {mc.extra['net_worth']:.3f}")
+    print()
+    print(f"Scenario wire form: {spec.to_json()}")
 
 
 if __name__ == "__main__":

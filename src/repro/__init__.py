@@ -14,12 +14,29 @@ Layering (each layer only depends on the ones above it):
 * :mod:`repro.wireless` — the paper's wireless power model + exact oracles;
 * :mod:`repro.mechanism` — mechanism-design vocabulary and axiom auditors;
 * :mod:`repro.core` — the paper's mechanisms;
+* :mod:`repro.api` — the declarative scenario/mechanism spec API, the
+  string-keyed mechanism registry, and the caching
+  :class:`~repro.api.MulticastSession` facade (the service entry path);
 * :mod:`repro.analysis` — instances, experiments, tables.
 
 The most common entry points are re-exported here; run
-``python -m repro`` for the full experiment report.
+``python -m repro`` for the full experiment report and ``python -m repro
+run --scenario spec.json --mechanism jv --profiles profiles.json`` to
+price profiles over a JSON scenario spec.
 """
 
+from repro.api import (
+    MechanismSpec,
+    MulticastSession,
+    ScenarioSpec,
+    available_mechanisms,
+    make_mechanism,
+    register_mechanism,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
 from repro.core import (
     EuclideanJVMechanism,
     EuclideanMCMechanism,
@@ -28,13 +45,14 @@ from repro.core import (
     UniversalTreeMCMechanism,
     UniversalTreeShapleyMechanism,
     WirelessMulticastMechanism,
+    WirelessNWSTMechanism,
 )
 from repro.engine import CSRGraph, DenseGraph
 from repro.geometry import PointSet, uniform_points
 from repro.mechanism import MechanismResult
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CSRGraph",
@@ -45,13 +63,24 @@ __all__ = [
     "EuclideanMCMechanism",
     "EuclideanShapleyMechanism",
     "MechanismResult",
+    "MechanismSpec",
+    "MulticastSession",
     "NWSTMechanism",
     "PointSet",
     "PowerAssignment",
+    "ScenarioSpec",
     "UniversalTree",
     "UniversalTreeMCMechanism",
     "UniversalTreeShapleyMechanism",
     "WirelessMulticastMechanism",
+    "WirelessNWSTMechanism",
+    "available_mechanisms",
+    "make_mechanism",
+    "register_mechanism",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_dict",
+    "result_to_json",
     "uniform_points",
     "__version__",
 ]

@@ -1,13 +1,27 @@
-"""``python -m repro`` — run the full experiment report on the console.
+"""``python -m repro`` — experiment report and scenario pricing CLI.
 
-Runs every experiment of DESIGN.md section 4 at moderate parameters and
-prints the paper-vs-measured tables.  Pass experiment ids to run a subset:
+Two modes:
 
-    python -m repro F1 F2 T6
+* **Experiment report** (default): runs every experiment of DESIGN.md
+  section 4 at moderate parameters and prints the paper-vs-measured
+  tables.  Pass experiment ids to run a subset::
+
+      python -m repro F1 F2 T6
+
+* **Scenario pricing** (``run``): prices utility profiles over a
+  declarative :class:`repro.api.ScenarioSpec` through the caching
+  :class:`repro.api.MulticastSession` facade — the JSON-in/JSON-out shape
+  a service speaks::
+
+      python -m repro run --scenario spec.json --mechanism jv \\
+          --profiles profiles.json --json
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import pathlib
 import sys
 import time
 
@@ -39,7 +53,7 @@ RUNNERS = {
            lambda: E.exp_e3_properties_matrix()),
     "E4": ("Efficiency loss of BB methods (Shapley vs marginal vectors)",
            lambda: E.exp_e4_efficiency_loss()),
-    "S2": ("Batched mechanism pipeline (repro.engine.batch)",
+    "S2": ("Batched mechanism pipeline (repro.api session facade)",
            lambda: E.exp_s2_batch_pipeline()),
     "A1": ("Ablation — universal-tree choice", lambda: E.exp_a1_tree_ablation()),
     "A2": ("Ablation — spider flavour", lambda: E.exp_a2_spider_ablation()),
@@ -49,7 +63,87 @@ RUNNERS = {
 }
 
 
+def run_command(argv: list[str]) -> int:
+    """The ``run`` subcommand: spec JSON in, result JSON (or a table) out."""
+    from repro.api import (
+        MechanismSpec,
+        MulticastSession,
+        ScenarioSpec,
+        available_mechanisms,
+        result_to_dict,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Price utility profiles over a declarative scenario spec.",
+    )
+    parser.add_argument("--scenario", required=True,
+                        help="path to a ScenarioSpec JSON file")
+    parser.add_argument("--mechanism", required=True,
+                        help=f"registry name, one of: {', '.join(available_mechanisms())}")
+    parser.add_argument("--profiles", required=True,
+                        help="path to a JSON utility profile ({station: utility}) "
+                             "or a list of them")
+    parser.add_argument("--params", default=None,
+                        help="optional path to a JSON dict of mechanism parameters")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full JSON payload instead of a table")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON payload to this path")
+    args = parser.parse_args(argv)
+
+    if args.mechanism not in available_mechanisms():
+        # stdout is reserved for the result payload (it gets piped).
+        print(f"unknown mechanism {args.mechanism!r}; "
+              f"available: {list(available_mechanisms())}", file=sys.stderr)
+        return 2
+
+    # Predictable bad inputs (missing/malformed files, invalid specs or
+    # profiles) get a diagnostic + exit 2, not a traceback.
+    try:
+        scenario = ScenarioSpec.from_json(pathlib.Path(args.scenario).read_text())
+        raw = json.loads(pathlib.Path(args.profiles).read_text())
+        if isinstance(raw, dict):
+            raw = [raw]
+        profiles = [{int(a): float(v) for a, v in prof.items()} for prof in raw]
+        params = json.loads(pathlib.Path(args.params).read_text()) if args.params else {}
+        mspec = MechanismSpec(args.mechanism, params)
+
+        session = MulticastSession(scenario)
+        results = session.run_batch(mspec, profiles)
+    except (OSError, ValueError, TypeError) as exc:
+        # ValueError covers json.JSONDecodeError, bad specs/params, and
+        # profile validation (missing/stray agents, negative utilities).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload = {
+        "schema": 1,
+        "scenario": scenario.to_dict(),
+        "mechanism": mspec.to_dict(),
+        "results": [result_to_dict(r) for r in results],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+    if args.as_json:
+        print(text)
+    else:
+        rows = [{
+            "profile": idx,
+            "receivers": len(r.receivers),
+            "charged": r.total_charged(),
+            "cost": r.cost,
+        } for idx, r in enumerate(results)]
+        print(format_table(
+            rows, title=f"{args.mechanism} on {scenario.kind} scenario "
+                        f"(n={scenario.n_stations}, source={scenario.source})"))
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "run":
+        return run_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)
     unknown = [w for w in wanted if w not in RUNNERS]
     if unknown:

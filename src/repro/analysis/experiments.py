@@ -20,6 +20,7 @@ from repro.analysis.bounds import (
     nwst_bb_bound,
     wireless_bb_bound,
 )
+from repro.api import MulticastSession, make_mechanism
 from repro.analysis.instances import (
     fig1_collusion_instance,
     pentagon_instance,
@@ -151,19 +152,18 @@ def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
 
     def run_one(network: CostGraph) -> dict:
         source = 0
-        tree = _build_tree(network, source, tree_kind)
+        session = MulticastSession(network, source=source)
+        tree = session.universal_tree(tree_kind)
         agents = tree.agents()
         cf = CostFunction(agents, lambda R, t=tree: t.cost(R))
         submodular_violations = len(cf.submodularity_violations())
         monotone_violations = len(cf.monotonicity_violations())
 
         profile = random_utilities(network, source, rng)
-        shap = UniversalTreeShapleyMechanism(tree)
-        res_s = shap.run(profile)
+        res_s = session.run("tree-shapley", profile, tree=tree_kind)
         shapley_bb = bb_factor(res_s, res_s.cost)
 
-        mc = UniversalTreeMCMechanism(tree)
-        res_m = mc.run(profile)
+        res_m = session.run("tree-mc", profile, tree=tree_kind)
         nw_opt, _ = brute_force_efficient_set(agents, cf)(dict(profile))
         mc_gap = nw_opt - res_m.extra["net_worth"]
         mc_revenue_ratio = (
@@ -185,13 +185,7 @@ def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
 
 
 def _build_tree(network: CostGraph, source: int, kind: str) -> UniversalTree:
-    if kind == "spt":
-        return UniversalTree.from_shortest_paths(network, source)
-    if kind == "mst":
-        return UniversalTree.from_mst(network, source)
-    if kind == "star":
-        return UniversalTree.star(network, source)
-    raise ValueError(f"unknown universal tree kind {kind!r}")
+    return UniversalTree.build(network, source, kind)
 
 
 # ---------------------------------------------------------------------------
@@ -247,7 +241,7 @@ def exp_t3_wireless(n_instances: int = 4, n: int = 7, seed: int = 0,
     for idx, network in enumerate(networks):
         source = 0
         profile = random_utilities(network, source, rng, scale=2.0)
-        mech = WirelessMulticastMechanism(network, source)
+        mech = make_mechanism("wireless", MulticastSession(network, source=source))
         result = mech.run(profile)
         charged = result.total_charged()
         if result.receivers:
@@ -395,10 +389,11 @@ def exp_t7_jv(n_instances: int = 5, n: int = 7, seed: int = 0, dim: int = 2,
     rows = []
     for idx, network in enumerate(random_euclidean_suite(n_instances, n, dim, alpha, rng)):
         source = 0
-        mech = EuclideanJVMechanism(network, source)
+        session = MulticastSession(network, source=source)
+        mech = session.mechanism("jv")
         xmono = len(check_cross_monotonicity(mech.agents, mech.jv.shares))
         profile = random_utilities(network, source, rng, scale=2.0)
-        result = mech.run(profile)
+        result = session.run("jv", profile)
         charged = result.total_charged()
         if result.receivers:
             cstar = optimal_multicast_cost(network, source, result.receivers)
@@ -649,30 +644,30 @@ def exp_s2_batch_pipeline(n: int = 24, n_profiles: int = 60, seed: int = 0) -> d
     """Throughput of serving many utility profiles over one network.
 
     The naive service loop rebuilds the instance artifacts (universal tree /
-    metric closure) and re-evaluates every cost-share set per profile; the
-    batched pipeline builds them once and memoises ``xi(R)`` across the
-    whole stream.  Outcomes are asserted identical (the runner raises on
-    divergence — the caches only avoid recomputing pure functions), so the
-    rows report pure speedup.
+    metric closure) per profile and re-evaluates every cost-share set; a
+    :class:`repro.api.MulticastSession` builds them once and memoises
+    ``xi(R)`` across the whole ``run_batch`` stream.  Outcomes are asserted
+    identical (the runner raises on divergence — the session caches only
+    avoid recomputing pure functions), so the rows report pure speedup.
     """
-    from repro.engine.batch import JVBatch, UniversalTreeBatch
-
     rng = as_rng(seed)
     network = random_euclidean_suite(1, n, 2, 2.0, rng)[0]
     source = 0
     profiles = [random_utilities(network, source, rng, scale=2.0)
                 for _ in range(n_profiles)]
+    session = MulticastSession(network, source=source)
 
     def same(a, b):
         return (a.receivers == b.receivers and a.shares == b.shares
                 and a.cost == b.cost)
 
-    def time_pipeline(label, naive_fn, batched_fn, cache):
+    def time_pipeline(label, naive_fn, mechanism_name):
         t0 = time.perf_counter()
         naive = [naive_fn(p) for p in profiles]
         naive_s = time.perf_counter() - t0
+        cache = session.method_cache(mechanism_name)
         t0 = time.perf_counter()
-        batched = batched_fn(profiles)
+        batched = session.run_batch(mechanism_name, profiles)
         batched_s = time.perf_counter() - t0
         identical = all(map(same, naive, batched))
         if not identical:
@@ -687,22 +682,18 @@ def exp_s2_batch_pipeline(n: int = 24, n_profiles: int = 60, seed: int = 0) -> d
             "identical_results": identical,
         }
 
-    batch_ut = UniversalTreeBatch(network, source, kind="spt")
-    batch_jv = JVBatch(network, source)
     rows = [
         time_pipeline(
             "universal-tree Shapley (§2.1)",
             lambda p: UniversalTreeShapleyMechanism(
                 UniversalTree.from_shortest_paths(network, source)
             ).run(p),
-            batch_ut.shapley,
-            batch_ut.shapley_method,
+            "tree-shapley",
         ),
         time_pipeline(
             "Jain-Vazirani Euclidean (§3.2)",
             lambda p: EuclideanJVMechanism(network, source).run(p),
-            batch_jv.run,
-            batch_jv.shares_method,
+            "jv",
         ),
     ]
     return {"rows": rows}

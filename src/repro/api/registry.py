@@ -1,0 +1,118 @@
+"""The string-keyed mechanism registry.
+
+Every mechanism in :mod:`repro.core` registers a builder here at import
+time, so callers address mechanisms by name instead of knowing seven
+constructor signatures:
+
+    >>> from repro.api import ScenarioSpec, make_mechanism
+    >>> spec = ScenarioSpec.from_random(n=8, alpha=2.0, seed=1)
+    >>> mech = make_mechanism("jv", spec)
+
+A builder receives the :class:`~repro.api.session.MulticastSession` bound
+to the scenario (so it can reuse the session's cached universal trees,
+metric closure, dense backend, ...) plus the mechanism's keyword
+parameters, and returns a ready :class:`CostSharingMechanism`.  Entries
+may also declare ``method_of`` — how to extract the mechanism's pure
+cost-sharing method ``xi(R) -> shares`` — which is what the session
+memoises across profiles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.mechanism.base import CostSharingMechanism
+
+Builder = Callable[..., CostSharingMechanism]
+
+
+@dataclass(frozen=True)
+class RegisteredMechanism:
+    """One registry entry."""
+
+    name: str
+    builder: Builder
+    method_of: Callable[[CostSharingMechanism], Callable] | None
+    summary: str
+
+
+_REGISTRY: dict[str, RegisteredMechanism] = {}
+
+
+def register_mechanism(
+    name: str,
+    builder: Builder | None = None,
+    *,
+    method_of: Callable[[CostSharingMechanism], Callable] | None = None,
+    summary: str = "",
+    replace: bool = False,
+):
+    """Register ``builder`` under ``name`` (usable as a decorator).
+
+    Parameters
+    ----------
+    name:
+        The wire name (``"jv"``, ``"tree-shapley"``, ...).
+    builder:
+        ``builder(session, **params) -> CostSharingMechanism``.
+    method_of:
+        Optional extractor of the mechanism's pure cost-sharing method,
+        memoised by the session across profiles (the mechanism's ``run``
+        must then accept a ``method=`` keyword).
+    replace:
+        Allow overwriting an existing entry (default: raise).
+    """
+
+    def decorate(fn: Builder) -> Builder:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"mechanism {name!r} is already registered (pass replace=True)")
+        doc = summary or (fn.__doc__ or "").strip().split("\n")[0]
+        _REGISTRY[name] = RegisteredMechanism(name, fn, method_of, doc)
+        return fn
+
+    if builder is None:
+        return decorate
+    return decorate(builder)
+
+
+def _ensure_registered() -> None:
+    # repro.core imports every mechanism module, each of which registers
+    # its builders on import.
+    importlib.import_module("repro.core")
+
+
+def available_mechanisms() -> tuple[str, ...]:
+    """Sorted names of every registered mechanism."""
+    _ensure_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def registered(name: str) -> RegisteredMechanism:
+    """The registry entry for ``name`` (raises ``ValueError`` if unknown)."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; available: {list(available_mechanisms())}"
+        ) from None
+
+
+def make_mechanism(name: str, scenario, **params) -> CostSharingMechanism:
+    """Build mechanism ``name`` for ``scenario``.
+
+    ``scenario`` may be a :class:`~repro.api.spec.ScenarioSpec`, an
+    already-bound :class:`~repro.api.session.MulticastSession` (whose
+    caches the builder then shares), or a bare
+    :class:`~repro.wireless.CostGraph` (source defaults to station 0).
+    """
+    from repro.api.session import MulticastSession
+
+    if isinstance(scenario, MulticastSession):
+        session = scenario
+    else:
+        session = MulticastSession(scenario)
+    # Through the session so repeat requests share its mechanism cache.
+    return session.mechanism(name, **params)

@@ -1,0 +1,216 @@
+"""The caching session facade: one scenario, many priced requests.
+
+A production service prices streams of utility profiles (and many
+mechanisms) over one slowly-changing network.  Everything that depends
+only on the *scenario* is built lazily, once, and shared:
+
+* the :class:`~repro.wireless.CostGraph` itself (rebuilt from the spec),
+  and its dense array backend;
+* universal trees, per construction kind (shared by ``tree-shapley`` and
+  ``tree-mc``);
+* the metric closure (shared by every ``jv`` parameterization);
+* mechanism instances, per ``(name, params)``;
+* memoised cost-sharing methods ``xi(R)`` (a
+  :class:`~repro.engine.batch.MethodCache` per mechanism) for the
+  mechanisms that declare one — receiver sets repeat heavily across
+  profiles, so hit rates climb quickly.
+
+Outputs are bit-identical to direct construction: the caches only avoid
+recomputing pure functions (property-tested in ``tests/test_api_session.py``
+and asserted every run by EXP-S2).
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.api.spec import MechanismSpec, ScenarioSpec
+from repro.engine.batch import MethodCache
+from repro.mechanism.base import CostSharingMechanism, MechanismResult, Profile
+from repro.wireless.cost_graph import CostGraph
+from repro.wireless.universal_tree import UniversalTree
+
+
+class MulticastSession:
+    """A long-lived solver session bound to one :class:`ScenarioSpec`.
+
+    Accepts a spec, anything :meth:`ScenarioSpec.from_network` accepts
+    (an already-built :class:`CostGraph`), or a plain dict/JSON-shaped
+    mapping.  ``run``/``run_batch`` address mechanisms by registry name
+    or :class:`MechanismSpec`.
+    """
+
+    def __init__(self, scenario: ScenarioSpec | CostGraph | Mapping, *,
+                 source: int | None = None) -> None:
+        if isinstance(scenario, CostGraph):
+            self._network = scenario
+            scenario = ScenarioSpec.from_network(scenario, source=source or 0)
+        elif isinstance(scenario, ScenarioSpec):
+            self._network = None
+        elif isinstance(scenario, Mapping):
+            scenario = ScenarioSpec.from_dict(scenario)
+            self._network = None
+        else:
+            raise TypeError(
+                f"scenario must be a ScenarioSpec, CostGraph or mapping, got {type(scenario).__name__}"
+            )
+        if source is not None and source != scenario.source:
+            raise ValueError(
+                f"source={source} conflicts with the spec's source={scenario.source}"
+            )
+        self.scenario = scenario
+        self._trees: dict[str, UniversalTree] = {}
+        self._closure = None
+        self._mechanisms: dict[tuple, CostSharingMechanism] = {}
+        self._method_caches: dict[tuple, MethodCache] = {}
+        self._builder_defaults: dict[str, dict] = {}
+
+    # -- shared scenario state (built lazily, cached) -----------------------
+    @property
+    def source(self) -> int:
+        return self.scenario.source
+
+    @property
+    def network(self) -> CostGraph:
+        """The scenario's network (built once)."""
+        if self._network is None:
+            self._network = self.scenario.build_network()
+        return self._network
+
+    def agents(self) -> list[int]:
+        return self.scenario.agents()
+
+    def dense(self):
+        """The network's dense array backend (cached on the network)."""
+        return self.network.as_dense()
+
+    def universal_tree(self, kind: str | None = None) -> UniversalTree:
+        """The universal tree of construction ``kind`` (default: the
+        spec's ``tree``), built once per kind."""
+        kind = kind or self.scenario.tree
+        tree = self._trees.get(kind)
+        if tree is None:
+            tree = UniversalTree.build(self.network, self.source, kind)
+            self._trees[kind] = tree
+        return tree
+
+    def metric_closure(self):
+        """All-pairs shortest-path matrix of the network (built once;
+        shared by every Jain-Vazirani parameterization)."""
+        if self._closure is None:
+            from repro.core.jv_steiner import metric_closure_matrix
+
+            self._closure = metric_closure_matrix(self.network)
+        return self._closure
+
+    # -- mechanisms ---------------------------------------------------------
+    def _key(self, name: str, params: Mapping) -> tuple:
+        return MechanismSpec(name, dict(params)).key()
+
+    def _canonical_params(self, name: str, params: dict) -> dict:
+        """Fill in the builder's keyword defaults (and resolve ``tree=None``
+        to the spec's kind) so equivalent requests — parameter omitted vs
+        passed explicitly — share one mechanism instance and one xi cache."""
+        defaults = self._builder_defaults.get(name)
+        if defaults is None:
+            from repro.api.registry import registered
+
+            signature = inspect.signature(registered(name).builder)
+            defaults = {
+                p.name: p.default
+                for p in signature.parameters.values()
+                if p.kind == p.KEYWORD_ONLY and p.default is not p.empty
+            }
+            self._builder_defaults[name] = defaults
+        canonical = {**defaults, **params}
+        if "tree" in canonical and canonical["tree"] is None:
+            canonical["tree"] = self.scenario.tree
+        return canonical
+
+    def _resolve(self, mechanism: str | MechanismSpec, params: Mapping) -> tuple[str, dict]:
+        if isinstance(mechanism, MechanismSpec):
+            name, params = mechanism.name, {**mechanism.params, **params}
+        else:
+            name, params = mechanism, dict(params)
+        return name, self._canonical_params(name, params)
+
+    def mechanism(self, mechanism: str | MechanismSpec, **params) -> CostSharingMechanism:
+        """The (cached) mechanism instance for ``(name, params)``."""
+        from repro.api.registry import registered
+
+        name, params = self._resolve(mechanism, params)
+        key = self._key(name, params)
+        mech = self._mechanisms.get(key)
+        if mech is None:
+            mech = registered(name).builder(self, **params)
+            self._mechanisms[key] = mech
+        return mech
+
+    def method_cache(self, mechanism: str | MechanismSpec, **params) -> MethodCache | None:
+        """The memoised cost-sharing method for ``(name, params)``, or
+        ``None`` for mechanisms without a reusable ``xi`` (their per-run
+        work is profile-specific)."""
+        from repro.api.registry import registered
+
+        name, params = self._resolve(mechanism, params)
+        key = self._key(name, params)
+        cache = self._method_caches.get(key)
+        if cache is None:
+            entry = registered(name)
+            if entry.method_of is None:
+                return None
+            cache = MethodCache(entry.method_of(self.mechanism(name, **params)))
+            self._method_caches[key] = cache
+        return cache
+
+    def run(self, mechanism: str | MechanismSpec, profile: Profile,
+            **params) -> MechanismResult:
+        """Price one utility profile (bit-identical to direct construction)."""
+        mech = self.mechanism(mechanism, **params)
+        cache = self.method_cache(mechanism, **params)
+        if cache is not None:
+            return mech.run(profile, method=cache)
+        return mech.run(profile)
+
+    def run_batch(self, mechanism: str | MechanismSpec, profiles: Iterable[Profile],
+                  **params) -> list[MechanismResult]:
+        """Price a profile stream on the shared caches (one mechanism
+        build, one method cache across the whole stream)."""
+        mech = self.mechanism(mechanism, **params)
+        cache = self.method_cache(mechanism, **params)
+        if cache is not None:
+            return [mech.run(profile, method=cache) for profile in profiles]
+        return [mech.run(profile) for profile in profiles]
+
+    def cache_info(self) -> dict:
+        """Diagnostics: what the session has built and how the memoised
+        methods are hitting."""
+        per_name: dict[str, int] = {}
+        for key in self._method_caches:
+            per_name[key[0]] = per_name.get(key[0], 0) + 1
+
+        def label(key: tuple) -> str:
+            # Bare name unless several parameterizations coexist — then
+            # each keeps its params so none shadows another.
+            if per_name[key[0]] == 1:
+                return key[0]
+            return f"{key[0]} {dict(key[1])}"
+
+        return {
+            "network_built": self._network is not None,
+            "trees": sorted(self._trees),
+            "closure_built": self._closure is not None,
+            "mechanisms": len(self._mechanisms),
+            "methods": {
+                label(key): {
+                    "hits": cache.hits, "misses": cache.misses,
+                    "hit_rate": cache.hit_rate,
+                }
+                for key, cache in self._method_caches.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"MulticastSession({self.scenario.kind!r}, n={self.scenario.n_stations}, "
+                f"source={self.source})")

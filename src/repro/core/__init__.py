@@ -38,7 +38,7 @@ from repro.core.euclidean_optimal import (
 from repro.core.exact_mechanisms import ExactMCMechanism, ExactShapleyMechanism
 from repro.core.jv_steiner import JVSteinerShares
 from repro.core.mst_game import MSTGame
-from repro.core.memt_mechanism import WirelessMulticastMechanism
+from repro.core.memt_mechanism import WirelessMulticastMechanism, WirelessNWSTMechanism
 from repro.core.memt_reduction import NWSTInstance, memt_to_nwst, nwst_solution_to_power
 from repro.core.nwst_mechanism import NWSTMechanism
 from repro.core.universal_tree_mechanisms import (
@@ -62,6 +62,7 @@ __all__ = [
     "UniversalTreeMCMechanism",
     "UniversalTreeShapleyMechanism",
     "WirelessMulticastMechanism",
+    "WirelessNWSTMechanism",
     "euclidean_optimal_cost_function",
     "memt_to_nwst",
     "nwst_solution_to_power",

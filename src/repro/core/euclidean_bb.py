@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.api.registry import register_mechanism
 from repro.core.jv_steiner import JVSteinerShares
 from repro.graphs.steiner import kmb_steiner_tree
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
@@ -46,10 +47,12 @@ class EuclideanJVMechanism(CostSharingMechanism):
         network: CostGraph,
         source: int,
         agent_weights: Mapping[Agent, float] | None = None,
+        *,
+        closure=None,
     ) -> None:
         self.network = network
         self.source = source
-        self.jv = JVSteinerShares(network, source, agent_weights)
+        self.jv = JVSteinerShares(network, source, agent_weights, closure=closure)
         self.agents = [i for i in range(network.n) if i != source]
 
     def _build(self, R: frozenset):
@@ -73,3 +76,20 @@ class EuclideanJVMechanism(CostSharingMechanism):
         result = moulin_shenker(self.agents, xi, u, build=self._build)
         result.extra["closure_mst_weight"] = self.jv.closure_mst_weight(result.receivers)
         return result
+
+
+# -- registry wiring (repro.api) --------------------------------------------
+
+def _build_jv(session, *, agent_weights: Mapping | None = None) -> EuclideanJVMechanism:
+    if agent_weights is not None:  # wire params arrive with string keys
+        agent_weights = {int(a): float(w) for a, w in agent_weights.items()}
+    return EuclideanJVMechanism(session.network, session.source, agent_weights,
+                                closure=session.metric_closure())
+
+
+register_mechanism(
+    "jv",
+    _build_jv,
+    method_of=lambda mech: mech.jv.shares,
+    summary="§3.2 Jain-Vazirani cross-monotonic mechanism (2(3^d - 1)-BB, GSP)",
+)

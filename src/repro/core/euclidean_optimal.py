@@ -23,6 +23,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_mechanism
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
 from repro.mechanism.moulin_shenker import moulin_shenker
 from repro.mechanism.vcg import MarginalCostMechanism
@@ -207,9 +208,13 @@ class EuclideanShapleyMechanism(CostSharingMechanism):
             )
         return cost, power
 
-    def run(self, profile: Profile) -> MechanismResult:
+    def run(self, profile: Profile, *, method=None) -> MechanismResult:
+        """Run the mechanism; ``method`` optionally substitutes a memoised
+        wrapper of the closed-form Shapley shares (see
+        :class:`repro.engine.batch.MethodCache`)."""
         u = self.validate_profile(profile)
-        return moulin_shenker(self.agents, self._shares, u, build=self._build)
+        xi = self._shares if method is None else method
+        return moulin_shenker(self.agents, xi, u, build=self._build)
 
 
 class EuclideanMCMechanism(MarginalCostMechanism):
@@ -283,3 +288,28 @@ class EuclideanMCMechanism(MarginalCostMechanism):
             power=power,
             extra=result.extra,
         )
+
+
+# -- registry wiring (repro.api) --------------------------------------------
+
+def _euclidean_network(session) -> EuclideanCostGraph:
+    network = session.network
+    if not isinstance(network, EuclideanCostGraph):
+        raise ValueError(
+            "the optimal Euclidean mechanisms need a Euclidean scenario "
+            f"(kind 'points' or 'random' with alpha), got {session.scenario.kind!r}"
+        )
+    return network
+
+
+register_mechanism(
+    "euclid-shapley",
+    lambda session: EuclideanShapleyMechanism(_euclidean_network(session), session.source),
+    method_of=lambda mech: mech._shares,
+    summary="§3.1 Shapley mechanism over exact C* (1-BB, GSP; alpha=1 or d=1)",
+)
+register_mechanism(
+    "euclid-mc",
+    lambda session: EuclideanMCMechanism(_euclidean_network(session), session.source),
+    summary="§3.1 marginal-cost mechanism over exact C* (efficient, SP; alpha=1 or d=1)",
+)

@@ -22,6 +22,7 @@ they are research/validation tools, not production mechanisms.
 
 from __future__ import annotations
 
+from repro.api.registry import register_mechanism
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
 from repro.mechanism.moulin_shenker import moulin_shenker
 from repro.mechanism.shapley import shapley_shares
@@ -60,14 +61,18 @@ class ExactShapleyMechanism(CostSharingMechanism):
     def shares(self, R: frozenset) -> dict[Agent, float]:
         return shapley_shares(sorted(R), self.oracle.cost)
 
-    def run(self, profile: Profile) -> MechanismResult:
+    def run(self, profile: Profile, *, method=None) -> MechanismResult:
+        """Run the mechanism; ``method`` optionally substitutes a memoised
+        wrapper of :meth:`shares` (see
+        :class:`repro.engine.batch.MethodCache`)."""
         u = self.validate_profile(profile)
+        xi = self.shares if method is None else method
 
         def build(R: frozenset):
             cost, power = self.oracle.solve(R)
             return cost, power
 
-        return moulin_shenker(self.agents, self.shares, u, build=build)
+        return moulin_shenker(self.agents, xi, u, build=build)
 
 
 class ExactMCMechanism(MarginalCostMechanism):
@@ -91,3 +96,18 @@ class ExactMCMechanism(MarginalCostMechanism):
             power=power,
             extra=result.extra,
         )
+
+
+# -- registry wiring (repro.api) --------------------------------------------
+
+register_mechanism(
+    "exact-shapley",
+    lambda session: ExactShapleyMechanism(session.network, session.source),
+    method_of=lambda mech: mech.shares,
+    summary="exact Shapley value over C* (1-BB; exponential, small instances)",
+)
+register_mechanism(
+    "exact-mc",
+    lambda session: ExactMCMechanism(session.network, session.source),
+    summary="VCG over exact C* (efficient + cost-optimal; exponential)",
+)

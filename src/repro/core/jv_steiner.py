@@ -56,6 +56,10 @@ class JVSteinerShares:
         Optional strictly positive weights (the paper's per-user mappings
         ``f_i``): a component's growth is split proportionally to the
         weights of its members.  Default: equal split.
+    closure:
+        Optional precomputed metric closure of ``network`` (as returned by
+        :func:`metric_closure_matrix`) — lets a long-lived session amortize
+        the all-pairs shortest paths across share families.
     """
 
     def __init__(
@@ -63,10 +67,18 @@ class JVSteinerShares:
         network: CostGraph,
         source: int,
         agent_weights: Mapping[Agent, float] | None = None,
+        *,
+        closure: np.ndarray | None = None,
     ) -> None:
         self.network = network
         self.source = source
-        self.closure = metric_closure_matrix(network)
+        if closure is None:
+            closure = metric_closure_matrix(network)
+        elif closure.shape != (network.n, network.n):
+            raise ValueError(
+                f"closure shape {closure.shape} does not match network n={network.n}"
+            )
+        self.closure = closure
         self.agent_weights = dict(agent_weights) if agent_weights else None
         if self.agent_weights is not None:
             bad = {a: w for a, w in self.agent_weights.items() if w <= 0}

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.api.registry import register_mechanism
 from repro.core.memt_reduction import memt_to_nwst, nwst_solution_to_power
 from repro.core.nwst_mechanism import NWSTMechanism
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
@@ -141,3 +142,77 @@ class WirelessMulticastMechanism(CostSharingMechanism):
             "charged_nwst": inner_result.extra["charged"],
             "charged_extra": charged_extra,
         }
+
+
+class WirelessNWSTMechanism(CostSharingMechanism):
+    """The §2.2.2 NWST mechanism on the §2.2.1 reduction, addressed by
+    station id.
+
+    Runs :class:`NWSTMechanism` over ``memt_to_nwst(network, source, R)``
+    with the source's input node protected, translating terminals and
+    shares between station ids and reduction nodes.  This is the first
+    two steps of the §2.2.3 pipeline — it prices the *weakly connected*
+    multicast structure and stops before the extra-power recharging
+    (:class:`WirelessMulticastMechanism` is the full mechanism).
+    """
+
+    def __init__(
+        self,
+        network: CostGraph,
+        source: int,
+        receivers: Sequence[Agent] | None = None,
+        *,
+        mode: str = "branch",
+    ) -> None:
+        self.network = network
+        self.source = source
+        if receivers is None:
+            receivers = [i for i in range(network.n) if i != source]
+        if source in receivers:
+            raise ValueError("the source cannot be a receiver")
+        self.agents = list(dict.fromkeys(receivers))
+        self.mode = mode
+        self.instance = memt_to_nwst(network, source, self.agents)
+        self.inner = NWSTMechanism(
+            self.instance.graph,
+            self.instance.weights,
+            terminals=[self.instance.terminal_of[r] for r in self.agents],
+            protected=[self.instance.source_terminal],
+            mode=mode,
+        )
+
+    def run(self, profile: Profile) -> MechanismResult:
+        u = self.validate_profile(profile)
+        inner = self.inner.run({self.instance.terminal_of[r]: u[r] for r in self.agents})
+        receivers = frozenset(
+            r for r in self.agents if self.instance.terminal_of[r] in inner.receivers
+        )
+        shares = {r: inner.shares[self.instance.terminal_of[r]] for r in receivers}
+        return MechanismResult(
+            receivers=receivers,
+            shares=shares,
+            cost=inner.cost,
+            extra=dict(inner.extra),
+        )
+
+
+# -- registry wiring (repro.api) --------------------------------------------
+
+def _receivers_param(receivers):
+    return None if receivers is None else [int(r) for r in receivers]
+
+
+register_mechanism(
+    "wireless",
+    lambda session, *, mode="branch", receivers=None: WirelessMulticastMechanism(
+        session.network, session.source, _receivers_param(receivers), mode=mode
+    ),
+    summary="§2.2.3 wireless multicast mechanism (3 ln(k+1)-BB, SP)",
+)
+register_mechanism(
+    "nwst",
+    lambda session, *, mode="branch", receivers=None: WirelessNWSTMechanism(
+        session.network, session.source, _receivers_param(receivers), mode=mode
+    ),
+    summary="§2.2.2 NWST mechanism on the MEMT reduction (1.5 ln k-BB, SP)",
+)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.api.registry import register_mechanism
 from repro.engine.trees import efficient_set, water_filling_shares
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
 from repro.mechanism.moulin_shenker import moulin_shenker
@@ -110,3 +111,18 @@ class UniversalTreeMCMechanism(MarginalCostMechanism):
             power=power,
             extra=result.extra,
         )
+
+
+# -- registry wiring (repro.api) --------------------------------------------
+
+register_mechanism(
+    "tree-shapley",
+    lambda session, *, tree=None: UniversalTreeShapleyMechanism(session.universal_tree(tree)),
+    method_of=lambda mech: lambda R: universal_tree_shapley_shares(mech.tree, R),
+    summary="§2.1 Shapley value mechanism on a universal tree (BB, GSP)",
+)
+register_mechanism(
+    "tree-mc",
+    lambda session, *, tree=None: UniversalTreeMCMechanism(session.universal_tree(tree)),
+    summary="§2.1 marginal-cost mechanism on a universal tree (efficient, SP)",
+)

@@ -21,6 +21,13 @@ memoises exactly those pieces:
 
 Results are identical to per-call mechanism runs — the caches only avoid
 recomputing pure functions.
+
+:class:`repro.api.MulticastSession` is the serving entry built on these
+pieces: it binds a declarative scenario spec, shares one
+:class:`MethodCache` per registered mechanism, and additionally shares
+the scenario artifacts (universal trees, metric closure) *across*
+mechanisms.  The classes here remain the low-level, mechanism-shaped
+building blocks.
 """
 
 from __future__ import annotations
@@ -102,14 +109,7 @@ class UniversalTreeBatch:
 
         self.network = network
         self.source = source
-        if kind == "spt":
-            self.tree = UniversalTree.from_shortest_paths(network, source, backend=backend)
-        elif kind == "mst":
-            self.tree = UniversalTree.from_mst(network, source, backend=backend)
-        elif kind == "star":
-            self.tree = UniversalTree.star(network, source)
-        else:
-            raise ValueError(f"unknown universal tree kind {kind!r}")
+        self.tree = UniversalTree.build(network, source, kind, backend=backend)
         self.agents = self.tree.agents()
         self.shapley_method = MethodCache(
             lambda R: universal_tree_shapley_shares(self.tree, R)

@@ -65,9 +65,13 @@ class CostSharingMechanism(abc.ABC):
         """Execute the mechanism on reported utilities ``profile``."""
 
     def validate_profile(self, profile: Profile) -> dict[Agent, float]:
+        known = set(self.agents)
         missing = [a for a in self.agents if a not in profile]
         if missing:
             raise ValueError(f"profile missing agents: {missing}")
+        stray = sorted((a for a in profile if a not in known), key=repr)
+        if stray:
+            raise ValueError(f"profile reports unknown agents: {stray}")
         bad = {a: v for a, v in profile.items() if v < 0}
         if bad:
             raise ValueError(f"utilities must be non-negative: {bad}")

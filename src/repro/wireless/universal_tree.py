@@ -65,6 +65,22 @@ class UniversalTree:
             raise ValueError("parent map is not a spanning tree rooted at the source")
 
     # -- constructions -----------------------------------------------------
+    KINDS = ("spt", "mst", "star")
+
+    @classmethod
+    def build(cls, network: CostGraph, source: int, kind: str = "spt",
+              *, backend: str = "auto") -> "UniversalTree":
+        """Construct a universal tree by kind name — the single home of
+        the ``spt``/``mst``/``star`` dispatch (scenario specs, the session
+        facade and the experiment runners all route through it)."""
+        if kind == "spt":
+            return cls.from_shortest_paths(network, source, backend=backend)
+        if kind == "mst":
+            return cls.from_mst(network, source, backend=backend)
+        if kind == "star":
+            return cls.star(network, source)
+        raise ValueError(f"unknown universal tree kind {kind!r} (want one of {cls.KINDS})")
+
     @classmethod
     def from_shortest_paths(cls, network: CostGraph, source: int,
                             *, backend: str = "auto") -> "UniversalTree":

@@ -1,0 +1,138 @@
+"""Tests for repro.api.registry — names, builders, direct-construction parity."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    MechanismSpec,
+    MulticastSession,
+    ScenarioSpec,
+    available_mechanisms,
+    make_mechanism,
+    register_mechanism,
+    registered,
+)
+from repro.api.registry import _REGISTRY
+from repro.core import (
+    EuclideanJVMechanism,
+    EuclideanMCMechanism,
+    EuclideanShapleyMechanism,
+    ExactMCMechanism,
+    ExactShapleyMechanism,
+    UniversalTreeMCMechanism,
+    UniversalTreeShapleyMechanism,
+    WirelessMulticastMechanism,
+    WirelessNWSTMechanism,
+)
+from repro.wireless import UniversalTree
+
+EXPECTED_NAMES = {
+    "euclid-mc", "euclid-shapley", "exact-mc", "exact-shapley", "jv",
+    "nwst", "tree-mc", "tree-shapley", "wireless",
+}
+
+
+def test_every_core_mechanism_is_registered():
+    assert set(available_mechanisms()) == EXPECTED_NAMES
+
+
+def test_entries_have_summaries():
+    for name in available_mechanisms():
+        assert registered(name).summary
+
+
+def test_unknown_name_raises_with_listing():
+    with pytest.raises(ValueError, match="unknown mechanism 'nope'"):
+        make_mechanism("nope", ScenarioSpec.from_random(n=3, seed=0))
+
+
+def test_make_mechanism_shares_session_cache():
+    session = MulticastSession(ScenarioSpec.from_random(n=4, seed=0, alpha=2.0))
+    mech = make_mechanism("jv", session)
+    assert mech is session.mechanism("jv")  # no second construction
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_mechanism("jv", lambda session: None)
+    assert registered("jv").method_of is not None  # original entry intact
+
+
+def test_decorator_form_and_replace():
+    @register_mechanism("test-dummy", summary="dummy")
+    def build(session):
+        """A dummy."""
+        return None
+
+    try:
+        assert "test-dummy" in available_mechanisms()
+        register_mechanism("test-dummy", lambda session: 1, replace=True)
+        assert registered("test-dummy").builder(None) == 1
+    finally:
+        _REGISTRY.pop("test-dummy", None)
+
+
+class TestDirectConstructionParity:
+    """Every registry name must price bit-identically to hand construction.
+
+    One alpha = 1 Euclidean scenario keeps all nine mechanisms valid
+    (including the §3.1 optimal ones) and the exponential exact oracles
+    tractable.
+    """
+
+    SPEC = ScenarioSpec.from_random(n=5, dim=2, alpha=1.0, seed=13, side=5.0)
+
+    def direct(self, name, network):
+        tree = UniversalTree.from_shortest_paths(network, 0)
+        return {
+            "tree-shapley": lambda: UniversalTreeShapleyMechanism(tree),
+            "tree-mc": lambda: UniversalTreeMCMechanism(tree),
+            "nwst": lambda: WirelessNWSTMechanism(network, 0),
+            "wireless": lambda: WirelessMulticastMechanism(network, 0),
+            "jv": lambda: EuclideanJVMechanism(network, 0),
+            "euclid-shapley": lambda: EuclideanShapleyMechanism(network, 0),
+            "euclid-mc": lambda: EuclideanMCMechanism(network, 0),
+            "exact-shapley": lambda: ExactShapleyMechanism(network, 0),
+            "exact-mc": lambda: ExactMCMechanism(network, 0),
+        }[name]()
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_registry_output_matches_direct(self, name):
+        # Build from the JSON wire form, as a service would.
+        spec = ScenarioSpec.from_json(self.SPEC.to_json())
+        mspec = MechanismSpec.from_json(MechanismSpec(name).to_json())
+        session = MulticastSession(spec)
+
+        network = spec.build_network()
+        rng = np.random.default_rng(13)
+        typical = float(np.median(network.matrix[network.matrix > 0]))
+        profiles = [
+            {i: float(rng.uniform(0, 3.0 * typical)) for i in spec.agents()}
+            for _ in range(3)
+        ]
+
+        direct_mech = self.direct(name, network)
+        for profile in profiles:
+            via_registry = session.run(mspec, profile)
+            directly = direct_mech.run(profile)
+            assert via_registry.receivers == directly.receivers
+            assert via_registry.shares == directly.shares
+            assert via_registry.cost == directly.cost
+
+    def test_jv_agent_weights_param(self):
+        spec = self.SPEC
+        session = MulticastSession(spec)
+        weights = {str(i): float(i) for i in spec.agents()}  # wire string keys
+        mech = session.mechanism("jv", agent_weights=weights)
+        direct = EuclideanJVMechanism(
+            spec.build_network(), 0, {i: float(i) for i in spec.agents()}
+        )
+        profile = {i: 50.0 for i in spec.agents()}
+        assert session.run("jv", profile, agent_weights=weights).shares \
+            == direct.run(profile).shares
+        assert mech.jv.agent_weights == direct.jv.agent_weights
+
+    def test_euclidean_only_mechanisms_reject_matrix_scenarios(self):
+        spec = ScenarioSpec.from_matrix([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="Euclidean scenario"):
+            make_mechanism("euclid-shapley", spec)

@@ -1,0 +1,115 @@
+"""Tests for repro.api.serialize — the MechanismResult wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    MulticastSession,
+    ScenarioSpec,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.api.serialize import sanitize_extra
+from repro.mechanism.base import MechanismResult
+from repro.wireless import PowerAssignment
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+json_scalars = st.one_of(st.none(), st.booleans(), st.integers(), finite,
+                         st.text(max_size=10))
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+def assert_results_equal(a: MechanismResult, b: MechanismResult) -> None:
+    assert a.receivers == b.receivers
+    assert a.shares == b.shares  # dict equality: exact floats
+    assert a.cost == b.cost
+    assert a.extra == b.extra
+    if a.power is None:
+        assert b.power is None
+    else:
+        assert np.array_equal(a.power.powers, b.power.powers)
+
+
+@st.composite
+def wire_results(draw):
+    receivers = frozenset(draw(st.sets(st.integers(0, 9), max_size=6)))
+    paying = draw(st.sets(st.sampled_from(sorted(receivers)), max_size=len(receivers))
+                  ) if receivers else set()
+    shares = {i: draw(st.floats(min_value=0, max_value=1e9, width=64)) for i in paying}
+    cost = draw(finite)
+    power = None
+    if draw(st.booleans()):
+        n = draw(st.integers(1, 8))
+        power = PowerAssignment([draw(st.floats(min_value=0, max_value=1e9, width=64))
+                                 for _ in range(n)])
+    extra = draw(st.dictionaries(st.text(max_size=6), json_values, max_size=4))
+    return MechanismResult(receivers=receivers, shares=shares, cost=cost,
+                           power=power, extra=extra)
+
+
+class TestResultRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(result=wire_results())
+    def test_json_round_trip_exact(self, result):
+        assert_results_equal(result_from_json(result_to_json(result)), result)
+
+    @settings(max_examples=40, deadline=None)
+    @given(result=wire_results())
+    def test_dict_round_trip_exact(self, result):
+        assert_results_equal(result_from_dict(result_to_dict(result)), result)
+
+    def test_mechanism_output_round_trips(self):
+        spec = ScenarioSpec.from_random(n=6, alpha=2.0, seed=4, side=5.0)
+        session = MulticastSession(spec)
+        profile = {i: 20.0 for i in spec.agents()}
+        for name in ("tree-shapley", "jv", "wireless"):
+            result = session.run(name, profile)
+            back = result_from_json(result_to_json(result))
+            assert back.receivers == result.receivers
+            assert back.shares == result.shares
+            assert back.cost == result.cost
+            if result.power is not None:
+                assert np.array_equal(back.power.powers, result.power.powers)
+
+
+class TestWireSafety:
+    def test_non_int_agents_rejected(self):
+        r = MechanismResult(receivers=frozenset({("in", 1)}),
+                            shares={("in", 1): 1.0}, cost=1.0)
+        with pytest.raises(TypeError, match="station id"):
+            result_to_dict(r)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict({"schema": 99, "receivers": [], "shares": {}, "cost": 0.0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown result fields"):
+            result_from_dict({"receivers": [], "shares": {}, "cost": 0.0, "bonus": 1})
+
+    def test_extra_sets_become_sorted_lists(self):
+        out = sanitize_extra({"bought": frozenset({("out", 2, 0), ("in", 1)})})
+        assert out == {"bought": [["in", 1], ["out", 2, 0]]}
+
+    def test_unserializable_extra_dropped(self):
+        class Opaque:
+            pass
+
+        out = sanitize_extra({"keep": 1.5, "drop": Opaque(),
+                              "nested": {"drop": Opaque(), "keep": "x"}})
+        assert out == {"keep": 1.5, "nested": {"keep": "x"}}
+
+    def test_numpy_values_survive(self):
+        out = sanitize_extra({"a": np.float64(2.5), "b": np.arange(3)})
+        assert out == {"a": 2.5, "b": [0, 1, 2]}

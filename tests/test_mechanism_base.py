@@ -44,9 +44,11 @@ class TestValidateProfile:
         with pytest.raises(ValueError):
             _Fixed().run({1: 1.0, 2: -0.5})
 
-    def test_extra_agents_ignored(self):
-        result = _Fixed().run({1: 1.0, 2: 2.0, 99: 5.0})
-        assert 99 not in result.receivers
+    def test_stray_agents_rejected(self):
+        # Regression: reports for unknown agents used to be silently
+        # dropped; they must be rejected like missing agents are.
+        with pytest.raises(ValueError, match=r"unknown agents: \[98, 99\]"):
+            _Fixed().run({1: 1.0, 2: 2.0, 99: 5.0, 98: 1.0})
 
 
 def test_with_report_copies():
