@@ -1,0 +1,38 @@
+"""Sweep-runner throughput: the fleet grid, serial and process-parallel.
+
+Times :func:`repro.runner.run_sweep` over a layout-family x mechanism
+grid — the serial case isolates the per-item pipeline (session reuse +
+memoised xi within each scenario group), the 2-worker case adds the
+``multiprocessing`` fan-out including pool startup, so the recorded gap
+is an honest ceiling on what parallelism must amortize.  Both land in
+``benchmarks/out/BENCH_S1.json`` (group ``EXP-S1 sweep-runner``) and are
+watched by the CI regression gate.
+"""
+
+import pytest
+
+from repro.runner import ProfileSpec, SweepSpec, run_sweep
+
+from conftest import record, run_once
+
+
+def fleet_spec() -> SweepSpec:
+    return SweepSpec(
+        ns=(12,), alphas=(2.0,), seeds=(0, 1, 2),
+        layouts=("uniform", "cluster", "grid", "ring", "radial"),
+        mechanisms=("tree-shapley", "tree-mc", "jv"),
+        profiles=ProfileSpec(count=3), side=5.0,
+    )
+
+
+@pytest.mark.benchmark(group="EXP-S1 sweep-runner")
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sweep_runner(benchmark, workers):
+    spec = fleet_spec()
+    rows = run_once(benchmark, run_sweep, spec, workers=workers)
+    assert len(rows) == spec.n_items() == 45
+    record(
+        f"BENCH_SWEEP_w{workers}",
+        f"sweep {spec.n_items()} items, workers={workers}: "
+        f"{len(rows)} rows, all items completed",
+    )

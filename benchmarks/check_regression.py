@@ -1,0 +1,113 @@
+"""Benchmark regression gate: fail when a median regresses past tolerance.
+
+Compares two ``BENCH_S1.json`` files (the committed baseline vs a fresh
+run) case by case on the benchmark ``median`` and exits non-zero when any
+case matched in *both* files slowed down by more than ``--tolerance``
+(default 25%).  Cases present on only one side are reported but never
+fail the gate — new benchmarks need a first run to become a baseline.
+
+CI copies the checked-in ``benchmarks/out/BENCH_S1.json`` aside before
+running the suite (the suite merges fresh timings into that same file),
+then gates on the copy.  The same flow works locally::
+
+    cp benchmarks/out/BENCH_S1.json /tmp/bench_baseline.json
+    PYTHONPATH=src python -m pytest benchmarks/ -q --benchmark-min-rounds=2
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --baseline /tmp/bench_baseline.json
+
+This file is kept ``ruff format``-clean (CI checks it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_CURRENT = pathlib.Path(__file__).parent / "out" / "BENCH_S1.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_medians(path: pathlib.Path) -> dict[str, float]:
+    """``{fullname: median_seconds}`` for every case with a usable median."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}") from exc
+    out: dict[str, float] = {}
+    for row in payload.get("benchmarks", []):
+        fullname, median = row.get("fullname"), row.get("median")
+        if fullname and isinstance(median, (int, float)) and median > 0:
+            out[str(fullname)] = float(median)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any benchmark median regresses past tolerance.",
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        type=pathlib.Path,
+        help="baseline BENCH_S1.json (the committed copy)",
+    )
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=DEFAULT_CURRENT,
+        help=f"freshly generated file (default: {DEFAULT_CURRENT})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown (default: 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        print(
+            f"error: no benchmark cases in common between {args.baseline} and {args.current}",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions = []
+    print(f"comparing {len(matched)} matched cases (tolerance +{args.tolerance:.0%}):")
+    for fullname in matched:
+        old, new = baseline[fullname], current[fullname]
+        ratio = new / old
+        flag = "REGRESSED" if ratio > 1.0 + args.tolerance else "ok"
+        print(
+            f"  {flag:>9}  {ratio:6.2f}x  {old * 1e3:10.3f}ms -> "
+            f"{new * 1e3:10.3f}ms  {fullname}"
+        )
+        if flag == "REGRESSED":
+            regressions.append((fullname, ratio))
+
+    for fullname in sorted(set(baseline) - set(current)):
+        print(f"   missing   (not re-run)  {fullname}")
+    for fullname in sorted(set(current) - set(baseline)):
+        print(f"       new   (no baseline) {fullname}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} case(s) regressed past +{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for fullname, ratio in regressions:
+            print(f"  {ratio:.2f}x  {fullname}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no case regressed past +{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,7 +59,7 @@ def main() -> None:
     print()
     print(f"served:            {sorted(c[1] for c in result.receivers)}")
     print(f"restarts:          {result.extra['n_restarts']} "
-          f"(unaffordable customers dropped, computation restarted)")
+          "(unaffordable customers dropped, computation restarted)")
     print(f"charged total:     {result.total_charged():.3f}")
     print(f"tree (node) cost:  {result.cost:.3f}")
     if result.receivers:

@@ -17,12 +17,16 @@ Layering (each layer only depends on the ones above it):
 * :mod:`repro.api` — the declarative scenario/mechanism spec API, the
   string-keyed mechanism registry, and the caching
   :class:`~repro.api.MulticastSession` facade (the service entry path);
+* :mod:`repro.runner` — declarative sweep grids over scenario layout
+  families x mechanisms, the process-parallel executor, and the
+  resumable JSONL result store (the fleet entry path);
 * :mod:`repro.analysis` — instances, experiments, tables.
 
 The most common entry points are re-exported here; run
-``python -m repro`` for the full experiment report and ``python -m repro
+``python -m repro`` for the full experiment report, ``python -m repro
 run --scenario spec.json --mechanism jv --profiles profiles.json`` to
-price profiles over a JSON scenario spec.
+price profiles over a JSON scenario spec, and ``python -m repro sweep
+--spec sweep.json --workers 4 --out results.jsonl`` for whole grids.
 """
 
 from repro.api import (
@@ -48,11 +52,12 @@ from repro.core import (
     WirelessNWSTMechanism,
 )
 from repro.engine import CSRGraph, DenseGraph
-from repro.geometry import PointSet, uniform_points
+from repro.geometry import LAYOUT_FAMILIES, PointSet, layout_points, uniform_points
 from repro.mechanism import MechanismResult
+from repro.runner import ProfileSpec, SweepSpec, run_sweep
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CSRGraph",
@@ -62,25 +67,30 @@ __all__ = [
     "EuclideanJVMechanism",
     "EuclideanMCMechanism",
     "EuclideanShapleyMechanism",
+    "LAYOUT_FAMILIES",
     "MechanismResult",
     "MechanismSpec",
     "MulticastSession",
     "NWSTMechanism",
     "PointSet",
     "PowerAssignment",
+    "ProfileSpec",
     "ScenarioSpec",
+    "SweepSpec",
     "UniversalTree",
     "UniversalTreeMCMechanism",
     "UniversalTreeShapleyMechanism",
     "WirelessMulticastMechanism",
     "WirelessNWSTMechanism",
     "available_mechanisms",
+    "layout_points",
     "make_mechanism",
     "register_mechanism",
     "result_from_dict",
     "result_from_json",
     "result_to_dict",
     "result_to_json",
+    "run_sweep",
     "uniform_points",
     "__version__",
 ]

@@ -1,6 +1,6 @@
-"""``python -m repro`` — experiment report and scenario pricing CLI.
+"""``python -m repro`` — experiment report, scenario pricing and sweep CLI.
 
-Two modes:
+Three modes:
 
 * **Experiment report** (default): runs every experiment of DESIGN.md
   section 4 at moderate parameters and prints the paper-vs-measured
@@ -15,6 +15,14 @@ Two modes:
 
       python -m repro run --scenario spec.json --mechanism jv \\
           --profiles profiles.json --json
+
+* **Parallel sweeps** (``sweep``): expands a :class:`repro.runner.SweepSpec`
+  grid (layout families x sizes x alphas x seeds x mechanisms), prices it
+  across worker processes, streams rows to a resumable JSONL sink, and
+  prints the aggregated summary table::
+
+      python -m repro sweep --spec sweep.json --workers 4 \\
+          --out results.jsonl [--resume]
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ RUNNERS = {
            lambda: E.exp_e3_properties_matrix()),
     "E4": ("Efficiency loss of BB methods (Shapley vs marginal vectors)",
            lambda: E.exp_e4_efficiency_loss()),
+    "S1": ("Fleet sweep — layout families x mechanisms (repro.runner)",
+           lambda: E.exp_s1_sweep_fleet()),
     "S2": ("Batched mechanism pipeline (repro.api session facade)",
            lambda: E.exp_s2_batch_pipeline()),
     "A1": ("Ablation — universal-tree choice", lambda: E.exp_a1_tree_ablation()),
@@ -105,6 +115,9 @@ def run_command(argv: list[str]) -> int:
         raw = json.loads(pathlib.Path(args.profiles).read_text())
         if isinstance(raw, dict):
             raw = [raw]
+        if not isinstance(raw, list) or not all(isinstance(p, dict) for p in raw):
+            raise ValueError(
+                "profiles must be a JSON object {station: utility} or a list of them")
         profiles = [{int(a): float(v) for a, v in prof.items()} for prof in raw]
         params = json.loads(pathlib.Path(args.params).read_text()) if args.params else {}
         mspec = MechanismSpec(args.mechanism, params)
@@ -125,7 +138,11 @@ def run_command(argv: list[str]) -> int:
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
-        pathlib.Path(args.out).write_text(text + "\n")
+        try:
+            pathlib.Path(args.out).write_text(text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
     if args.as_json:
         print(text)
     else:
@@ -141,9 +158,66 @@ def run_command(argv: list[str]) -> int:
     return 0
 
 
+def sweep_command(argv: list[str]) -> int:
+    """The ``sweep`` subcommand: grid JSON in, JSONL rows + summary out."""
+    from repro.runner import SweepSpec, run_sweep, summarize_rows
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Expand a SweepSpec grid and price it across processes.",
+    )
+    parser.add_argument("--spec", required=True,
+                        help="path to a SweepSpec JSON file")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1 = serial; outputs "
+                             "are identical either way)")
+    parser.add_argument("--out", default=None,
+                        help="JSONL sink path (one row per work item, "
+                             "appended as items complete)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip items already present in --out (requires --out)")
+    parser.add_argument("--by", default="layout,mechanism,n,alpha",
+                        help="comma-separated summary grouping columns "
+                             "(default: layout,mechanism,n,alpha)")
+    args = parser.parse_args(argv)
+
+    if args.resume and not args.out:
+        print("error: --resume requires --out (the sink to resume from)",
+              file=sys.stderr)
+        return 2
+
+    def progress(row: dict) -> None:
+        # stdout is reserved for the summary table (it gets piped).
+        print(f"  done {row['item']}", file=sys.stderr)
+
+    try:
+        spec = SweepSpec.from_json(pathlib.Path(args.spec).read_text())
+        t0 = time.perf_counter()
+        rows = run_sweep(spec, workers=args.workers, out=args.out,
+                         resume=args.resume, progress=progress)
+        elapsed = time.perf_counter() - t0
+    except (OSError, ValueError, TypeError) as exc:
+        # ValueError covers json.JSONDecodeError, bad specs, and unknown
+        # mechanism names (the message lists the registered ones).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    by = [c.strip() for c in args.by.split(",") if c.strip()]
+    print(format_table(
+        summarize_rows(rows, by=by),
+        title=f"sweep: {len(rows)} items ({len(spec.scenarios())} scenarios x "
+              f"{len(spec.mechanisms)} mechanisms) in {elapsed:.1f}s "
+              f"with {args.workers} worker(s)"))
+    if args.out:
+        print(f"rows: {args.out}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "run":
         return run_command(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)
     unknown = [w for w in wanted if w not in RUNNERS]
     if unknown:

@@ -51,7 +51,7 @@ from repro.mechanism.properties import (
 )
 from repro.mechanism.vcg import brute_force_efficient_set
 from repro.wireless.broadcast import mst_broadcast
-from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
+from repro.wireless.cost_graph import CostGraph
 from repro.wireless.memt import optimal_broadcast, optimal_multicast_cost, steiner_multicast
 from repro.wireless.universal_tree import UniversalTree
 
@@ -145,14 +145,27 @@ def exp_f2_empty_core(m_values: Sequence[float] = (6.0, 8.0, 10.0),
 # ---------------------------------------------------------------------------
 
 def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
-                          tree_kind: str = "spt") -> dict:
+                          tree_kind: str = "spt", layout: str = "uniform",
+                          alpha: float = 2.0) -> dict:
+    """Universal-tree mechanism invariants over a runner scenario grid.
+
+    The instance suite is the sweep runner's own expansion (one
+    :class:`~repro.runner.SweepSpec` scenario axis over ``layout``), so
+    the lemma is checked on exactly the replayable scenarios the fleet
+    executor serves — pass ``layout="cluster"``/``"grid"``/... to audit
+    the other families.
+    """
     from repro.engine.batch import sweep_instances
+    from repro.runner import SweepSpec
 
     rng = as_rng(seed)
+    grid = SweepSpec(ns=(n,), alphas=(alpha,), layouts=(layout,),
+                     seeds=tuple(seed + i for i in range(n_instances)),
+                     tree=tree_kind, side=5.0)
 
-    def run_one(network: CostGraph) -> dict:
-        source = 0
-        session = MulticastSession(network, source=source)
+    def run_one(scenario) -> dict:
+        session = MulticastSession(scenario)
+        network, source = session.network, session.source
         tree = session.universal_tree(tree_kind)
         agents = tree.agents()
         cf = CostFunction(agents, lambda R, t=tree: t.cost(R))
@@ -180,7 +193,7 @@ def exp_t1_universal_tree(n_instances: int = 5, n: int = 7, seed: int = 0,
             "mc_receivers": len(res_m.receivers),
         }
 
-    rows = sweep_instances(random_symmetric_suite(n_instances, n, rng), run_one)
+    rows = sweep_instances(grid.scenarios(), run_one)
     return {"rows": rows}
 
 
@@ -576,7 +589,10 @@ def exp_e4_efficiency_loss(n_instances: int = 4, n: int = 7,
         source = 0
         tree = _build_tree(network, source, "spt")
         agents = tree.agents()
-        cost_fn = lambda R, t=tree: t.cost(R)
+
+        def cost_fn(R, t=tree):
+            return t.cost(R)
+
         solver = brute_force_efficient_set(agents, cost_fn)
         # Memoised per network: the exponential Shapley evaluation of a
         # receiver set is shared by every profile that visits it.
@@ -634,6 +650,44 @@ def exp_e2_distributed(sizes: Sequence[int] = (8, 16, 32), seed: int = 0,
             "tree_depth": depth,
         })
     return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# EXP-S1 — the fleet sweep: every layout family x mechanism, via the
+# process-parallel runner (repro.runner)
+# ---------------------------------------------------------------------------
+
+def exp_s1_sweep_fleet(n: int = 7, seeds: Sequence[int] = (0, 1),
+                       n_profiles: int = 3, workers: int = 2,
+                       alpha: float = 2.0) -> dict:
+    """The paper's mechanism families over every scenario layout family,
+    executed as one :func:`repro.runner.run_sweep` grid.
+
+    This is the fleet-scale face of the scalability experiment: the grid
+    expands deterministically into work items, scenario groups fan out
+    over ``workers`` processes (each reusing one session per scenario),
+    and the aggregation helper rolls the rows back up into the summary
+    table.  Outputs are bit-identical to the serial path — asserted here
+    by re-pricing one item from scratch and comparing payloads.
+    """
+    from repro.geometry.layouts import LAYOUT_FAMILIES
+    from repro.runner import ProfileSpec, SweepSpec, run_item, run_sweep, summarize_rows
+
+    spec = SweepSpec(ns=(n,), alphas=(alpha,), seeds=tuple(seeds),
+                     layouts=LAYOUT_FAMILIES,
+                     mechanisms=("tree-shapley", "tree-mc", "jv", "wireless"),
+                     profiles=ProfileSpec(count=n_profiles), side=5.0)
+    rows = run_sweep(spec, workers=workers)
+    probe = spec.expand()[0]
+    if run_item(probe) != rows[0]:
+        raise AssertionError(f"sweep row for {probe.item_id} is not replayable")
+    return {
+        "rows": summarize_rows(rows, by=("layout", "mechanism")),
+        "work_items": len(rows),
+        "scenarios": len(spec.scenarios()),
+        "workers": workers,
+        "replayed_item_identical": True,
+    }
 
 
 # ---------------------------------------------------------------------------

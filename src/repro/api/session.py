@@ -23,7 +23,7 @@ and asserted every run by EXP-S2).
 from __future__ import annotations
 
 import inspect
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping
 
 from repro.api.spec import MechanismSpec, ScenarioSpec
 from repro.engine.batch import MethodCache

@@ -22,6 +22,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, fields
 from typing import Any
 
+from repro.geometry.layouts import LAYOUT_FAMILIES
 from repro.wireless.universal_tree import UniversalTree
 
 SCENARIO_KINDS = ("points", "matrix", "random")
@@ -58,8 +59,11 @@ class ScenarioSpec:
 
     * ``"points"`` — an explicit Euclidean layout (``points`` + ``alpha``);
     * ``"matrix"`` — an explicit symmetric cost matrix (general networks);
-    * ``"random"`` — a seeded uniform layout (``n``/``dim``/``side``/``seed``
-      + ``alpha``), rebuilt deterministically from the seed.
+    * ``"random"`` — a seeded generated layout (``n``/``dim``/``side``/
+      ``seed`` + ``alpha``), rebuilt deterministically from the seed.
+      ``layout`` selects the point family — one of
+      :data:`repro.geometry.layouts.LAYOUT_FAMILIES` (default
+      ``"uniform"``, bit-identical to the historical uniform draw).
 
     ``source`` is the multicast root; ``tree`` fixes the universal-tree
     construction the section 2.1 mechanisms use (``spt``/``mst``/``star``).
@@ -75,6 +79,7 @@ class ScenarioSpec:
     dim: int | None = None
     side: float | None = None
     seed: int | None = None
+    layout: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in SCENARIO_KINDS:
@@ -88,7 +93,7 @@ class ScenarioSpec:
                 raise ValueError(f"alpha must be >= 1 (paper's model), got {self.alpha}")
 
         if self.kind == "points":
-            self._reject_foreign_fields(("matrix", "n", "side", "seed"))
+            self._reject_foreign_fields(("matrix", "n", "side", "seed", "layout"))
             if self.points is None:
                 raise ValueError("kind='points' requires points")
             if self.alpha is None:
@@ -99,7 +104,8 @@ class ScenarioSpec:
                 raise ValueError(f"dim={self.dim} contradicts {width}-d points")
             object.__setattr__(self, "dim", width)
         elif self.kind == "matrix":
-            self._reject_foreign_fields(("points", "alpha", "n", "dim", "side", "seed"))
+            self._reject_foreign_fields(
+                ("points", "alpha", "n", "dim", "side", "seed", "layout"))
             if self.matrix is None:
                 raise ValueError("kind='matrix' requires matrix")
             m = _as_float_rows(self.matrix, "matrix")
@@ -116,6 +122,11 @@ class ScenarioSpec:
             object.__setattr__(self, "dim", int(self.dim if self.dim is not None else 2))
             object.__setattr__(self, "side", float(self.side if self.side is not None else 10.0))
             object.__setattr__(self, "seed", int(self.seed))
+            object.__setattr__(
+                self, "layout", str(self.layout) if self.layout is not None else "uniform")
+            if self.layout not in LAYOUT_FAMILIES:
+                raise ValueError(
+                    f"unknown layout family {self.layout!r} (want one of {LAYOUT_FAMILIES})")
             if self.n < 1 or self.dim < 1:
                 raise ValueError(f"need n >= 1 and dim >= 1, got n={self.n}, dim={self.dim}")
 
@@ -151,10 +162,11 @@ class ScenarioSpec:
     @classmethod
     def from_random(cls, n: int, dim: int = 2, alpha: float = 2.0, seed: int = 0,
                     *, side: float = 10.0, source: int = 0,
-                    tree: str = "spt") -> "ScenarioSpec":
-        """Spec for a seeded uniform layout in ``[0, side]^dim``."""
+                    tree: str = "spt", layout: str = "uniform") -> "ScenarioSpec":
+        """Spec for a seeded generated layout in ``[0, side]^dim`` (``layout``
+        names a :data:`~repro.geometry.layouts.LAYOUT_FAMILIES` member)."""
         return cls(kind="random", n=n, dim=dim, alpha=alpha, seed=seed,
-                   side=side, source=source, tree=tree)
+                   side=side, source=source, tree=tree, layout=layout)
 
     @classmethod
     def from_network(cls, network, *, source: int = 0, tree: str = "spt") -> "ScenarioSpec":
@@ -193,15 +205,16 @@ class ScenarioSpec:
         """Construct the described network (deterministic, exact floats)."""
         import numpy as np
 
-        from repro.geometry.points import PointSet, uniform_points
+        from repro.geometry.layouts import layout_points
+        from repro.geometry.points import PointSet
         from repro.wireless.cost_graph import CostGraph, EuclideanCostGraph
 
         if self.kind == "points":
             return EuclideanCostGraph(PointSet(np.array(self.points, dtype=float)), self.alpha)
         if self.kind == "matrix":
             return CostGraph(np.array(self.matrix, dtype=float))
-        points = uniform_points(self.n, self.dim, side=self.side,
-                                rng=np.random.default_rng(self.seed))
+        points = layout_points(self.layout, self.n, self.dim, side=self.side,
+                               seed=self.seed)
         return EuclideanCostGraph(points, self.alpha)
 
     # -- wire format --------------------------------------------------------

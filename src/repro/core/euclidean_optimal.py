@@ -142,7 +142,6 @@ def line_shapley_shares(
     shares = {i: 0.0 for i in R}
     for i in R:
         others = [j for j in sorted_R if j != i]
-        m = len(others)
         # q = 0: marginal over the empty prefix.
         shares[i] += weight[0] * interval_cost(i, i)
         for q in range(1, k):

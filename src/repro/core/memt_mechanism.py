@@ -24,7 +24,7 @@ the payer's own report, which only determines membership.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 
 from repro.api.registry import register_mechanism
 from repro.core.memt_reduction import memt_to_nwst, nwst_solution_to_power

@@ -149,6 +149,25 @@ class JVBatch:
                 for profile in profiles]
 
 
+def group_consecutive(
+    items: Iterable[Any],
+    key: Callable[[Any], Any],
+) -> list[tuple[Any, ...]]:
+    """Partition a work stream into per-key groups, preserving encounter
+    order (of both groups and members).
+
+    The sweep executor schedules one group per task so everything sharing
+    a scenario lands in the same worker and reuses one session; keys must
+    be hashable.  Unlike ``itertools.groupby`` this groups *all* items of
+    a key even when the stream is non-contiguous (e.g. after a resume
+    filtered out completed items).
+    """
+    groups: dict[Any, list[Any]] = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(item)
+    return [tuple(members) for members in groups.values()]
+
+
 def sweep_instances(
     instances: Iterable[Any],
     runner: Callable[[Any], Mapping[str, Any]],

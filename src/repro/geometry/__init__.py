@@ -1,6 +1,7 @@
 """Euclidean point substrate for the paper's section 3 (Euclidean wireless
 networks, power attenuation ``c(x, y) = dist(x, y) ** alpha``)."""
 
+from repro.geometry.layouts import LAYOUT_FAMILIES, layout_points
 from repro.geometry.points import (
     PointSet,
     circle_points,
@@ -12,10 +13,12 @@ from repro.geometry.points import (
 )
 
 __all__ = [
+    "LAYOUT_FAMILIES",
     "PointSet",
     "circle_points",
     "clustered_points",
     "grid_points",
+    "layout_points",
     "line_points",
     "pentagon_layout",
     "uniform_points",

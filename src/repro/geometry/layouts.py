@@ -1,0 +1,138 @@
+"""Named point-layout families for scenario generation.
+
+The experiments in the source paper (and the related min-cost multicast /
+minimum-energy multicasting literature it cites) evaluate on *diverse*
+topology families, not just uniform boxes: users clump into buildings,
+sit on street grids, line a ring road, or thin out with distance from a
+base station.  This module gives each family a wire name so a
+:class:`~repro.api.spec.ScenarioSpec` (and the sweep grids built on it)
+can address them declaratively:
+
+* ``"uniform"`` — i.i.d. uniform in ``[0, side]^dim`` (the historical
+  ``ScenarioSpec.from_random`` layout, bit-identical to it);
+* ``"cluster"`` — Gaussian blobs around ``~sqrt(n)`` uniform centers
+  ("users in buildings");
+* ``"grid"`` — a near-square lattice with per-point jitter ("street
+  grid" / structured sensor deployments);
+* ``"ring"`` — stations on a circle with radial jitter (``dim >= 2``) or
+  an evenly-spaced jittered corridor (``dim == 1``);
+* ``"radial"`` — power-law radial density: direction uniform, distance
+  from the center ``(side/2) * u**RADIAL_EXPONENT``, concentrating
+  stations near the middle the way user density decays away from a base
+  station.
+
+Every generator is a pure function of ``(n, dim, side, seed)`` — the same
+arguments always reproduce the same :class:`PointSet`, on any platform
+numpy supports, which is what makes sweep work items replayable across
+process boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import PointSet
+from repro.graphs.random_graphs import as_rng
+
+LAYOUT_FAMILIES = ("uniform", "cluster", "grid", "ring", "radial")
+
+RADIAL_EXPONENT = 1.5  # u**1.5: density highest near the center station
+
+
+def _uniform(n: int, dim: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(0.0, side, size=(n, dim))
+
+
+def _cluster(n: int, dim: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian blobs: ``~sqrt(n)`` centers, points assigned round-robin."""
+    k = max(1, int(round(n**0.5)))
+    centers = rng.uniform(0.0, side, size=(k, dim))
+    spread = side / (4.0 * k)
+    offsets = rng.normal(0.0, spread, size=(n, dim))
+    assignment = np.arange(n) % k
+    return np.clip(centers[assignment] + offsets, 0.0, side)
+
+
+def _grid(n: int, dim: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """The first ``n`` cells of the smallest ``m^dim`` lattice covering the
+    box, each point jittered within its cell."""
+    m = 1
+    while m**dim < n:
+        m += 1
+    spacing = side / m
+    cells = np.stack(
+        np.meshgrid(*[np.arange(m)] * dim, indexing="ij"), axis=-1
+    ).reshape(-1, dim)[:n]
+    centers = (cells + 0.5) * spacing
+    jitter = rng.uniform(-spacing / 4.0, spacing / 4.0, size=(n, dim))
+    return centers + jitter
+
+
+def _ring(n: int, dim: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """A ring of radius ``0.4 * side`` with radial jitter; for ``dim == 1``
+    an evenly-spaced corridor with jitter (a ring needs two dimensions)."""
+    if dim == 1:
+        spacing = side / n
+        base = (np.arange(n) + 0.5) * spacing
+        jitter = rng.uniform(-spacing / 4.0, spacing / 4.0, size=n)
+        return (base + jitter)[:, None]
+    center = side / 2.0
+    angles = 2.0 * np.pi * np.arange(n) / n + rng.uniform(
+        -np.pi / (2.0 * n), np.pi / (2.0 * n), size=n
+    )
+    radius = 0.4 * side * (1.0 + rng.uniform(-0.1, 0.1, size=n))
+    coords = np.full((n, dim), center)
+    coords[:, 0] += radius * np.cos(angles)
+    coords[:, 1] += radius * np.sin(angles)
+    if dim > 2:
+        coords[:, 2:] += rng.normal(0.0, side / 40.0, size=(n, dim - 2))
+    return np.clip(coords, 0.0, side)
+
+
+def _radial(n: int, dim: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """Power-law radial density around the box center: uniform directions,
+    distance ``(side/2) * u**RADIAL_EXPONENT`` for ``u ~ U[0, 1]``."""
+    u = rng.uniform(0.0, 1.0, size=n)
+    distance = (side / 2.0) * u**RADIAL_EXPONENT
+    directions = rng.normal(0.0, 1.0, size=(n, dim))
+    norms = np.linalg.norm(directions, axis=1)
+    norms[norms < 1e-12] = 1.0  # a numerically-zero draw keeps a unit-ish norm
+    directions /= norms[:, None]
+    coords = side / 2.0 + distance[:, None] * directions
+    return np.clip(coords, 0.0, side)
+
+
+_GENERATORS = {
+    "uniform": _uniform,
+    "cluster": _cluster,
+    "grid": _grid,
+    "ring": _ring,
+    "radial": _radial,
+}
+
+
+def layout_points(
+    family: str,
+    n: int,
+    dim: int = 2,
+    *,
+    side: float = 10.0,
+    seed: int | np.random.Generator | None = 0,
+) -> PointSet:
+    """``n`` points of layout ``family`` in ``[0, side]^dim``, seeded.
+
+    ``family`` must be one of :data:`LAYOUT_FAMILIES`.  With
+    ``family="uniform"`` this reproduces
+    :func:`repro.geometry.points.uniform_points` bit-for-bit, so existing
+    random scenarios keep their exact cost matrices.
+    """
+    generator = _GENERATORS.get(family)
+    if generator is None:
+        raise ValueError(
+            f"unknown layout family {family!r} (want one of {LAYOUT_FAMILIES})"
+        )
+    if n < 1 or dim < 1:
+        raise ValueError(f"need n >= 1 and dim >= 1, got n={n}, dim={dim}")
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return PointSet(generator(n, dim, float(side), as_rng(seed)))

@@ -16,7 +16,7 @@ budget-balance factor [37, 38, 29].
 from __future__ import annotations
 
 import itertools
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

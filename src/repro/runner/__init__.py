@@ -1,0 +1,41 @@
+"""repro.runner — the fleet-scale sweep layer over the ``repro.api`` facade.
+
+PR 1 built the per-instance fast path (``repro.engine``) and PR 2 the
+per-scenario serving facade (``repro.api``); this package is the layer
+above both: declarative experiment *grids* executed across processes with
+replayable results.
+
+* :class:`SweepSpec` / :class:`ProfileSpec` / :class:`SweepItem` — a
+  frozen, JSON-round-trippable grid over scenario axes (layout families x
+  sizes x alphas x seeds) x mechanisms x profile generators, expanding
+  deterministically into work items (:mod:`repro.runner.spec`);
+* :func:`run_sweep` / :func:`run_item` — the executor: one session per
+  scenario, optional ``multiprocessing`` fan-out, bit-identical to the
+  serial path (:mod:`repro.runner.execute`);
+* :class:`JSONLSink` / :func:`read_rows` — the append-only result store
+  with truncation-tolerant resume (:mod:`repro.runner.sink`);
+* :func:`summarize_rows` / :func:`summarize_jsonl` — roll sink files into
+  ``analysis.tables``-ready summaries (:mod:`repro.runner.aggregate`).
+
+``python -m repro sweep --spec sweep.json --workers 4 --out results.jsonl
+[--resume]`` drives this from the command line.
+"""
+
+from repro.runner.aggregate import mechanism_label, summarize_jsonl, summarize_rows
+from repro.runner.execute import make_profiles, run_item, run_sweep
+from repro.runner.sink import JSONLSink, read_rows
+from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
+
+__all__ = [
+    "JSONLSink",
+    "ProfileSpec",
+    "SweepItem",
+    "SweepSpec",
+    "make_profiles",
+    "mechanism_label",
+    "read_rows",
+    "run_item",
+    "run_sweep",
+    "summarize_jsonl",
+    "summarize_rows",
+]

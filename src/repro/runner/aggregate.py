@@ -1,0 +1,99 @@
+"""Roll sweep sink files up into the ``analysis.tables`` summary shape.
+
+A sweep leaves behind JSONL rows, one per (scenario, mechanism) work
+item; these helpers fold them into per-group summary rows (plain dicts,
+ready for :func:`repro.analysis.tables.format_table`) — the bridge
+between the fleet-scale runner and the experiment-report tables.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.runner.sink import read_rows
+
+DEFAULT_GROUP_BY = ("layout", "mechanism", "n", "alpha")
+
+
+def mechanism_label(mechanism: Mapping) -> str:
+    """Human-readable label of a row's mechanism dict (params shown only
+    when present, so plain requests stay compact)."""
+    name = mechanism.get("name", "?")
+    params = mechanism.get("params") or {}
+    if not params:
+        return name
+    rendered = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return f"{name}({rendered})"
+
+
+def _group_key(row: Mapping, by: Sequence[str]) -> tuple:
+    key = []
+    for column in by:
+        if column == "mechanism":
+            key.append(mechanism_label(row.get("mechanism", {})))
+        else:
+            key.append(row.get(column))
+    return tuple(key)
+
+
+def summarize_rows(rows: Iterable[Mapping],
+                   by: Sequence[str] = DEFAULT_GROUP_BY) -> list[dict]:
+    """Aggregate item rows into one summary row per ``by`` group.
+
+    Each summary row carries the group columns plus item/profile counts
+    and the mean/worst of the per-item summary statistics (undefined
+    budget-balance ratios — revenue over zero cost — are skipped, as in
+    the item rows themselves).  Groups appear in first-encounter order,
+    which for expansion-ordered rows is the sweep's own axis order.
+    """
+    by = tuple(by)
+    groups: dict[tuple, dict] = {}
+    for row in rows:
+        summary = row.get("summary", {})
+        key = _group_key(row, by)
+        bucket = groups.get(key)
+        if bucket is None:
+            bucket = groups[key] = {
+                "items": 0, "profiles": 0, "receivers": 0.0,
+                "charged": 0.0, "cost": 0.0, "bb": [], "worst_bb": [],
+            }
+        bucket["items"] += 1
+        bucket["profiles"] += summary.get("profiles", 0)
+        bucket["receivers"] += summary.get("mean_receivers", 0.0)
+        bucket["charged"] += summary.get("mean_charged", 0.0)
+        bucket["cost"] += summary.get("mean_cost", 0.0)
+        if summary.get("mean_bb") is not None:
+            bucket["bb"].append(summary["mean_bb"])
+        if summary.get("worst_bb") is not None:
+            bucket["worst_bb"].append(summary["worst_bb"])
+
+    out = []
+    for key, bucket in groups.items():
+        n_items = bucket["items"]
+        row = dict(zip(by, key))
+        row.update({
+            "items": n_items,
+            "profiles": bucket["profiles"],
+            "mean_receivers": bucket["receivers"] / n_items,
+            "mean_charged": bucket["charged"] / n_items,
+            "mean_cost": bucket["cost"] / n_items,
+            "mean_bb": (sum(bucket["bb"]) / len(bucket["bb"])
+                        if bucket["bb"] else None),
+            "worst_bb": max(bucket["worst_bb"]) if bucket["worst_bb"] else None,
+        })
+        out.append(row)
+    return out
+
+
+def summarize_jsonl(paths: str | os.PathLike | Iterable[str | os.PathLike],
+                    by: Sequence[str] = DEFAULT_GROUP_BY) -> list[dict]:
+    """Summarize one sink file — or several, concatenated in argument
+    order (a sharded sweep writing one file per host rolls up the same
+    way a single-file sweep does)."""
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    rows: list[dict] = []
+    for path in paths:
+        rows.extend(read_rows(path))
+    return summarize_rows(rows, by=by)

@@ -1,0 +1,191 @@
+"""The sweep executor: expand, chunk, price, sink — serially or across
+processes.
+
+Work items sharing a scenario are grouped and dispatched together, so a
+worker builds one :class:`~repro.api.session.MulticastSession` (network,
+universal trees, metric closure, memoised xi caches) per scenario and
+prices every mechanism of the group on it — the same sharing the PR 2
+facade gives a single-process service, now fleet-wide.
+
+Determinism is the contract: a row's content is a pure function of its
+work item (profiles come from seeds *derived* from the scenario's wire
+form, rows carry no timestamps), so ``run_sweep(spec, workers=4)``
+produces byte-identical JSONL payloads to the serial path, modulo line
+order.  Rows returned from :func:`run_sweep` are always in expansion
+order regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.api.registry import available_mechanisms
+from repro.api.serialize import result_to_dict
+from repro.api.session import MulticastSession
+from repro.api.spec import ScenarioSpec
+from repro.engine.batch import group_consecutive
+from repro.runner.sink import JSONLSink
+from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
+
+ROW_SCHEMA = 1
+
+
+def make_profiles(network, source: int, scenario: ScenarioSpec,
+                  profile_spec: ProfileSpec) -> list[dict[int, float]]:
+    """The scenario's utility profiles (identical for every mechanism and
+    every execution schedule — see :meth:`ProfileSpec.derive_seed`)."""
+    agents = [i for i in range(network.n) if i != source]
+    if profile_spec.generator == "constant":
+        return [{a: profile_spec.scale for a in agents}
+                for _ in range(profile_spec.count)]
+    from repro.analysis.instances import random_utilities
+
+    rng = np.random.default_rng(profile_spec.derive_seed(scenario))
+    return [random_utilities(network, source, rng, scale=profile_spec.scale)
+            for _ in range(profile_spec.count)]
+
+
+def _bb_ratio(charged: float, cost: float) -> float | None:
+    """charged/cost, with the degenerate cases pinned: an empty/free
+    outcome is perfectly balanced (1.0), revenue over zero cost is
+    undefined (None — JSONL stays strict-parseable, no Infinity)."""
+    if cost > 1e-12:
+        return charged / cost
+    return 1.0 if abs(charged) < 1e-9 else None
+
+
+def _item_row(item: SweepItem, results: Sequence) -> dict:
+    charges = [r.total_charged() for r in results]
+    costs = [r.cost for r in results]
+    ratios = [_bb_ratio(charged, cost) for charged, cost in zip(charges, costs)]
+    defined = [r for r in ratios if r is not None]
+    scenario = item.scenario
+    return {
+        "schema": ROW_SCHEMA,
+        "item": item.item_id,
+        "layout": scenario.layout,
+        "n": scenario.n_stations,
+        "alpha": scenario.alpha,
+        "seed": scenario.seed,
+        "mechanism": item.mechanism.to_dict(),
+        "scenario": scenario.to_dict(),
+        "profiles": item.profiles.to_dict(),
+        "profile_seed": item.profiles.derive_seed(scenario),
+        "results": [result_to_dict(r) for r in results],
+        "summary": {
+            "profiles": len(results),
+            "mean_receivers": sum(len(r.receivers) for r in results) / len(results),
+            "mean_charged": sum(charges) / len(charges),
+            "mean_cost": sum(costs) / len(costs),
+            "mean_bb": sum(defined) / len(defined) if defined else None,
+            "worst_bb": max(defined) if defined else None,
+        },
+    }
+
+
+def run_item(item: SweepItem) -> dict:
+    """Price one work item from scratch (its own session) — the reference
+    any grouped/parallel execution must reproduce exactly."""
+    return _run_scenario_group((item,))[0]
+
+
+def _run_scenario_group(group: tuple[SweepItem, ...]) -> list[dict]:
+    """Price every item of one scenario on a shared session."""
+    session = MulticastSession(group[0].scenario)
+    profiles = make_profiles(session.network, session.source,
+                             group[0].scenario, group[0].profiles)
+    rows = []
+    for item in group:
+        results = session.run_batch(item.mechanism, profiles)
+        rows.append(_item_row(item, results))
+    return rows
+
+
+def _row_matches(row: dict, item: SweepItem) -> bool:
+    """A stored row is reusable only when it was produced by this exact
+    work item.  Item ids embed the *varying* axes but not the spec's
+    shared scalars (side/dim/source/tree) or the profile recipe, so a
+    sink left behind by a different spec could collide on id alone —
+    compare the full embedded wire state instead."""
+    return (row.get("scenario") == item.scenario.to_dict()
+            and row.get("mechanism") == item.mechanism.to_dict()
+            and row.get("profiles") == item.profiles.to_dict())
+
+
+def _check_mechanisms(spec: SweepSpec) -> None:
+    known = set(available_mechanisms())
+    unknown = sorted({m.name for m in spec.mechanisms} - known)
+    if unknown:
+        raise ValueError(
+            f"unknown mechanisms {unknown}; available: {sorted(known)}")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    out: str | None = None,
+    resume: bool = False,
+    progress: Callable[[dict], None] | None = None,
+) -> list[dict]:
+    """Run the whole grid and return its rows in expansion order.
+
+    ``workers > 1`` distributes scenario groups over a process pool (each
+    group keeps its one-session-per-scenario reuse); outputs are
+    byte-identical to ``workers=1``.  With ``out`` every row is appended
+    to a JSONL sink as it completes; ``resume=True`` additionally skips
+    items already present in the sink (after truncating any partial tail
+    line) and folds their stored rows into the returned list.
+
+    ``progress`` (if given) is called with each freshly-computed row, in
+    completion order.
+    """
+    _check_mechanisms(spec)
+    items = spec.expand()
+    order = {item.item_id: idx for idx, item in enumerate(items)}
+    by_id = {item.item_id: item for item in items}
+
+    sink = JSONLSink(out) if out is not None else None
+    completed: dict[str, dict] = {}
+    try:
+        if sink is not None:
+            stored = sink.start(resume=resume)
+            for row in stored:
+                item = by_id.get(row.get("item"))
+                if item is not None and _row_matches(row, item):
+                    completed[item.item_id] = row
+            if len(completed) != len(stored):
+                # Stale/foreign rows (another spec's sink, or a reused
+                # path) must not survive into the final file.
+                sink.rewrite(list(completed.values()))
+        todo = [item for item in items if item.item_id not in completed]
+        groups = group_consecutive(todo, key=lambda item: item.scenario)
+
+        fresh: list[dict] = []
+
+        def collect(rows: list[dict]) -> None:
+            for row in rows:
+                fresh.append(row)
+                if sink is not None:
+                    sink.write(row)
+                if progress is not None:
+                    progress(row)
+
+        n_workers = max(1, min(int(workers), len(groups)))
+        if n_workers <= 1:
+            for group in groups:
+                collect(_run_scenario_group(group))
+        else:
+            with multiprocessing.Pool(n_workers) as pool:
+                for rows in pool.imap_unordered(_run_scenario_group, groups):
+                    collect(rows)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    merged = list(completed.values()) + fresh
+    merged.sort(key=lambda row: order[row["item"]])
+    return merged

@@ -1,0 +1,111 @@
+"""JSONL result store with crash-safe resume.
+
+One sweep work item = one JSON object on one line, written append-only
+and flushed per row, so a killed sweep loses at most the line being
+written.  On resume the sink truncates any partial trailing line (the
+only corruption an append-only writer can suffer) and reports the item
+ids already present; the executor then runs exactly the missing items.
+
+Rows are serialized with sorted keys and no timestamps, so a row's bytes
+are a pure function of its work item — the serial==parallel equivalence
+guarantee is literal byte equality of sink files modulo line order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+
+def _scan(path: pathlib.Path) -> tuple[list[dict], int]:
+    """Parse complete JSONL rows and return them with the byte offset of
+    the end of the last complete line (0 for a missing/empty file)."""
+    rows: list[dict] = []
+    good_end = 0
+    if not path.exists():
+        return rows, good_end
+    with path.open("rb") as fh:
+        offset = 0
+        for raw in fh:
+            offset += len(raw)
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                good_end = offset
+                continue
+            if not raw.endswith(b"\n"):
+                break  # partial tail line (killed mid-write)
+            try:
+                row = json.loads(text)
+            except json.JSONDecodeError:
+                break  # malformed tail; everything before it stands
+            rows.append(row)
+            good_end = offset
+    return rows, good_end
+
+
+def read_rows(path: str | os.PathLike) -> list[dict]:
+    """All complete rows of a sink file (a truncated tail is ignored)."""
+    rows, _ = _scan(pathlib.Path(path))
+    return rows
+
+
+class JSONLSink:
+    """Append-only JSONL writer keyed by each row's ``"item"`` field."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, *, resume: bool = False) -> list[dict]:
+        """Open the sink and return the rows already completed.
+
+        With ``resume=False`` any existing file is truncated (a fresh
+        sweep).  With ``resume=True`` the file is kept, a partial trailing
+        line is cut off, and the surviving rows are returned so the caller
+        can skip their items.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        rows: list[dict] = []
+        if resume:
+            rows, good_end = _scan(self.path)
+            if self.path.exists():
+                with self.path.open("r+b") as fh:
+                    fh.truncate(good_end)
+        self._fh = self.path.open("a" if resume else "w", encoding="utf-8")
+        return rows
+
+    def write(self, row: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("sink is not open — call start() first")
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def rewrite(self, rows: list[dict]) -> None:
+        """Replace the file's contents with exactly ``rows`` (used by a
+        resume that rejected stale rows), leaving the sink open for
+        appending the remaining work."""
+        if self._fh is None:
+            raise RuntimeError("sink is not open — call start() first")
+        self._fh.close()
+        self._fh = self.path.open("w", encoding="utf-8")
+        for row in rows:
+            self.write(row)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- inspection ---------------------------------------------------------
+    @staticmethod
+    def completed_ids(path: str | os.PathLike) -> set[str]:
+        """Item ids of every complete row in ``path``."""
+        return {row["item"] for row in read_rows(path) if "item" in row}

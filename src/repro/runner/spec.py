@@ -1,0 +1,250 @@
+"""Declarative sweep grids: many scenarios x many mechanisms x profiles.
+
+A :class:`SweepSpec` is the fleet-scale analogue of
+:class:`~repro.api.spec.ScenarioSpec`: a frozen, JSON-round-trippable
+description of a whole experiment grid — scenario axes (layout families,
+sizes, alphas, seeds) crossed with mechanism requests and a profile
+generator.  :meth:`SweepSpec.expand` flattens the grid deterministically
+into :class:`SweepItem` work items with stable, human-readable ids, so a
+sweep can be chunked across processes, written to a JSONL sink, and
+resumed by id without ever replaying completed work.
+
+Per-item randomness is *derived, not drawn*: every scenario's profile rng
+is seeded from a SHA-256 digest of the scenario's own wire form (plus the
+profile spec's base seed), so the same spec expands to the same profiles
+in any process, in any order, on any worker count — the property the
+serial==parallel equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+
+from repro.api.spec import MechanismSpec, ScenarioSpec
+from repro.geometry.layouts import LAYOUT_FAMILIES
+
+PROFILE_GENERATORS = ("uniform", "constant")
+
+
+def _stable_digest(text: str, length: int = 8) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """How to generate the utility profiles priced on each scenario.
+
+    * ``generator="uniform"`` — ``count`` profiles of utilities uniform in
+      ``[0, 3 * scale * median_cost]`` per agent (the
+      :func:`~repro.analysis.instances.random_utilities` convention, so
+      receiver sets are non-trivial at any instance scale);
+    * ``generator="constant"`` — ``count`` copies of the flat profile
+      ``{agent: scale}`` (a deterministic smoke/throughput workload).
+
+    ``seed`` offsets the per-scenario derived seed, so two sweeps over the
+    same scenarios can still price independent profile draws.
+    """
+
+    generator: str = "uniform"
+    count: int = 3
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.generator not in PROFILE_GENERATORS:
+            raise ValueError(
+                f"unknown profile generator {self.generator!r} "
+                f"(want one of {PROFILE_GENERATORS})"
+            )
+        object.__setattr__(self, "count", int(self.count))
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.count < 1:
+            raise ValueError(f"profile count must be >= 1, got {self.count}")
+        if self.scale <= 0:
+            raise ValueError(f"profile scale must be positive, got {self.scale}")
+
+    def derive_seed(self, scenario: ScenarioSpec) -> int:
+        """The profile rng seed for ``scenario`` — a pure function of the
+        scenario's wire form and this spec's base seed (never of execution
+        order or worker id), shared by every mechanism on the scenario."""
+        digest = hashlib.sha256(
+            f"{scenario.to_json()}|profiles:{self.generator}:{self.seed}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def to_dict(self) -> dict:
+        return {"generator": self.generator, "count": self.count,
+                "scale": self.scale, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ProfileSpec":
+        known = {f.name for f in fields(cls)}
+        stray = sorted(set(data) - known)
+        if stray:
+            raise ValueError(f"unknown ProfileSpec fields: {stray}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class SweepItem:
+    """One unit of sweep work: price ``profiles`` on ``scenario`` with
+    ``mechanism``.  ``item_id`` is the stable resume/dedup key."""
+
+    item_id: str
+    scenario: ScenarioSpec
+    mechanism: MechanismSpec
+    profiles: ProfileSpec
+
+
+def _as_tuple(value, caster, label: str) -> tuple:
+    try:
+        out = tuple(caster(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{label} must be a sequence of {caster.__name__}s: {exc}") from exc
+    if not out:
+        raise ValueError(f"{label} must be non-empty")
+    return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A frozen grid over scenario axes x mechanisms x a profile spec.
+
+    Scenario axes (the cartesian product defines the instance suite):
+
+    * ``layouts`` — layout family names (:data:`LAYOUT_FAMILIES`);
+    * ``ns`` — station counts;
+    * ``alphas`` — distance-power gradients;
+    * ``seeds`` — layout seeds;
+
+    with shared scalars ``dim``/``side``/``source``/``tree``.  Every
+    scenario is priced by every entry of ``mechanisms`` on the *same*
+    generated profiles (mechanism comparisons stay paired).  Expansion
+    order is deterministic: scenarios in axis order (layouts, then ns,
+    then alphas, then seeds), mechanisms innermost — so items sharing a
+    scenario are adjacent and an executor can pin them to one session.
+    """
+
+    ns: tuple
+    alphas: tuple
+    seeds: tuple
+    layouts: tuple = ("uniform",)
+    mechanisms: tuple = (MechanismSpec("tree-shapley"),)
+    profiles: ProfileSpec = field(default_factory=ProfileSpec)
+    dim: int = 2
+    side: float = 10.0
+    source: int = 0
+    tree: str = "spt"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ns", _as_tuple(self.ns, int, "ns"))
+        object.__setattr__(self, "alphas", _as_tuple(self.alphas, float, "alphas"))
+        object.__setattr__(self, "seeds", _as_tuple(self.seeds, int, "seeds"))
+        object.__setattr__(self, "layouts", tuple(str(v) for v in self.layouts))
+        if not self.layouts:
+            raise ValueError("layouts must be non-empty")
+        unknown = sorted(set(self.layouts) - set(LAYOUT_FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown layout families {unknown} (want members of {LAYOUT_FAMILIES})")
+        mechanisms = tuple(
+            m if isinstance(m, MechanismSpec) else
+            MechanismSpec.from_dict(m) if isinstance(m, Mapping) else
+            MechanismSpec(str(m))
+            for m in self.mechanisms
+        )
+        if not mechanisms:
+            raise ValueError("mechanisms must be non-empty")
+        object.__setattr__(self, "mechanisms", mechanisms)
+        if not isinstance(self.profiles, ProfileSpec):
+            object.__setattr__(self, "profiles", ProfileSpec.from_dict(self.profiles))
+        object.__setattr__(self, "dim", int(self.dim))
+        object.__setattr__(self, "side", float(self.side))
+        object.__setattr__(self, "source", int(self.source))
+        # Validate the scalar axes early with probe scenarios — n/alpha/dim/
+        # side/source/tree errors surface at spec build, not mid-sweep.
+        for alpha in self.alphas:
+            self._scenario(self.layouts[0], min(self.ns), alpha, self.seeds[0])
+
+    # -- expansion ----------------------------------------------------------
+    def _scenario(self, layout: str, n: int, alpha: float, seed: int) -> ScenarioSpec:
+        return ScenarioSpec.from_random(
+            n=n, dim=self.dim, alpha=alpha, seed=seed, side=self.side,
+            source=self.source, tree=self.tree, layout=layout,
+        )
+
+    def _mechanism_label(self, mech: MechanismSpec) -> str:
+        if not mech.params:
+            return mech.name
+        params_json = json.dumps(mech.params, sort_keys=True)
+        return f"{mech.name}#{_stable_digest(params_json)}"
+
+    def scenarios(self) -> list[ScenarioSpec]:
+        """The scenario suite in deterministic axis order."""
+        return [
+            self._scenario(layout, n, alpha, seed)
+            for layout, n, alpha, seed in itertools.product(
+                self.layouts, self.ns, self.alphas, self.seeds)
+        ]
+
+    def expand(self) -> list[SweepItem]:
+        """Flatten the grid into work items (scenario-major, stable ids).
+
+        Ids look like ``cluster-n12-a2-s3::jv`` — unique within a spec
+        because they embed every varying axis (mechanism parameterizations
+        are disambiguated by a digest of their params).
+        """
+        items: list[SweepItem] = []
+        seen: set[str] = set()
+        for scenario in self.scenarios():
+            scenario_id = (f"{scenario.layout}-n{scenario.n}"
+                           f"-a{scenario.alpha:g}-s{scenario.seed}")
+            for mech in self.mechanisms:
+                item_id = f"{scenario_id}::{self._mechanism_label(mech)}"
+                if item_id in seen:
+                    raise ValueError(f"duplicate work item {item_id!r} "
+                                     "(repeated mechanism entry?)")
+                seen.add(item_id)
+                items.append(SweepItem(item_id=item_id, scenario=scenario,
+                                       mechanism=mech, profiles=self.profiles))
+        return items
+
+    def n_items(self) -> int:
+        return (len(self.layouts) * len(self.ns) * len(self.alphas)
+                * len(self.seeds) * len(self.mechanisms))
+
+    # -- wire format --------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "ns": list(self.ns),
+            "alphas": list(self.alphas),
+            "seeds": list(self.seeds),
+            "layouts": list(self.layouts),
+            "mechanisms": [m.to_dict() for m in self.mechanisms],
+            "profiles": self.profiles.to_dict(),
+            "dim": self.dim,
+            "side": self.side,
+            "source": self.source,
+            "tree": self.tree,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        known = {f.name for f in fields(cls)}
+        stray = sorted(set(data) - known)
+        if stray:
+            raise ValueError(f"unknown SweepSpec fields: {stray}")
+        return cls(**dict(data))
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))

@@ -72,12 +72,18 @@ class TestRunSubcommand:
         assert payload["mechanism"]["params"] == {"tree": "mst"}
 
     def test_unknown_mechanism_exits_2(self, wired, capsys):
+        # Regression: an unknown name must never escape as a traceback —
+        # exit 2 with the full available_mechanisms() catalogue on stderr.
+        from repro.api import available_mechanisms
+
         tmp_path, _, _ = wired
         assert main(["run", "--scenario", str(tmp_path / "spec.json"),
                      "--mechanism", "nope",
                      "--profiles", str(tmp_path / "profiles.json")]) == 2
         captured = capsys.readouterr()
         assert "unknown mechanism" in captured.err  # stdout stays payload-only
+        for name in available_mechanisms():
+            assert name in captured.err
         assert captured.out == ""
 
     def test_bad_inputs_exit_2_without_traceback(self, wired, capsys, tmp_path):
@@ -97,8 +103,18 @@ class TestRunSubcommand:
         assert main(["run", "--scenario", str(base / "broken.json"),
                      "--mechanism", "jv",
                      "--profiles", str(base / "profiles.json")]) == 2
+        # Profiles that parse but are not objects (list of scalars).
+        (base / "scalars.json").write_text("[1, 2, 3]")
+        assert main(["run", "--scenario", str(base / "spec.json"),
+                     "--mechanism", "jv",
+                     "--profiles", str(base / "scalars.json")]) == 2
+        # Unwritable output path.
+        assert main(["run", "--scenario", str(base / "spec.json"),
+                     "--mechanism", "jv",
+                     "--profiles", str(base / "profiles.json"),
+                     "--out", str(tmp_path / "absent-dir" / "out.json")]) == 2
         captured = capsys.readouterr()
-        assert captured.out == "" and captured.err.count("error:") == 3
+        assert captured.out == "" and captured.err.count("error:") == 5
 
     def test_experiment_mode_still_works(self, capsys):
         assert main(["A3"]) == 0

@@ -13,7 +13,6 @@ from repro.mechanism.core import (
 def three_agent_majority():
     """Classic empty-core cost game: any pair can serve itself for 1, the
     grand coalition costs 2 (> 3/2 achievable by pairs)."""
-    costs = {1: 1.0, 2: 2.0, 3: 2.0}
 
     def cost(R):
         R = frozenset(R)

@@ -1,7 +1,6 @@
 """Tests for repro.analysis.experiments — every runner's invariants on
 small parameters.  These are the same assertions EXPERIMENTS.md quotes."""
 
-import math
 
 import pytest
 
@@ -42,6 +41,15 @@ class TestExpT1:
     def test_other_trees(self, kind):
         out = E.exp_t1_universal_tree(n_instances=1, n=6, seed=1, tree_kind=kind)
         assert out["rows"][0]["submodularity_violations"] == 0
+
+    @pytest.mark.parametrize("layout", ["cluster", "ring"])
+    def test_runner_layout_families(self, layout):
+        # T1 rides the sweep runner's scenario grid: the lemma holds on
+        # every layout family the fleet serves.
+        out = E.exp_t1_universal_tree(n_instances=2, n=6, seed=0, layout=layout)
+        for row in out["rows"]:
+            assert row["submodularity_violations"] == 0
+            assert row["shapley_bb_factor"] == pytest.approx(1.0)
 
 
 class TestExpT2:
@@ -135,6 +143,19 @@ class TestExpE4:
             assert row["worst_loss"] >= -1e-9
             if name != "shapley":
                 assert shapley["worst_loss"] <= row["worst_loss"] + 1e-9
+
+
+class TestExpS1:
+    def test_fleet_sweep_covers_the_grid(self):
+        out = E.exp_s1_sweep_fleet(n=6, seeds=(0,), n_profiles=2, workers=1)
+        assert out["work_items"] == 5 * 4  # layouts x mechanisms
+        assert out["scenarios"] == 5
+        assert out["replayed_item_identical"]
+        layouts = {row["layout"] for row in out["rows"]}
+        assert layouts == {"uniform", "cluster", "grid", "ring", "radial"}
+        for row in out["rows"]:
+            if row["mechanism"] == "tree-shapley":
+                assert row["mean_bb"] == pytest.approx(1.0)
 
 
 class TestExpS2:

@@ -1,0 +1,118 @@
+"""Tests for repro.geometry.layouts — the named layout families."""
+
+import numpy as np
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.geometry import LAYOUT_FAMILIES, layout_points, uniform_points
+from repro.geometry.layouts import RADIAL_EXPONENT
+
+
+class TestLayoutGenerators:
+    @pytest.mark.parametrize("family", LAYOUT_FAMILIES)
+    @pytest.mark.parametrize("n,dim", [(1, 1), (2, 2), (7, 2), (9, 1), (12, 3)])
+    def test_shape_and_determinism(self, family, n, dim):
+        a = layout_points(family, n, dim, side=8.0, seed=11)
+        b = layout_points(family, n, dim, side=8.0, seed=11)
+        assert a.coords.shape == (n, dim)
+        assert np.array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("family", LAYOUT_FAMILIES)
+    def test_seed_changes_layout(self, family):
+        a = layout_points(family, 10, 2, side=8.0, seed=0)
+        b = layout_points(family, 10, 2, side=8.0, seed=1)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_uniform_matches_historical_draw(self):
+        # kind="random" specs predating the layout field must rebuild the
+        # exact same network: uniform == uniform_points, bit for bit.
+        a = layout_points("uniform", 14, 3, side=6.0, seed=42)
+        b = uniform_points(14, 3, side=6.0, rng=np.random.default_rng(42))
+        assert np.array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("family", ["cluster", "ring", "radial"])
+    def test_bounded_families_stay_in_box(self, family):
+        coords = layout_points(family, 60, 2, side=10.0, seed=3).coords
+        assert coords.min() >= 0.0 and coords.max() <= 10.0
+
+    def test_cluster_is_clumpier_than_uniform(self):
+        # Mean nearest-neighbour distance under clustering is well below
+        # the uniform layout's (the point of the family).
+        def mean_nn(points):
+            d = points.distance_matrix()
+            np.fill_diagonal(d, np.inf)
+            return float(d.min(axis=1).mean())
+
+        clustered = layout_points("cluster", 40, 2, side=10.0, seed=5)
+        uniform = layout_points("uniform", 40, 2, side=10.0, seed=5)
+        assert mean_nn(clustered) < 0.75 * mean_nn(uniform)
+
+    def test_grid_points_sit_near_lattice_cells(self):
+        side, n = 9.0, 9  # 3 x 3 lattice, spacing 3
+        coords = layout_points("grid", n, 2, side=side, seed=7).coords
+        centers = (np.stack(np.meshgrid(np.arange(3), np.arange(3),
+                                        indexing="ij"), axis=-1)
+                   .reshape(-1, 2) + 0.5) * 3.0
+        assert np.all(np.abs(coords - centers) <= 0.75 + 1e-12)  # jitter <= spacing/4
+
+    def test_ring_radii_concentrate(self):
+        coords = layout_points("ring", 50, 2, side=10.0, seed=2).coords
+        radii = np.linalg.norm(coords - 5.0, axis=1)
+        assert np.all(radii >= 0.4 * 10.0 * 0.9 - 1e-9)
+        assert np.all(radii <= 0.4 * 10.0 * 1.1 + 1e-9)
+
+    def test_ring_dim1_is_a_corridor(self):
+        coords = layout_points("ring", 12, 1, side=12.0, seed=0).coords
+        assert coords.shape == (12, 1)
+        assert np.all(np.diff(coords[:, 0]) > 0)  # ordered along the corridor
+
+    def test_radial_density_decays_from_center(self):
+        coords = layout_points("radial", 400, 2, side=10.0, seed=1).coords
+        radii = np.linalg.norm(coords - 5.0, axis=1)
+        # r = R * u**g  =>  median radius is R * 0.5**g, far below R/2.
+        assert np.median(radii) == pytest.approx(5.0 * 0.5**RADIAL_EXPONENT, rel=0.15)
+        assert np.mean(radii < 2.5) > np.mean(radii > 2.5)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="layout family"):
+            layout_points("hexes", 5, 2, seed=0)
+        with pytest.raises(ValueError, match="n >= 1"):
+            layout_points("uniform", 0, 2, seed=0)
+        with pytest.raises(ValueError, match="side"):
+            layout_points("uniform", 3, 2, side=0.0, seed=0)
+
+
+class TestScenarioSpecLayouts:
+    def test_default_layout_is_uniform(self):
+        spec = ScenarioSpec.from_random(n=5, alpha=2.0, seed=3)
+        assert spec.layout == "uniform"
+        # Old wire dicts (no layout key) load to the same spec.
+        old = {"kind": "random", "n": 5, "dim": 2, "side": 10.0,
+               "alpha": 2.0, "seed": 3, "source": 0, "tree": "spt"}
+        assert ScenarioSpec.from_dict(old) == spec
+
+    @pytest.mark.parametrize("family", LAYOUT_FAMILIES)
+    def test_layout_round_trips_and_builds(self, family):
+        spec = ScenarioSpec.from_random(n=6, alpha=2.0, seed=9, layout=family)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        net = spec.build_network()
+        assert net.n == 6
+        assert np.array_equal(net.matrix, spec.build_network().matrix)
+
+    def test_layout_network_matches_generator(self):
+        spec = ScenarioSpec.from_random(n=7, alpha=2.0, seed=4, side=6.0,
+                                        layout="cluster")
+        direct = layout_points("cluster", 7, 2, side=6.0, seed=4)
+        assert np.array_equal(spec.build_network().points.coords, direct.coords)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout family"):
+            ScenarioSpec.from_random(n=5, alpha=2.0, seed=0, layout="hexes")
+
+    def test_layout_foreign_on_other_kinds(self):
+        with pytest.raises(ValueError, match="does not use fields"):
+            ScenarioSpec(kind="points", points=((0.0,), (1.0,)), alpha=2.0,
+                         layout="cluster")
+        with pytest.raises(ValueError, match="does not use fields"):
+            ScenarioSpec(kind="matrix", matrix=((0.0, 1.0), (1.0, 0.0)),
+                         layout="uniform")

@@ -13,7 +13,7 @@ from repro.graphs.nwst import (
     exact_node_weighted_steiner,
     find_min_ratio_spider,
 )
-from repro.graphs.random_graphs import as_rng, random_node_weighted_instance
+from repro.graphs.random_graphs import random_node_weighted_instance
 from repro.graphs.traversal import is_connected
 
 

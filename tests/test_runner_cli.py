@@ -1,0 +1,119 @@
+"""Tests for the ``python -m repro sweep`` subcommand, including the
+200-item acceptance sweep (4 new layout families x 4 mechanisms)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner import ProfileSpec, SweepSpec, read_rows, run_sweep, summarize_rows
+
+
+def write_spec(tmp_path, spec: SweepSpec):
+    path = tmp_path / "sweep.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+def small_spec(**overrides) -> SweepSpec:
+    base = dict(ns=(6,), alphas=(2.0,), seeds=(0,),
+                layouts=("cluster", "grid"), mechanisms=("tree-shapley", "jv"),
+                profiles=ProfileSpec(count=2), side=5.0)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestSweepSubcommand:
+    def test_sweep_writes_jsonl_and_prints_summary(self, tmp_path, capsys):
+        spec_path = write_spec(tmp_path, small_spec())
+        out = tmp_path / "results.jsonl"
+        assert main(["sweep", "--spec", str(spec_path), "--workers", "2",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "sweep: 4 items" in printed and "worst_bb" in printed
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 4
+        assert {row["layout"] for row in rows} == {"cluster", "grid"}
+
+    def test_sweep_resume_flag(self, tmp_path, capsys):
+        spec = small_spec()
+        spec_path = write_spec(tmp_path, spec)
+        out = tmp_path / "results.jsonl"
+        assert main(["sweep", "--spec", str(spec_path), "--out", str(out)]) == 0
+        reference = sorted(out.read_text().splitlines())
+        lines = out.read_text().splitlines(keepends=True)
+        out.write_text("".join(lines[:2]) + lines[2][:25])
+        assert main(["sweep", "--spec", str(spec_path), "--out", str(out),
+                     "--resume"]) == 0
+        assert sorted(out.read_text().splitlines()) == reference
+
+    def test_resume_requires_out(self, tmp_path, capsys):
+        spec_path = write_spec(tmp_path, small_spec())
+        assert main(["sweep", "--spec", str(spec_path), "--resume"]) == 2
+        captured = capsys.readouterr()
+        assert "--resume requires --out" in captured.err and captured.out == ""
+
+    def test_unknown_mechanism_exits_2_listing_available(self, tmp_path, capsys):
+        from repro.api import available_mechanisms
+
+        spec_path = tmp_path / "sweep.json"
+        payload = small_spec().to_dict()
+        payload["mechanisms"] = [{"name": "warp-drive"}]
+        spec_path.write_text(json.dumps(payload))
+        assert main(["sweep", "--spec", str(spec_path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "warp-drive" in captured.err
+        for name in available_mechanisms():
+            assert name in captured.err
+
+    def test_bad_inputs_exit_2_without_traceback(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", "--spec", str(bad)]) == 2
+        stray = tmp_path / "stray.json"
+        stray.write_text(json.dumps({"ns": [5], "alphas": [2.0], "seeds": [0],
+                                     "warp": 9}))
+        assert main(["sweep", "--spec", str(stray)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err.count("error:") == 3
+
+    def test_custom_summary_grouping(self, tmp_path, capsys):
+        spec_path = write_spec(tmp_path, small_spec())
+        assert main(["sweep", "--spec", str(spec_path), "--by", "mechanism"]) == 0
+        printed = capsys.readouterr().out
+        assert "mechanism" in printed and "layout" not in printed
+
+
+@pytest.mark.slow
+class TestAcceptanceSweep:
+    """The ISSUE 3 acceptance criterion: a 200-item sweep over the layout
+    families completes through the CLI with 4 workers, and its results are
+    bit-identical to the serial path."""
+
+    def test_200_item_sweep_parallel_equals_serial(self, tmp_path, capsys):
+        spec = SweepSpec(
+            ns=(6,), alphas=(2.0,), seeds=tuple(range(10)),
+            layouts=("uniform", "cluster", "grid", "ring", "radial"),
+            mechanisms=("tree-shapley", "tree-mc", "jv", "wireless"),
+            profiles=ProfileSpec(count=2), side=5.0,
+        )
+        assert spec.n_items() == 200
+        spec_path = write_spec(tmp_path, spec)
+        out = tmp_path / "parallel.jsonl"
+        assert main(["sweep", "--spec", str(spec_path), "--workers", "4",
+                     "--out", str(out)]) == 0
+        assert "sweep: 200 items" in capsys.readouterr().out
+
+        parallel_rows = read_rows(out)
+        assert len(parallel_rows) == 200
+        serial_rows = run_sweep(spec, workers=1, out=tmp_path / "serial.jsonl")
+
+        # Aggregated results are bit-identical (not approximately equal).
+        order = {item.item_id: idx for idx, item in enumerate(spec.expand())}
+        parallel_rows.sort(key=lambda row: order[row["item"]])
+        assert summarize_rows(serial_rows) == summarize_rows(parallel_rows)
+        # So are the raw sink payloads, modulo line order.
+        assert sorted(out.read_text().splitlines()) == \
+            sorted((tmp_path / "serial.jsonl").read_text().splitlines())

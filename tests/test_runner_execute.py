@@ -1,0 +1,210 @@
+"""Tests for repro.runner.execute + sink — deterministic seeding, the
+serial==parallel equivalence, and crash-safe resume."""
+
+import json
+
+import pytest
+
+from repro.api import MulticastSession
+from repro.runner import (
+    JSONLSink,
+    ProfileSpec,
+    SweepSpec,
+    make_profiles,
+    read_rows,
+    run_item,
+    run_sweep,
+    summarize_rows,
+)
+
+
+def small_spec(**overrides) -> SweepSpec:
+    base = dict(ns=(6,), alphas=(2.0,), seeds=(0, 1),
+                layouts=("uniform", "cluster", "ring"),
+                mechanisms=("tree-shapley", "jv"),
+                profiles=ProfileSpec(count=2), side=5.0)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def payload_lines(path) -> list[str]:
+    return sorted(path.read_text().splitlines())
+
+
+class TestDeterministicSeeding:
+    def test_expanded_twice_runs_byte_identical(self, tmp_path):
+        # The same SweepSpec, expanded and run twice, yields byte-identical
+        # JSONL payloads (satellite: deterministic seeding).
+        spec = small_spec()
+        run_sweep(spec, out=tmp_path / "a.jsonl")
+        run_sweep(SweepSpec.from_json(spec.to_json()), out=tmp_path / "b.jsonl")
+        assert payload_lines(tmp_path / "a.jsonl") == payload_lines(tmp_path / "b.jsonl")
+
+    def test_serial_vs_four_workers_byte_identical_modulo_order(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, workers=1, out=tmp_path / "serial.jsonl")
+        parallel = run_sweep(spec, workers=4, out=tmp_path / "parallel.jsonl")
+        # Returned rows are in expansion order either way...
+        assert serial == parallel
+        # ...and the sink files match byte-for-byte modulo line order.
+        assert payload_lines(tmp_path / "serial.jsonl") == \
+            payload_lines(tmp_path / "parallel.jsonl")
+
+    def test_run_item_replays_any_row_from_scratch(self):
+        spec = small_spec()
+        rows = run_sweep(spec, workers=1)
+        for idx, item in enumerate(spec.expand()):
+            assert run_item(item) == rows[idx]
+
+    def test_profiles_are_a_pure_function_of_the_scenario(self):
+        item = small_spec().expand()[0]
+        session = MulticastSession(item.scenario)
+        a = make_profiles(session.network, session.source, item.scenario,
+                          item.profiles)
+        b = make_profiles(session.network, session.source, item.scenario,
+                          item.profiles)
+        assert a == b and len(a) == 2
+
+    def test_constant_generator(self):
+        spec = small_spec(profiles=ProfileSpec("constant", count=2, scale=3.5))
+        row = run_item(spec.expand()[0])
+        assert row["summary"]["profiles"] == 2
+        item = spec.expand()[0]
+        session = MulticastSession(item.scenario)
+        profiles = make_profiles(session.network, session.source,
+                                 item.scenario, item.profiles)
+        assert profiles == [{i: 3.5 for i in range(1, 6)}] * 2
+
+    def test_rows_carry_replayable_wire_state(self):
+        spec = small_spec()
+        row = run_sweep(spec, workers=1)[0]
+        assert row["schema"] == 1
+        assert row["layout"] == "uniform" and row["n"] == 6
+        assert row["mechanism"] == {"name": "tree-shapley", "params": {}}
+        assert len(row["results"]) == 2
+        # The embedded scenario rebuilds the exact instance.
+        from repro.api import ScenarioSpec
+
+        rebuilt = ScenarioSpec.from_dict(row["scenario"])
+        assert rebuilt == spec.expand()[0].scenario
+
+
+class TestRunSweep:
+    def test_unknown_mechanism_rejected_with_available_list(self):
+        spec = small_spec(mechanisms=("tree-shapley", "warp-drive"))
+        with pytest.raises(ValueError, match="warp-drive.*available"):
+            run_sweep(spec)
+
+    def test_progress_sees_every_fresh_row(self):
+        seen = []
+        rows = run_sweep(small_spec(), progress=lambda row: seen.append(row["item"]))
+        assert sorted(seen) == sorted(row["item"] for row in rows)
+
+    def test_summaries_aggregate_rows(self):
+        rows = run_sweep(small_spec(), workers=1)
+        summary = summarize_rows(rows, by=("layout", "mechanism"))
+        assert len(summary) == 6  # 3 layouts x 2 mechanisms
+        for entry in summary:
+            assert entry["items"] == 2 and entry["profiles"] == 4
+        shapley = [e for e in summary if e["mechanism"] == "tree-shapley"]
+        assert all(e["mean_bb"] == pytest.approx(1.0) for e in shapley)
+
+
+class TestResume:
+    def test_resume_completes_exactly_the_missing_items(self, tmp_path):
+        spec = small_spec()
+        sink = tmp_path / "results.jsonl"
+        full = run_sweep(spec, workers=1, out=sink)
+        reference = payload_lines(sink)
+
+        # Truncate the sink: keep 4 complete rows plus a partial 5th line.
+        lines = sink.read_text().splitlines(keepends=True)
+        sink.write_text("".join(lines[:4]) + lines[4][: len(lines[4]) // 2])
+
+        reran = []
+        resumed = run_sweep(spec, workers=1, out=sink, resume=True,
+                            progress=lambda row: reran.append(row["item"]))
+        assert resumed == full
+        assert payload_lines(sink) == reference
+        # Exactly the missing items ran: all but the 4 intact rows.
+        expected = [item.item_id for item in spec.expand()][4:]
+        assert sorted(reran) == sorted(expected)
+
+    def test_resume_with_complete_sink_runs_nothing(self, tmp_path):
+        spec = small_spec()
+        sink = tmp_path / "results.jsonl"
+        full = run_sweep(spec, workers=1, out=sink)
+        reran = []
+        resumed = run_sweep(spec, workers=1, out=sink, resume=True,
+                            progress=lambda row: reran.append(row))
+        assert resumed == full and reran == []
+
+    def test_fresh_run_truncates_stale_sink(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        sink.write_text('{"item": "stale"}\n')
+        rows = run_sweep(small_spec(), workers=1, out=sink)
+        assert JSONLSink.completed_ids(sink) == {row["item"] for row in rows}
+
+    def test_resume_ignores_rows_from_other_specs(self, tmp_path):
+        spec = small_spec()
+        sink = tmp_path / "results.jsonl"
+        sink.write_text(json.dumps({"item": "someone-else::jv"}) + "\n")
+        rows = run_sweep(spec, workers=1, out=sink, resume=True)
+        assert len(rows) == spec.n_items()
+        assert all(row["item"] != "someone-else::jv" for row in rows)
+        # The foreign row is purged from the final file, not kept beside
+        # this spec's rows.
+        assert JSONLSink.completed_ids(sink) == {row["item"] for row in rows}
+
+    def test_resume_rejects_id_collisions_from_a_different_spec(self, tmp_path):
+        # Item ids embed the varying axes but not the shared scalars, so a
+        # sink from a spec differing only in `side` collides on id; resume
+        # must recompute, not silently reuse the stale rows.
+        sink = tmp_path / "results.jsonl"
+        stale_spec = small_spec(side=9.0)
+        stale = run_sweep(stale_spec, workers=1, out=sink)
+        spec = small_spec()  # side=5.0, identical item ids
+        assert [r["item"] for r in stale] == [i.item_id for i in spec.expand()]
+
+        reran = []
+        rows = run_sweep(spec, workers=1, out=sink, resume=True,
+                         progress=lambda row: reran.append(row["item"]))
+        assert len(reran) == spec.n_items()  # nothing was reused
+        assert rows == run_sweep(spec, workers=1)
+        assert payload_lines(sink) == sorted(
+            json.dumps(row, sort_keys=True) for row in rows)
+
+    def test_resume_reuses_matching_rows_despite_extra_stale_ones(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        spec = small_spec()
+        full = run_sweep(spec, workers=1, out=sink)
+        # Corrupt one row's scenario (as if from another spec) — exactly
+        # that item re-runs, the rest are reused.
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        lines[2]["scenario"] = dict(lines[2]["scenario"], side=9.0)
+        sink.write_text("".join(json.dumps(row, sort_keys=True) + "\n"
+                                for row in lines))
+        reran = []
+        resumed = run_sweep(spec, workers=1, out=sink, resume=True,
+                            progress=lambda row: reran.append(row["item"]))
+        assert reran == [full[2]["item"]]
+        assert resumed == full
+
+
+class TestSink:
+    def test_read_rows_skips_partial_tail(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"item": "a"}\n{"item": "b"}\n{"item": "c", "x"')
+        assert [row["item"] for row in read_rows(path)] == ["a", "b"]
+        assert JSONLSink.completed_ids(path) == {"a", "b"}
+
+    def test_read_rows_tolerates_blank_lines_and_missing_file(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        assert read_rows(path) == []
+        path.write_text('{"item": "a"}\n\n{"item": "b"}\n')
+        assert [row["item"] for row in read_rows(path)] == ["a", "b"]
+
+    def test_write_requires_start(self, tmp_path):
+        sink = JSONLSink(tmp_path / "rows.jsonl")
+        with pytest.raises(RuntimeError, match="start"):
+            sink.write({"item": "a"})

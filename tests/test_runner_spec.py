@@ -1,0 +1,140 @@
+"""Tests for repro.runner.spec — SweepSpec / ProfileSpec wire format and
+deterministic expansion."""
+
+import pytest
+
+from repro.api.spec import MechanismSpec, ScenarioSpec
+from repro.runner import ProfileSpec, SweepSpec
+
+
+def small_spec(**overrides) -> SweepSpec:
+    base = dict(ns=(5, 6), alphas=(2.0,), seeds=(0, 1),
+                layouts=("uniform", "cluster"),
+                mechanisms=("tree-shapley", "jv"),
+                profiles=ProfileSpec(count=2), side=5.0)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestSweepSpecValidation:
+    def test_axes_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="ns"):
+            small_spec(ns=())
+        with pytest.raises(ValueError, match="alphas"):
+            small_spec(alphas=())
+        with pytest.raises(ValueError, match="seeds"):
+            small_spec(seeds=())
+        with pytest.raises(ValueError, match="layouts"):
+            small_spec(layouts=())
+        with pytest.raises(ValueError, match="mechanisms"):
+            small_spec(mechanisms=())
+
+    def test_unknown_layout_family_rejected(self):
+        with pytest.raises(ValueError, match="layout families"):
+            small_spec(layouts=("uniform", "hexes"))
+
+    def test_bad_scalar_axes_fail_at_build(self):
+        with pytest.raises(ValueError, match="alpha"):
+            small_spec(alphas=(2.0, 0.5))
+        with pytest.raises(ValueError, match="source"):
+            small_spec(source=5)
+        with pytest.raises(ValueError, match="tree"):
+            small_spec(tree="bfs")
+
+    def test_mechanism_coercion(self):
+        spec = small_spec(mechanisms=("jv", {"name": "tree-shapley",
+                                             "params": {"tree": "mst"}}))
+        assert spec.mechanisms == (
+            MechanismSpec("jv"), MechanismSpec("tree-shapley", {"tree": "mst"}))
+
+    def test_duplicate_mechanism_entries_rejected_at_expand(self):
+        spec = small_spec(mechanisms=("jv", "jv"))
+        with pytest.raises(ValueError, match="duplicate work item"):
+            spec.expand()
+
+    def test_profile_spec_validation(self):
+        with pytest.raises(ValueError, match="generator"):
+            ProfileSpec(generator="poisson")
+        with pytest.raises(ValueError, match="count"):
+            ProfileSpec(count=0)
+        with pytest.raises(ValueError, match="scale"):
+            ProfileSpec(scale=0.0)
+
+    def test_frozen_and_hashable(self):
+        assert small_spec() == small_spec()
+        assert hash(small_spec()) == hash(small_spec())
+
+
+class TestSweepSpecWireFormat:
+    def test_json_round_trip(self):
+        spec = small_spec(mechanisms=("jv", {"name": "tree-shapley",
+                                             "params": {"tree": "mst"}}),
+                          profiles=ProfileSpec("constant", count=1, scale=2.5))
+        again = SweepSpec.from_json(spec.to_json())
+        assert again == spec
+        assert [i.item_id for i in again.expand()] == [i.item_id for i in spec.expand()]
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepSpec fields"):
+            SweepSpec.from_dict({"ns": [5], "alphas": [2.0], "seeds": [0],
+                                 "chunk_size": 4})
+        with pytest.raises(ValueError, match="unknown ProfileSpec fields"):
+            ProfileSpec.from_dict({"count": 2, "burst": True})
+
+
+class TestExpansion:
+    def test_expansion_is_deterministic_and_scenario_major(self):
+        spec = small_spec()
+        items = spec.expand()
+        assert [i.item_id for i in items] == [i.item_id for i in spec.expand()]
+        assert len(items) == spec.n_items() == 2 * 2 * 1 * 2 * 2
+        # Mechanisms innermost: items sharing a scenario are adjacent.
+        for a, b in zip(items[::2], items[1::2]):
+            assert a.scenario == b.scenario
+            assert a.mechanism != b.mechanism
+
+    def test_item_ids_unique_and_stable(self):
+        items = small_spec().expand()
+        ids = [i.item_id for i in items]
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == "uniform-n5-a2-s0::tree-shapley"
+        assert ids[-1] == "cluster-n6-a2-s1::jv"
+
+    def test_parameterized_mechanisms_get_distinct_ids(self):
+        spec = small_spec(mechanisms=(
+            {"name": "tree-shapley"},
+            {"name": "tree-shapley", "params": {"tree": "mst"}},
+            {"name": "tree-shapley", "params": {"tree": "star"}},
+        ))
+        ids = [i.item_id for i in spec.expand()]
+        assert len(set(ids)) == len(ids)
+
+    def test_scenarios_carry_the_shared_scalars(self):
+        spec = small_spec(dim=3, tree="mst")
+        for scenario in spec.scenarios():
+            assert isinstance(scenario, ScenarioSpec)
+            assert scenario.dim == 3 and scenario.tree == "mst"
+            assert scenario.side == 5.0 and scenario.layout in ("uniform", "cluster")
+
+
+class TestProfileSeeding:
+    def test_seed_derived_from_scenario_wire_form(self):
+        pspec = ProfileSpec(count=2)
+        a = ScenarioSpec.from_random(n=6, alpha=2.0, seed=1, layout="grid")
+        b = ScenarioSpec.from_random(n=6, alpha=2.0, seed=1, layout="grid")
+        c = ScenarioSpec.from_random(n=6, alpha=2.0, seed=2, layout="grid")
+        assert pspec.derive_seed(a) == pspec.derive_seed(b)
+        assert pspec.derive_seed(a) != pspec.derive_seed(c)
+
+    def test_profile_base_seed_shifts_the_draw(self):
+        scenario = ScenarioSpec.from_random(n=6, alpha=2.0, seed=1)
+        assert (ProfileSpec(seed=0).derive_seed(scenario)
+                != ProfileSpec(seed=1).derive_seed(scenario))
+
+    def test_profiles_shared_across_mechanisms_of_a_scenario(self):
+        # Every item of one scenario must price the *same* profiles, so
+        # mechanism columns of a sweep stay paired.
+        items = small_spec().expand()
+        assert items[0].scenario == items[1].scenario
+        assert items[0].profiles.derive_seed(items[0].scenario) == \
+            items[1].profiles.derive_seed(items[1].scenario)

@@ -121,7 +121,6 @@ def test_max_game_shapley_is_cross_monotonic_in_the_small(values):
     full = shapley_shares(agents, cost)
     if len(agents) < 2:
         return
-    removed = agents[-1]
     sub = shapley_shares(agents[:-1], cost)
     for i in agents[:-1]:
         assert sub[i] >= full[i] - 1e-9

@@ -6,7 +6,6 @@ node-weighted shortest paths — checked here by exhaustive enumeration on
 small instances.  Branch mode must never be worse than classic.
 """
 
-import itertools
 
 import pytest
 
