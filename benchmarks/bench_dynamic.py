@@ -1,0 +1,92 @@
+"""Dynamic-session throughput: incremental epoch replay vs cold
+recomputation (ISSUE 4 acceptance).
+
+The workload is a subscription service re-pricing its receiver set every
+epoch (the ``constant`` profile generator) over an n=60 instance with
+8 epochs of low membership churn (join/leave 2%, no mobility).  The cold
+path rebuilds the session — network, universal tree, metric closure,
+memoised xi — from the materialized scenario every epoch; the
+incremental :class:`~repro.dynamic.DynamicSession` carries everything
+whose inputs did not change and memoises exact ``(mechanism, profile)``
+repeats.  Outputs are asserted bit-identical (rows are pure functions of
+the spec), so the recorded gap is pure speedup; the acceptance test
+demands >= 1.5x on the tree-shapley case.  Both modes land in
+``benchmarks/out/BENCH_S1.json`` (group ``EXP-S1 dynamic-session``) and
+are watched by the CI regression gate.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.dynamic import ChurnSpec, DynamicScenarioSpec, DynamicSession, replay_dynamic
+from repro.runner import ProfileSpec
+
+from conftest import record
+
+N = 60
+EPOCHS = 8
+
+
+def low_churn_spec() -> DynamicScenarioSpec:
+    return DynamicScenarioSpec(
+        kind="random", n=N, alpha=2.0, seed=7, side=10.0, layout="cluster",
+        churn=ChurnSpec(epochs=EPOCHS, seed=1, join_rate=0.02, leave_rate=0.02),
+    )
+
+
+def workload() -> ProfileSpec:
+    return ProfileSpec(generator="constant", count=2, scale=5.0)
+
+
+@pytest.mark.benchmark(group="EXP-S1 dynamic-session")
+@pytest.mark.parametrize("mechanism", ["tree-shapley", "jv"])
+@pytest.mark.parametrize("mode", ["incremental", "cold"])
+def test_dynamic_replay(benchmark, mechanism, mode):
+    spec = low_churn_spec()
+    # 3 rounds (each on a fresh session — the spec is passed, not a
+    # DynamicSession) so the committed regression-gate median is not a
+    # single noisy sample; these cases are fast enough to afford it.
+    rows = benchmark.pedantic(
+        replay_dynamic, args=(spec, mechanism, workload()),
+        kwargs={"incremental": mode == "incremental"}, rounds=3, iterations=1)
+    assert len(rows) == EPOCHS
+    record(
+        f"BENCH_DYNAMIC_{mechanism}_{mode}",
+        f"dynamic replay n={N}, {EPOCHS} epochs, low churn, {mechanism}, "
+        f"{mode}: {len(rows)} epoch rows",
+    )
+
+
+def test_incremental_is_bit_identical_and_faster():
+    """The acceptance criterion: >= 1.5x over cold on the n=60, 8-epoch,
+    low-churn tree-shapley case — with bit-identical rows.  The ratio is
+    a median of 3 rounds per mode so a single scheduler stall on a
+    shared CI runner cannot flake the gate."""
+    spec = low_churn_spec()
+    profile_spec = workload()
+    ratios = {}
+    for mechanism in ("tree-shapley", "jv"):
+        incremental_times, cold_times = [], []
+        for _ in range(3):
+            dyn = DynamicSession(spec)
+            t0 = time.perf_counter()
+            incremental = replay_dynamic(dyn, mechanism, profile_spec)
+            incremental_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            cold = replay_dynamic(spec, mechanism, profile_spec,
+                                  incremental=False)
+            cold_times.append(time.perf_counter() - t0)
+            assert incremental == cold  # full wire rows, every epoch
+            assert dyn.counters["sessions_built"] == 1  # membership churn only
+            assert dyn.counters["sessions_carried"] == EPOCHS - 1
+        ratios[mechanism] = statistics.median(cold_times) / \
+            statistics.median(incremental_times)
+    record(
+        "BENCH_DYNAMIC_SPEEDUP",
+        "incremental vs cold (n=%d, %d epochs, low churn): %s"
+        % (N, EPOCHS, ", ".join(f"{m} {r:.2f}x" for m, r in ratios.items())),
+    )
+    assert ratios["tree-shapley"] >= 1.5, (
+        f"incremental replay must be >= 1.5x over cold, got {ratios}")

@@ -17,16 +17,21 @@ Layering (each layer only depends on the ones above it):
 * :mod:`repro.api` — the declarative scenario/mechanism spec API, the
   string-keyed mechanism registry, and the caching
   :class:`~repro.api.MulticastSession` facade (the service entry path);
+* :mod:`repro.dynamic` — epoch-based agent churn over any scenario:
+  :class:`~repro.dynamic.DynamicScenarioSpec` (deterministic
+  join/leave/move histories) replayed incrementally by
+  :class:`~repro.dynamic.DynamicSession` (the temporal entry path);
 * :mod:`repro.runner` — declarative sweep grids over scenario layout
-  families x mechanisms, the process-parallel executor, and the
-  resumable JSONL result store (the fleet entry path);
+  families x mechanisms (x churn epochs), the process-parallel executor,
+  and the resumable JSONL result store (the fleet entry path);
 * :mod:`repro.analysis` — instances, experiments, tables.
 
 The most common entry points are re-exported here; run
 ``python -m repro`` for the full experiment report, ``python -m repro
 run --scenario spec.json --mechanism jv --profiles profiles.json`` to
 price profiles over a JSON scenario spec, and ``python -m repro sweep
---spec sweep.json --workers 4 --out results.jsonl`` for whole grids.
+--spec sweep.json --workers 4 --out results.jsonl`` for whole grids;
+``python -m repro dynamic --n 12 --epochs 4 --check`` replays churn.
 """
 
 from repro.api import (
@@ -51,18 +56,27 @@ from repro.core import (
     WirelessMulticastMechanism,
     WirelessNWSTMechanism,
 )
+from repro.dynamic import (
+    ChurnSpec,
+    DynamicScenarioSpec,
+    DynamicSession,
+    replay_dynamic,
+)
 from repro.engine import CSRGraph, DenseGraph
 from repro.geometry import LAYOUT_FAMILIES, PointSet, layout_points, uniform_points
 from repro.mechanism import MechanismResult
 from repro.runner import ProfileSpec, SweepSpec, run_sweep
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CSRGraph",
+    "ChurnSpec",
     "CostGraph",
     "DenseGraph",
+    "DynamicScenarioSpec",
+    "DynamicSession",
     "EuclideanCostGraph",
     "EuclideanJVMechanism",
     "EuclideanMCMechanism",
@@ -89,6 +103,7 @@ __all__ = [
     "result_from_dict",
     "result_from_json",
     "result_to_dict",
+    "replay_dynamic",
     "result_to_json",
     "run_sweep",
     "uniform_points",

@@ -22,7 +22,15 @@ Three modes:
   prints the aggregated summary table::
 
       python -m repro sweep --spec sweep.json --workers 4 \\
-          --out results.jsonl [--resume]
+          --out results.jsonl [--resume] [--audit]
+
+* **Dynamic sessions** (``dynamic``): replays epoch-based churn
+  (join/leave/move) over one scenario through the incremental
+  :class:`repro.dynamic.DynamicSession`, printing the per-epoch
+  trajectory; ``--check`` additionally recomputes every epoch cold and
+  fails unless the rows are bit-identical::
+
+      python -m repro dynamic --n 12 --epochs 4 --mechanism jv --check
 """
 
 from __future__ import annotations
@@ -65,6 +73,8 @@ RUNNERS = {
            lambda: E.exp_s1_sweep_fleet()),
     "S2": ("Batched mechanism pipeline (repro.api session facade)",
            lambda: E.exp_s2_batch_pipeline()),
+    "D1": ("Dynamic session — cost-share trajectories under churn (repro.dynamic)",
+           lambda: E.exp_d1_churn_trajectories()),
     "A1": ("Ablation — universal-tree choice", lambda: E.exp_a1_tree_ablation()),
     "A2": ("Ablation — spider flavour", lambda: E.exp_a2_spider_ablation()),
     "A3": ("Ablation — JV share family", lambda: E.exp_a3_jv_weights()),
@@ -158,6 +168,21 @@ def run_command(argv: list[str]) -> int:
     return 0
 
 
+def _audit_verdict(rows: list[dict], where, *, clean_stream=None) -> int:
+    """Shared audit epilogue: itemize violations to stderr (exit 1) or
+    print the clean-audit line (exit 0).  ``where(row)`` labels a row;
+    ``clean_stream`` routes the clean line (stderr when stdout must stay
+    machine-parseable, e.g. under ``--json``)."""
+    violations = [(row, v) for row in rows for v in row["audit"]["violations"]]
+    if violations:
+        for row, violation in violations:
+            print(f"AXIOM VIOLATION in {where(row)}: {violation}", file=sys.stderr)
+        return 1
+    print(f"audit: {len(rows)} rows, 0 axiom violations",
+          file=clean_stream or sys.stdout)
+    return 0
+
+
 def sweep_command(argv: list[str]) -> int:
     """The ``sweep`` subcommand: grid JSON in, JSONL rows + summary out."""
     from repro.runner import SweepSpec, run_sweep, summarize_rows
@@ -176,6 +201,10 @@ def sweep_command(argv: list[str]) -> int:
                              "appended as items complete)")
     parser.add_argument("--resume", action="store_true",
                         help="skip items already present in --out (requires --out)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the axiom auditors (NPT/VP/cost recovery + "
+                             "budget-balance factor) on every row and embed "
+                             "the report; exit 1 on any violation")
     parser.add_argument("--by", default="layout,mechanism,n,alpha",
                         help="comma-separated summary grouping columns "
                              "(default: layout,mechanism,n,alpha)")
@@ -194,7 +223,8 @@ def sweep_command(argv: list[str]) -> int:
         spec = SweepSpec.from_json(pathlib.Path(args.spec).read_text())
         t0 = time.perf_counter()
         rows = run_sweep(spec, workers=args.workers, out=args.out,
-                         resume=args.resume, progress=progress)
+                         resume=args.resume, audit=args.audit,
+                         progress=progress)
         elapsed = time.perf_counter() - t0
     except (OSError, ValueError, TypeError) as exc:
         # ValueError covers json.JSONDecodeError, bad specs, and unknown
@@ -202,14 +232,138 @@ def sweep_command(argv: list[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    epochs = "" if spec.churn is None else f" x {spec.n_epochs()} epochs"
     by = [c.strip() for c in args.by.split(",") if c.strip()]
     print(format_table(
         summarize_rows(rows, by=by),
-        title=f"sweep: {len(rows)} items ({len(spec.scenarios())} scenarios x "
-              f"{len(spec.mechanisms)} mechanisms) in {elapsed:.1f}s "
-              f"with {args.workers} worker(s)"))
+        title=f"sweep: {spec.n_items()} items ({len(spec.scenarios())} scenarios x "
+              f"{len(spec.mechanisms)} mechanisms{epochs} = {len(rows)} rows) "
+              f"in {elapsed:.1f}s with {args.workers} worker(s)"))
     if args.out:
         print(f"rows: {args.out}")
+    if args.audit:
+        return _audit_verdict(rows, lambda row: (
+            row["item"] if row.get("epoch") is None
+            else f"{row['item']} epoch {row['epoch']}"))
+    return 0
+
+
+def dynamic_command(argv: list[str]) -> int:
+    """The ``dynamic`` subcommand: churn spec in, per-epoch trajectory out."""
+    from repro.api import available_mechanisms
+    from repro.dynamic import ChurnSpec, DynamicScenarioSpec, DynamicSession, replay_dynamic, trajectory_row
+    from repro.geometry.layouts import LAYOUT_FAMILIES
+    from repro.runner import ProfileSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dynamic",
+        description="Replay epoch-based churn over one scenario through the "
+                    "incremental DynamicSession.",
+    )
+    parser.add_argument("--spec", default=None,
+                        help="path to a DynamicScenarioSpec JSON file "
+                             "(overrides the inline scenario flags)")
+    parser.add_argument("--n", type=int, default=12, help="stations (inline spec)")
+    parser.add_argument("--alpha", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0, help="layout seed")
+    parser.add_argument("--side", type=float, default=10.0)
+    parser.add_argument("--layout", default="uniform",
+                        help=f"layout family, one of: {', '.join(LAYOUT_FAMILIES)}")
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--churn-seed", type=int, default=0)
+    parser.add_argument("--join-rate", type=float, default=0.2)
+    parser.add_argument("--leave-rate", type=float, default=0.2)
+    parser.add_argument("--move-rate", type=float, default=0.0)
+    parser.add_argument("--move-scale", type=float, default=0.5)
+    parser.add_argument("--mechanism", default="tree-shapley",
+                        help=f"registry name, one of: {', '.join(available_mechanisms())}")
+    parser.add_argument("--profile-count", type=int, default=3,
+                        help="utility profiles priced per epoch")
+    parser.add_argument("--profile-generator", default="uniform",
+                        choices=("uniform", "constant"))
+    parser.add_argument("--audit", action="store_true",
+                        help="audit NPT/VP/cost recovery every epoch; exit 1 "
+                             "on any violation")
+    parser.add_argument("--check", action="store_true",
+                        help="also recompute every epoch cold and fail unless "
+                             "the incremental rows are bit-identical")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full JSON payload instead of a table")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON payload to this path")
+    args = parser.parse_args(argv)
+
+    if args.mechanism not in available_mechanisms():
+        print(f"unknown mechanism {args.mechanism!r}; "
+              f"available: {list(available_mechanisms())}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.spec is not None:
+            spec = DynamicScenarioSpec.from_json(pathlib.Path(args.spec).read_text())
+        else:
+            spec = DynamicScenarioSpec(
+                kind="random", n=args.n, alpha=args.alpha, seed=args.seed,
+                side=args.side, layout=args.layout,
+                churn=ChurnSpec(epochs=args.epochs, seed=args.churn_seed,
+                                join_rate=args.join_rate,
+                                leave_rate=args.leave_rate,
+                                move_rate=args.move_rate,
+                                move_scale=args.move_scale),
+            )
+        profile_spec = ProfileSpec(generator=args.profile_generator,
+                                   count=args.profile_count)
+        dyn = DynamicSession(spec)
+        t0 = time.perf_counter()
+        rows = replay_dynamic(dyn, args.mechanism, profile_spec, audit=args.audit)
+        incremental_s = time.perf_counter() - t0
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check:
+        t0 = time.perf_counter()
+        cold = replay_dynamic(spec, args.mechanism, profile_spec,
+                              incremental=False, audit=args.audit)
+        cold_s = time.perf_counter() - t0
+        if rows != cold:
+            print("CHECK FAILED: incremental epoch replay diverged from cold "
+                  "recomputation", file=sys.stderr)
+            return 1
+        speedup = cold_s / incremental_s if incremental_s > 0 else float("inf")
+        print(f"check: incremental == cold over {len(rows)} epochs "
+              f"(incremental {incremental_s:.3f}s, cold {cold_s:.3f}s, "
+              f"{speedup:.2f}x)",
+              # stdout stays machine-parseable under --json
+              file=sys.stderr if args.as_json else sys.stdout)
+
+    payload = {
+        "schema": 1,
+        "scenario": spec.to_dict(),
+        "mechanism": args.mechanism,
+        "rows": rows,
+        "reuse": dyn.counters,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            pathlib.Path(args.out).write_text(text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+    if args.as_json:
+        print(text)
+    else:
+        table = [trajectory_row(row) for row in rows]
+        counters = dyn.counters
+        print(format_table(
+            table, title=f"{args.mechanism} under churn "
+                         f"(n={spec.n_stations}, {spec.n_epochs} epochs, "
+                         f"sessions built {counters['sessions_built']}, "
+                         f"carried {counters['sessions_carried']})"))
+    if args.audit:
+        return _audit_verdict(rows, lambda row: f"epoch {row['epoch']}",
+                              clean_stream=sys.stderr if args.as_json else None)
     return 0
 
 
@@ -218,6 +372,8 @@ def main(argv: list[str]) -> int:
         return run_command(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_command(argv[1:])
+    if argv and argv[0] == "dynamic":
+        return dynamic_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)
     unknown = [w for w in wanted if w not in RUNNERS]
     if unknown:

@@ -754,6 +754,62 @@ def exp_s2_batch_pipeline(n: int = 24, n_profiles: int = 60, seed: int = 0) -> d
 
 
 # ---------------------------------------------------------------------------
+# EXP-D1 — dynamic sessions: cost-share trajectories under churn
+# ---------------------------------------------------------------------------
+
+def exp_d1_churn_trajectories(n: int = 10, epochs: int = 6, seed: int = 0,
+                              churn_seed: int = 1, n_profiles: int = 3,
+                              mechanism: str = "tree-shapley",
+                              alpha: float = 2.0) -> dict:
+    """Cost-share trajectories of one churning multicast session.
+
+    A :class:`~repro.dynamic.DynamicScenarioSpec` replays ``epochs``
+    rounds of seeded join/leave/move churn; the incremental
+    :class:`~repro.dynamic.DynamicSession` carries every artifact whose
+    inputs did not change across each epoch boundary.  The runner asserts
+    the incremental rows are bit-identical to cold per-epoch
+    recomputation (a fresh session per epoch) and audits the paper's
+    axioms (NPT, VP, cost recovery) at every epoch — then reports the
+    per-epoch trajectory: who was active, who got served, what was
+    charged, and what the carried caches saved.
+    """
+    from repro.dynamic import ChurnSpec, DynamicScenarioSpec, DynamicSession, replay_dynamic, trajectory_row
+    from repro.runner import ProfileSpec
+
+    spec = DynamicScenarioSpec(
+        kind="random", n=n, alpha=alpha, seed=seed, side=5.0, layout="cluster",
+        churn=ChurnSpec(epochs=epochs, seed=churn_seed, join_rate=0.3,
+                        leave_rate=0.25, move_rate=0.05, move_scale=0.4),
+    )
+    profile_spec = ProfileSpec(count=n_profiles)
+    dyn = DynamicSession(spec)
+    t0 = time.perf_counter()
+    rows_inc = replay_dynamic(dyn, mechanism, profile_spec, audit=True)
+    incremental_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rows_cold = replay_dynamic(spec, mechanism, profile_spec,
+                               incremental=False, audit=True)
+    cold_s = time.perf_counter() - t0
+    if rows_inc != rows_cold:
+        raise AssertionError("incremental epoch replay diverged from cold recomputation")
+    violations = sum(len(row["audit"]["violations"]) for row in rows_inc)
+
+    rows = [{**trajectory_row(row), "bb_factor_max": row["audit"]["bb_factor_max"]}
+            for row in rows_inc]
+    counters = dyn.counters
+    return {
+        "rows": rows,
+        "incremental_equals_cold": True,
+        "axiom_violations": violations,
+        "sessions_built": counters["sessions_built"],
+        "sessions_carried": counters["sessions_carried"],
+        "xi_entries_carried": counters["xi_entries_carried"],
+        "incremental_seconds": incremental_s,
+        "cold_seconds": cold_s,
+    }
+
+
+# ---------------------------------------------------------------------------
 # EXP-A4 — baseline comparison: multicast heuristics vs the exact optimum
 # ---------------------------------------------------------------------------
 

@@ -28,6 +28,12 @@ from repro.mechanism.base import CostSharingMechanism
 Builder = Callable[..., CostSharingMechanism]
 
 
+# The axioms every registered mechanism is expected (and audited) to
+# satisfy unless its registration narrows them.  Names match the
+# checkers in :mod:`repro.mechanism.properties`.
+DEFAULT_GUARANTEES = ("npt", "vp", "cost_recovery")
+
+
 @dataclass(frozen=True)
 class RegisteredMechanism:
     """One registry entry."""
@@ -36,6 +42,7 @@ class RegisteredMechanism:
     builder: Builder
     method_of: Callable[[CostSharingMechanism], Callable] | None
     summary: str
+    guarantees: tuple = DEFAULT_GUARANTEES
 
 
 _REGISTRY: dict[str, RegisteredMechanism] = {}
@@ -47,6 +54,7 @@ def register_mechanism(
     *,
     method_of: Callable[[CostSharingMechanism], Callable] | None = None,
     summary: str = "",
+    guarantees: tuple = DEFAULT_GUARANTEES,
     replace: bool = False,
 ):
     """Register ``builder`` under ``name`` (usable as a decorator).
@@ -61,6 +69,12 @@ def register_mechanism(
         Optional extractor of the mechanism's pure cost-sharing method,
         memoised by the session across profiles (the mechanism's ``run``
         must then accept a ``method=`` keyword).
+    guarantees:
+        The axioms the paper proves for this mechanism — what the sweep
+        runner's ``audit=True`` verifies per row.  Defaults to NPT + VP +
+        cost recovery; the marginal-cost mechanisms narrow it to NPT + VP
+        (they are efficient and strategyproof but run deficits by design,
+        so cost recovery is *expected* to fail on them).
     replace:
         Allow overwriting an existing entry (default: raise).
     """
@@ -69,7 +83,8 @@ def register_mechanism(
         if name in _REGISTRY and not replace:
             raise ValueError(f"mechanism {name!r} is already registered (pass replace=True)")
         doc = summary or (fn.__doc__ or "").strip().split("\n")[0]
-        _REGISTRY[name] = RegisteredMechanism(name, fn, method_of, doc)
+        _REGISTRY[name] = RegisteredMechanism(name, fn, method_of, doc,
+                                              tuple(guarantees))
         return fn
 
     if builder is None:

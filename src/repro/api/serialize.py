@@ -108,6 +108,33 @@ def result_from_dict(data: Mapping) -> MechanismResult:
     )
 
 
+def bb_ratio(charged: float, cost: float) -> float | None:
+    """charged/cost, with the degenerate cases pinned: an empty/free
+    outcome is perfectly balanced (1.0), revenue over zero cost is
+    undefined (None — JSONL stays strict-parseable, no Infinity)."""
+    if cost > 1e-12:
+        return charged / cost
+    return 1.0 if abs(charged) < 1e-9 else None
+
+
+def summarize_results(results: Sequence[MechanismResult]) -> dict:
+    """The per-row summary block of a batch of mechanism outcomes (the
+    shape the sweep runner's JSONL rows and the dynamic replay rows
+    share; pure function of the results, no timestamps)."""
+    charges = [r.total_charged() for r in results]
+    costs = [r.cost for r in results]
+    ratios = [bb_ratio(charged, cost) for charged, cost in zip(charges, costs)]
+    defined = [r for r in ratios if r is not None]
+    return {
+        "profiles": len(results),
+        "mean_receivers": sum(len(r.receivers) for r in results) / len(results),
+        "mean_charged": sum(charges) / len(charges),
+        "mean_cost": sum(costs) / len(costs),
+        "mean_bb": sum(defined) / len(defined) if defined else None,
+        "worst_bb": max(defined) if defined else None,
+    }
+
+
 def result_to_json(result: MechanismResult, **dumps_kwargs) -> str:
     dumps_kwargs.setdefault("sort_keys", True)
     return json.dumps(result_to_dict(result), **dumps_kwargs)

@@ -17,6 +17,7 @@ These specs are *descriptions*, not solvers — hand them to
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, fields
@@ -27,6 +28,17 @@ from repro.wireless.universal_tree import UniversalTree
 
 SCENARIO_KINDS = ("points", "matrix", "random")
 TREE_KINDS = UniversalTree.KINDS  # the one home of the kind vocabulary
+
+
+def seed_from_text(text: str) -> int:
+    """A 64-bit rng seed derived from ``text`` (SHA-256, first 8 bytes).
+
+    The one home of the derived-seed recipe: sweep profile seeds, churn
+    event seeds and per-epoch profile seeds are all pure functions of a
+    wire-form identity string through this helper, so they agree across
+    processes, schedules and sessions by construction.
+    """
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
 
 
 def freeze_params(value: Any) -> Any:

@@ -311,4 +311,5 @@ register_mechanism(
     "euclid-mc",
     lambda session: EuclideanMCMechanism(_euclidean_network(session), session.source),
     summary="§3.1 marginal-cost mechanism over exact C* (efficient, SP; alpha=1 or d=1)",
+    guarantees=("npt", "vp"),  # MC runs deficits: no cost recovery (§3.1)
 )

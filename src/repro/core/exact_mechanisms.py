@@ -110,4 +110,5 @@ register_mechanism(
     "exact-mc",
     lambda session: ExactMCMechanism(session.network, session.source),
     summary="VCG over exact C* (efficient + cost-optimal; exponential)",
+    guarantees=("npt", "vp"),  # VCG/MC runs deficits: no cost recovery
 )

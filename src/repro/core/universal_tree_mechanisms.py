@@ -125,4 +125,5 @@ register_mechanism(
     "tree-mc",
     lambda session, *, tree=None: UniversalTreeMCMechanism(session.universal_tree(tree)),
     summary="§2.1 marginal-cost mechanism on a universal tree (efficient, SP)",
+    guarantees=("npt", "vp"),  # MC runs deficits: no cost recovery (§2.1)
 )

@@ -1,0 +1,35 @@
+"""Dynamic multicast sessions: epoch-based agent churn with incremental
+recomputation.
+
+* :mod:`repro.dynamic.spec` — :class:`ChurnSpec` (rates + churn seed),
+  :class:`DynamicScenarioSpec` (a :class:`~repro.api.ScenarioSpec` plus a
+  deterministic epoch history of join/leave/move events), and the
+  materialization of any epoch as a plain static scenario.
+* :mod:`repro.dynamic.session` — :class:`DynamicSession` (epoch replay
+  carrying every artifact whose inputs did not change) and
+  :func:`replay_dynamic` (per-epoch row dicts, bit-identical between
+  incremental and cold replay).
+"""
+
+from repro.dynamic.session import (
+    DynamicSession,
+    epoch_payload,
+    epoch_profile_seed,
+    make_epoch_profiles,
+    replay_dynamic,
+    trajectory_row,
+)
+from repro.dynamic.spec import ChurnSpec, DynamicScenarioSpec, EpochEvent, EpochState
+
+__all__ = [
+    "ChurnSpec",
+    "DynamicScenarioSpec",
+    "DynamicSession",
+    "EpochEvent",
+    "EpochState",
+    "epoch_payload",
+    "epoch_profile_seed",
+    "make_epoch_profiles",
+    "replay_dynamic",
+    "trajectory_row",
+]

@@ -1,0 +1,285 @@
+"""Dynamic multicast sessions — epoch-based agent churn (the wire format).
+
+The paper's mechanisms (sections 2-3) price a *static* receiver set, but
+real wireless multicast groups churn: receivers join, leave and move
+between rounds.  A :class:`DynamicScenarioSpec` extends
+:class:`~repro.api.spec.ScenarioSpec` with a churn model
+(:class:`ChurnSpec`): a number of epochs plus join/leave/move rates and a
+churn seed.  The per-epoch event list is *derived, not stored* — a pure
+function of the base scenario's wire form, the churn parameters and the
+epoch index (SHA-256 seeded, like the sweep runner's profile seeds) — so
+the spec stays a compact, frozen, JSON-round-trippable description and
+every process replays the exact same event sequence.
+
+Epoch 0 is the base state: every agent active, at the base layout's
+positions.  Each later epoch applies its event delta to the previous
+state:
+
+* ``join``  — an inactive agent becomes an active receiver candidate;
+* ``leave`` — an active agent withdraws (it keeps its station, but
+  reports zero utility until it rejoins);
+* ``move``  — an agent's station position jitters by a Gaussian step of
+  std ``move_scale`` per coordinate (Euclidean scenarios only — a
+  ``matrix`` scenario has no geometry, so ``move_rate`` must be 0).
+
+:meth:`DynamicScenarioSpec.materialize` renders any epoch as a plain
+static :class:`ScenarioSpec` (an explicit-``points`` layout for Euclidean
+scenarios) — the reference a cold
+:class:`~repro.api.session.MulticastSession` is built from, and the
+object the incremental :class:`~repro.dynamic.session.DynamicSession`
+must reproduce bit-for-bit.
+
+Extending the horizon is prefix-stable: the events of epoch ``e`` do not
+depend on ``churn.epochs``, so the same spec with more epochs replays the
+same history and keeps going.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.api.spec import ScenarioSpec, seed_from_text
+
+EVENT_KINDS = ("join", "leave", "move")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """How a dynamic scenario's receiver set evolves across epochs.
+
+    ``seed`` is the churn seed; ``join_rate``/``leave_rate`` are the
+    per-agent per-epoch membership-flip probabilities, ``move_rate`` the
+    per-agent per-epoch probability of a position jitter of per-coordinate
+    std ``move_scale`` (Euclidean scenarios only).
+
+    The defaults are deliberately *degenerate* — one epoch, zero rates —
+    so a :class:`DynamicScenarioSpec` without an explicit churn block is
+    exactly its static scenario (nothing is fabricated); any real churn
+    must be asked for.
+    """
+
+    epochs: int = 1
+    seed: int = 0
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    move_rate: float = 0.0
+    move_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epochs", int(self.epochs))
+        object.__setattr__(self, "seed", int(self.seed))
+        for name in ("join_rate", "leave_rate", "move_rate", "move_scale"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        if self.epochs < 1:
+            raise ValueError(f"churn epochs must be >= 1, got {self.epochs}")
+        for name in ("join_rate", "leave_rate", "move_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"churn {name} must be in [0, 1], got {rate}")
+        if self.move_rate > 0 and self.move_scale <= 0:
+            # move_scale is only consulted when moves can actually fire,
+            # so "move_scale: 0" is fine as part of disabling mobility.
+            raise ValueError(
+                f"churn move_scale must be positive when move_rate > 0, "
+                f"got {self.move_scale}")
+
+    def identity(self) -> str:
+        """The seed-derivation identity: everything but ``epochs`` (so a
+        longer horizon replays the same event history, prefix-stable) and
+        but ``move_scale`` when moves are disabled (an inert parameter
+        must not rewrite the join/leave history)."""
+        fields_used: dict = {
+            "seed": self.seed, "join_rate": self.join_rate,
+            "leave_rate": self.leave_rate, "move_rate": self.move_rate,
+        }
+        if self.move_rate > 0:
+            fields_used["move_scale"] = self.move_scale
+        return json.dumps(fields_used, sort_keys=True)
+
+    def to_dict(self) -> dict:
+        return {"epochs": self.epochs, "seed": self.seed,
+                "join_rate": self.join_rate, "leave_rate": self.leave_rate,
+                "move_rate": self.move_rate, "move_scale": self.move_scale}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChurnSpec":
+        known = {f.name for f in fields(cls)}
+        stray = sorted(set(data) - known)
+        if stray:
+            raise ValueError(f"unknown ChurnSpec fields: {stray}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """One churn event: ``join``/``leave``/``move`` of one agent.
+
+    ``position`` is the agent's new coordinates (moves only)."""
+
+    kind: str
+    agent: int
+    position: tuple | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "agent": self.agent}
+        if self.position is not None:
+            out["position"] = list(self.position)
+        return out
+
+
+@dataclass(frozen=True)
+class EpochState:
+    """The materialized state of one epoch: who is active, where the
+    stations sit (``None`` for matrix scenarios), and the event delta
+    that produced it from the previous epoch."""
+
+    epoch: int
+    active: tuple
+    points: tuple | None
+    events: tuple
+
+    def event_counts(self) -> dict:
+        counts = {kind: 0 for kind in EVENT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class DynamicScenarioSpec(ScenarioSpec):
+    """A :class:`ScenarioSpec` plus a churn model — one dynamic session.
+
+    Everything of the base spec applies unchanged (layouts, alpha, source,
+    universal tree); ``churn`` adds the temporal dimension.  The wire form
+    is the base spec's dict plus a ``churn`` object, so static specs stay
+    readable by :class:`ScenarioSpec` and dynamic ones round-trip through
+    :meth:`from_dict`/:meth:`from_json` of this class.
+    """
+
+    churn: ChurnSpec | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        churn = self.churn
+        if churn is None:
+            churn = ChurnSpec()
+        elif isinstance(churn, Mapping):
+            churn = ChurnSpec.from_dict(churn)
+        elif not isinstance(churn, ChurnSpec):
+            raise ValueError(f"churn must be a ChurnSpec or mapping, got {type(churn).__name__}")
+        object.__setattr__(self, "churn", churn)
+        if self.kind == "matrix" and churn.move_rate > 0:
+            raise ValueError("matrix scenarios have no geometry: churn.move_rate must be 0")
+        object.__setattr__(self, "_states", None)
+        object.__setattr__(self, "_materialized", {})
+
+    # -- wire format --------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["churn"] = self.churn.to_dict()
+        return out
+
+    # -- derived epoch history ----------------------------------------------
+    @property
+    def n_epochs(self) -> int:
+        return self.churn.epochs
+
+    def base_scenario(self) -> ScenarioSpec:
+        """The static spec this dynamic one extends (identical fields)."""
+        data = super().to_dict()
+        data.pop("churn", None)
+        return ScenarioSpec.from_dict(data)
+
+    def _epoch_seed(self, epoch: int) -> int:
+        return seed_from_text(
+            f"{self.base_scenario().to_json()}|churn:{self.churn.identity()}|epoch:{epoch}")
+
+    def _base_points(self) -> tuple | None:
+        if self.kind == "matrix":
+            return None
+        if self.kind == "points":
+            return self.points
+        from repro.geometry.layouts import layout_points
+
+        coords = layout_points(self.layout, self.n, self.dim, side=self.side,
+                               seed=self.seed).coords
+        return tuple(tuple(float(x) for x in row) for row in coords)
+
+    def epoch_states(self) -> tuple:
+        """Every epoch's :class:`EpochState`, derived once and cached.
+
+        Epoch 0 is the base state (all agents active, base positions);
+        epoch ``e`` applies the seeded event delta to epoch ``e - 1``.
+        Agents are visited in sorted order with one membership draw each,
+        then (when ``move_rate > 0``) one move draw each, so the history
+        is a pure function of the spec's wire form.
+        """
+        if self._states is not None:
+            return self._states
+        churn = self.churn
+        agents = self.agents()
+        active = set(agents)
+        points = self._base_points()
+        states = [EpochState(epoch=0, active=tuple(sorted(active)),
+                             points=points, events=())]
+        for epoch in range(1, churn.epochs):
+            rng = np.random.default_rng(self._epoch_seed(epoch))
+            events: list[EpochEvent] = []
+            for agent in agents:
+                if agent in active:
+                    if rng.random() < churn.leave_rate:
+                        active.discard(agent)
+                        events.append(EpochEvent("leave", agent))
+                elif rng.random() < churn.join_rate:
+                    active.add(agent)
+                    events.append(EpochEvent("join", agent))
+            if churn.move_rate > 0:
+                assert points is not None  # matrix + moves rejected at build
+                mutable = [list(row) for row in points]
+                moved = False
+                for agent in agents:
+                    if rng.random() < churn.move_rate:
+                        step = rng.normal(0.0, churn.move_scale, size=len(mutable[agent]))
+                        new = tuple(float(x + d) for x, d in zip(mutable[agent], step))
+                        mutable[agent] = list(new)
+                        events.append(EpochEvent("move", agent, position=new))
+                        moved = True
+                if moved:
+                    points = tuple(tuple(row) for row in mutable)
+            states.append(EpochState(epoch=epoch, active=tuple(sorted(active)),
+                                     points=points, events=tuple(events)))
+        object.__setattr__(self, "_states", tuple(states))
+        return self._states
+
+    def state(self, epoch: int) -> EpochState:
+        states = self.epoch_states()
+        if not 0 <= epoch < len(states):
+            raise ValueError(f"epoch {epoch} out of range for {len(states)} epochs")
+        return states[epoch]
+
+    def active_agents(self, epoch: int) -> tuple:
+        return self.state(epoch).active
+
+    def materialize(self, epoch: int) -> ScenarioSpec:
+        """The epoch rendered as a plain static :class:`ScenarioSpec` —
+        what a cold :class:`~repro.api.MulticastSession` would be built
+        from.  Euclidean scenarios materialize as explicit ``points``
+        layouts (bit-exact float coordinates); matrix scenarios are
+        position-free, so every epoch materializes to the base spec.
+        Cached per epoch (the replay loop asks several times per row)."""
+        found = self._materialized.get(epoch)
+        if found is not None:
+            return found
+        state = self.state(epoch)
+        if self.kind == "matrix":
+            spec = ScenarioSpec(kind="matrix", matrix=self.matrix,
+                                source=self.source, tree=self.tree)
+        else:
+            spec = ScenarioSpec(kind="points", points=state.points,
+                                alpha=self.alpha, source=self.source, tree=self.tree)
+        self._materialized[epoch] = spec
+        return spec

@@ -71,9 +71,17 @@ def audit_basic_axioms(
     *,
     optimal_cost: float | None = None,
     check_consumer_sovereignty: bool = False,
+    result: MechanismResult | None = None,
 ) -> dict:
-    """One-stop audit; returns a flat report dict."""
-    result = mechanism.run(profile)
+    """One-stop audit; returns a flat report dict.
+
+    Pass ``result`` to audit an outcome the caller already computed for
+    this exact profile (the sweep runner's ``audit=True`` path does —
+    mechanisms are deterministic, so re-running would only burn time);
+    otherwise the mechanism is run here.
+    """
+    if result is None:
+        result = mechanism.run(profile)
     report = {
         "receivers": sorted(result.receivers),
         "charged": result.total_charged(),
@@ -87,6 +95,52 @@ def audit_basic_axioms(
     if check_consumer_sovereignty:
         report["cs"] = all(check_cs(mechanism, profile, a) for a in mechanism.agents)
     return report
+
+
+def audit_profile_results(
+    mechanism: CostSharingMechanism,
+    profiles: Sequence[Profile],
+    results: Sequence[MechanismResult],
+    *,
+    axioms: Sequence[str] = ("npt", "vp", "cost_recovery"),
+) -> dict:
+    """Audit a batch of already-computed outcomes against the paper's
+    basic axioms — the payload the sweep runner embeds per JSONL row.
+
+    ``axioms`` names the checks a failure of which counts as a violation
+    (the runner passes each mechanism's registered ``guarantees``, so a
+    marginal-cost mechanism's deficit — expected per the paper — is not
+    reported as a broken theorem, while an NPT or VP breach anywhere
+    is).  Per profile: the selected subset of NPT / VP / cost recovery
+    (via :func:`audit_basic_axioms` on the precomputed result) plus the
+    empirical budget-balance factor of the *built* solution
+    (:func:`bb_factor` against ``result.cost`` — charged/cost, exactly 1
+    for the budget-balanced Shapley mechanisms).  Only failures are
+    itemized, so clean rows stay compact.
+    """
+    axioms = tuple(axioms)
+    unknown = sorted(set(axioms) - {"npt", "vp", "cost_recovery"})
+    if unknown:
+        raise ValueError(f"unknown audit axioms {unknown}")
+    violations: list[dict] = []
+    factors: list[float] = []
+    for idx, (profile, result) in enumerate(zip(profiles, results, strict=True)):
+        report = audit_basic_axioms(mechanism, profile, result=result,
+                                    optimal_cost=result.cost)
+        factors.append(report["bb_factor"])
+        failed = [axiom for axiom in axioms if not report[axiom]]
+        if failed:
+            violations.append({
+                "profile": idx, "failed": failed,
+                "charged": report["charged"], "cost": report["cost"],
+            })
+    finite = [f for f in factors if f != float("inf")]
+    return {
+        "profiles": len(results),
+        "checked": list(axioms),
+        "violations": violations,
+        "bb_factor_max": max(finite) if finite else None,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -109,7 +163,13 @@ class Deviation:
 
 def candidate_misreports(true_value: float, profile: Profile) -> list[float]:
     """A deviation grid: scalings of the truth, 0, other agents' utilities,
-    and a very large report."""
+    and a very large report.
+
+    Reports indistinguishable from the truth at float precision are
+    excluded *relatively* — within ``1e-12 * max(1, |truth|)`` — so a
+    large-utility instance (where ``truth * 1.01`` and ``truth`` differ
+    by many ULPs but ``truth + 1e-12`` does not) never probes a
+    "deviation" that is just the truth re-rounded."""
     others = sorted(set(profile.values()))
     grid = {0.0, true_value / 2, true_value * 0.9, true_value * 0.99,
             true_value * 1.01, true_value * 1.1, true_value * 2, true_value + 1.0,
@@ -118,7 +178,8 @@ def candidate_misreports(true_value: float, profile: Profile) -> list[float]:
         grid.add(v)
         grid.add(max(0.0, v - 1e-3))
         grid.add(v + 1e-3)
-    return sorted(v for v in grid if v >= 0 and abs(v - true_value) > 1e-12)
+    min_gap = 1e-12 * max(1.0, abs(true_value))
+    return sorted(v for v in grid if v >= 0 and abs(v - true_value) > min_gap)
 
 
 def find_unilateral_deviation(
@@ -131,15 +192,25 @@ def find_unilateral_deviation(
 ) -> Deviation | None:
     """Search for a profitable unilateral misreport (strategyproofness
     violation).  Returns the first one found, or ``None``.
-    """
+
+    Tolerance contract: a misreport counts as profitable only when the
+    welfare gain exceeds ``tol * max(1, |u_i|)`` — *relative* to the
+    agent's utility scale, not absolute.  Shares inherit the instance's
+    cost magnitudes, so at large ``n`` (or large coordinates) two
+    float-summation orders legitimately differ by ``O(eps * scale)``;
+    an absolute threshold would flag that noise as a "deviation" on
+    mechanisms that are provably strategyproof.  ``tol`` defaults to
+    ``1e-6`` relative — far above accumulated rounding, far below any
+    real manipulation gain."""
     baseline = mechanism.run(true_profile)
     w0 = baseline.welfare(true_profile)
     for i in agents if agents is not None else mechanism.agents:
         u_i = true_profile[i]
+        gain_floor = tol * max(1.0, abs(u_i))
         for v in [*candidate_misreports(u_i, true_profile), *extra_reports]:
             result = mechanism.run(with_report(true_profile, i, v))
             w_i = (u_i - result.share(i)) if i in result.receivers else 0.0
-            if w_i > w0[i] + tol:
+            if w_i > w0[i] + gain_floor:
                 return Deviation(
                     coalition=(i,),
                     reports={i: v},
@@ -163,6 +234,11 @@ def find_group_deviation(
     Per the paper's definition, a coalition deviation violates GSP when no
     member is worse off and at least one is strictly better off.  Joint
     misreports are sampled from each member's candidate grid.
+
+    ``tol`` follows the same relative contract as
+    :func:`find_unilateral_deviation`: "worse off" / "better off" are
+    judged against ``tol * max(1, |u_i|)`` per member, so float noise at
+    large utility scales is never reported as a coalition gain.
     """
     rng = as_rng(rng)
     baseline = mechanism.run(true_profile)
@@ -196,8 +272,9 @@ def find_group_deviation(
                     i: (true_profile[i] - result.share(i)) if i in result.receivers else 0.0
                     for i in coalition
                 }
-                if all(w1[i] >= w0[i] - tol for i in coalition) and any(
-                    w1[i] > w0[i] + tol for i in coalition
+                floor = {i: tol * max(1.0, abs(true_profile[i])) for i in coalition}
+                if all(w1[i] >= w0[i] - floor[i] for i in coalition) and any(
+                    w1[i] > w0[i] + floor[i] for i in coalition
                 ):
                     return Deviation(
                         coalition=coalition,

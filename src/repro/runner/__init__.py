@@ -21,12 +21,14 @@ replayable results.
 [--resume]`` drives this from the command line.
 """
 
+from repro.dynamic.spec import ChurnSpec
 from repro.runner.aggregate import mechanism_label, summarize_jsonl, summarize_rows
-from repro.runner.execute import make_profiles, run_item, run_sweep
+from repro.runner.execute import make_profiles, run_dynamic_item, run_item, run_sweep
 from repro.runner.sink import JSONLSink, read_rows
 from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
 
 __all__ = [
+    "ChurnSpec",
     "JSONLSink",
     "ProfileSpec",
     "SweepItem",
@@ -34,6 +36,7 @@ __all__ = [
     "make_profiles",
     "mechanism_label",
     "read_rows",
+    "run_dynamic_item",
     "run_item",
     "run_sweep",
     "summarize_jsonl",

@@ -1,9 +1,13 @@
 """Roll sweep sink files up into the ``analysis.tables`` summary shape.
 
-A sweep leaves behind JSONL rows, one per (scenario, mechanism) work
-item; these helpers fold them into per-group summary rows (plain dicts,
-ready for :func:`repro.analysis.tables.format_table`) — the bridge
-between the fleet-scale runner and the experiment-report tables.
+A sweep leaves behind JSONL rows — one per (scenario, mechanism) work
+item, or one per (item, epoch) for churn sweeps; these helpers fold them
+into per-group summary rows (plain dicts, ready for
+:func:`repro.analysis.tables.format_table`) — the bridge between the
+fleet-scale runner and the experiment-report tables.  Any row column can
+group, so ``by=("mechanism", "epoch")`` yields per-epoch trajectories
+across a whole churn grid (static rows have no ``epoch`` and group under
+``None``).
 """
 
 from __future__ import annotations

@@ -5,28 +5,44 @@ Work items sharing a scenario are grouped and dispatched together, so a
 worker builds one :class:`~repro.api.session.MulticastSession` (network,
 universal trees, metric closure, memoised xi caches) per scenario and
 prices every mechanism of the group on it — the same sharing the PR 2
-facade gives a single-process service, now fleet-wide.
+facade gives a single-process service, now fleet-wide.  A churn sweep
+(:attr:`SweepSpec.churn` set) pins one
+:class:`~repro.dynamic.session.DynamicSession` per scenario group
+instead and replays its epochs once for the whole group — every
+mechanism prices every epoch on the carried caches, and each work item
+emits one row per epoch keyed ``(item, epoch)``.
 
 Determinism is the contract: a row's content is a pure function of its
 work item (profiles come from seeds *derived* from the scenario's wire
 form, rows carry no timestamps), so ``run_sweep(spec, workers=4)``
 produces byte-identical JSONL payloads to the serial path, modulo line
 order.  Rows returned from :func:`run_sweep` are always in expansion
-order regardless of worker scheduling.
+order (epochs ascending within an item) regardless of worker scheduling.
+
+``audit=True`` additionally runs the paper's axiom checkers (NPT, VP,
+cost recovery + the empirical budget-balance factor — see
+:func:`repro.mechanism.properties.audit_profile_results`) on every row's
+already-computed results and embeds the report under ``row["audit"]``;
+violations are itemized per profile, so a sweep doubles as a
+paper-theorem regression net at fleet scale.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.api.registry import available_mechanisms
-from repro.api.serialize import result_to_dict
+from repro.api.registry import available_mechanisms, registered
+from repro.api.serialize import result_to_dict, summarize_results
 from repro.api.session import MulticastSession
 from repro.api.spec import ScenarioSpec
+from repro.dynamic.session import DynamicSession, epoch_payload
+from repro.dynamic.spec import DynamicScenarioSpec
 from repro.engine.batch import group_consecutive
+from repro.mechanism.properties import audit_profile_results
 from repro.runner.sink import JSONLSink
 from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
 
@@ -48,20 +64,7 @@ def make_profiles(network, source: int, scenario: ScenarioSpec,
             for _ in range(profile_spec.count)]
 
 
-def _bb_ratio(charged: float, cost: float) -> float | None:
-    """charged/cost, with the degenerate cases pinned: an empty/free
-    outcome is perfectly balanced (1.0), revenue over zero cost is
-    undefined (None — JSONL stays strict-parseable, no Infinity)."""
-    if cost > 1e-12:
-        return charged / cost
-    return 1.0 if abs(charged) < 1e-9 else None
-
-
-def _item_row(item: SweepItem, results: Sequence) -> dict:
-    charges = [r.total_charged() for r in results]
-    costs = [r.cost for r in results]
-    ratios = [_bb_ratio(charged, cost) for charged, cost in zip(charges, costs)]
-    defined = [r for r in ratios if r is not None]
+def _item_meta(item: SweepItem) -> dict:
     scenario = item.scenario
     return {
         "schema": ROW_SCHEMA,
@@ -70,49 +73,96 @@ def _item_row(item: SweepItem, results: Sequence) -> dict:
         "n": scenario.n_stations,
         "alpha": scenario.alpha,
         "seed": scenario.seed,
-        "mechanism": item.mechanism.to_dict(),
         "scenario": scenario.to_dict(),
-        "profiles": item.profiles.to_dict(),
-        "profile_seed": item.profiles.derive_seed(scenario),
-        "results": [result_to_dict(r) for r in results],
-        "summary": {
-            "profiles": len(results),
-            "mean_receivers": sum(len(r.receivers) for r in results) / len(results),
-            "mean_charged": sum(charges) / len(charges),
-            "mean_cost": sum(costs) / len(costs),
-            "mean_bb": sum(defined) / len(defined) if defined else None,
-            "worst_bb": max(defined) if defined else None,
-        },
     }
 
 
-def run_item(item: SweepItem) -> dict:
-    """Price one work item from scratch (its own session) — the reference
-    any grouped/parallel execution must reproduce exactly."""
-    return _run_scenario_group((item,))[0]
+def _item_row(item: SweepItem, results: Sequence, *,
+              session: MulticastSession | None = None,
+              profiles: Sequence | None = None,
+              audit: bool = False) -> dict:
+    row = {
+        **_item_meta(item),
+        "mechanism": item.mechanism.to_dict(),
+        "profiles": item.profiles.to_dict(),
+        "profile_seed": item.profiles.derive_seed(item.scenario),
+        "results": [result_to_dict(r) for r in results],
+        "summary": summarize_results(results),
+    }
+    if audit:
+        row["audit"] = audit_profile_results(
+            session.mechanism(item.mechanism), profiles, results,
+            axioms=registered(item.mechanism.name).guarantees)
+    return row
 
 
-def _run_scenario_group(group: tuple[SweepItem, ...]) -> list[dict]:
+def run_item(item: SweepItem, *, audit: bool = False) -> dict:
+    """Price one *static* work item from scratch (its own session) — the
+    reference any grouped/parallel execution must reproduce exactly.  For
+    churn items (one row per epoch) use :func:`run_dynamic_item`."""
+    if isinstance(item.scenario, DynamicScenarioSpec):
+        raise ValueError(
+            f"{item.item_id!r} is a churn item (one row per epoch); "
+            "use run_dynamic_item to replay it")
+    return _run_scenario_group((item,), audit=audit)[0]
+
+
+def run_dynamic_item(item: SweepItem, *, audit: bool = False) -> list[dict]:
+    """Replay one churn work item from scratch: its rows in epoch order,
+    byte-identical to what any sweep schedule produces for the item."""
+    if not isinstance(item.scenario, DynamicScenarioSpec):
+        raise ValueError(f"{item.item_id!r} is a static item; use run_item")
+    return _run_scenario_group((item,), audit=audit)
+
+
+def _run_scenario_group(group: tuple[SweepItem, ...], audit: bool = False) -> list[dict]:
     """Price every item of one scenario on a shared session."""
+    if isinstance(group[0].scenario, DynamicScenarioSpec):
+        return _run_dynamic_group(group, audit)
     session = MulticastSession(group[0].scenario)
     profiles = make_profiles(session.network, session.source,
                              group[0].scenario, group[0].profiles)
     rows = []
     for item in group:
         results = session.run_batch(item.mechanism, profiles)
-        rows.append(_item_row(item, results))
+        rows.append(_item_row(item, results, session=session,
+                              profiles=profiles, audit=audit))
     return rows
 
 
-def _row_matches(row: dict, item: SweepItem) -> bool:
+def _run_dynamic_group(group: tuple[SweepItem, ...], audit: bool) -> list[dict]:
+    """Replay one churning scenario for every mechanism of the group.
+
+    Epochs advance in the outer loop so the shared
+    :class:`DynamicSession` carries its artifacts across each boundary
+    exactly once, whatever the group size; rows come back item-major
+    after the final sort in :func:`run_sweep`.
+    """
+    dyn = DynamicSession(group[0].scenario)
+    rows = []
+    for epoch in range(dyn.n_epochs):
+        # Items of a group share one ProfileSpec (SweepSpec carries a
+        # single profile recipe), so the epoch's profiles are drawn once.
+        profiles = dyn.epoch_profiles(epoch, group[0].profiles)
+        for item in group:
+            payload = epoch_payload(dyn, epoch, item.mechanism, item.profiles,
+                                    profiles=profiles, audit=audit)
+            rows.append({**_item_meta(item), **payload})
+    return rows
+
+
+def _row_matches(row: dict, item: SweepItem, audit: bool) -> bool:
     """A stored row is reusable only when it was produced by this exact
-    work item.  Item ids embed the *varying* axes but not the spec's
-    shared scalars (side/dim/source/tree) or the profile recipe, so a
-    sink left behind by a different spec could collide on id alone —
-    compare the full embedded wire state instead."""
+    work item under the same audit setting.  Item ids embed the *varying*
+    axes but not the spec's shared scalars (side/dim/source/tree), the
+    profile recipe, or the churn model, so a sink left behind by a
+    different spec — e.g. the same grid with a different churn seed —
+    could collide on id alone; compare the full embedded wire state
+    instead."""
     return (row.get("scenario") == item.scenario.to_dict()
             and row.get("mechanism") == item.mechanism.to_dict()
-            and row.get("profiles") == item.profiles.to_dict())
+            and row.get("profiles") == item.profiles.to_dict()
+            and ("audit" in row) == audit)
 
 
 def _check_mechanisms(spec: SweepSpec) -> None:
@@ -129,6 +179,7 @@ def run_sweep(
     workers: int = 1,
     out: str | None = None,
     resume: bool = False,
+    audit: bool = False,
     progress: Callable[[dict], None] | None = None,
 ) -> list[dict]:
     """Run the whole grid and return its rows in expansion order.
@@ -138,30 +189,56 @@ def run_sweep(
     byte-identical to ``workers=1``.  With ``out`` every row is appended
     to a JSONL sink as it completes; ``resume=True`` additionally skips
     items already present in the sink (after truncating any partial tail
-    line) and folds their stored rows into the returned list.
+    line) and folds their stored rows into the returned list.  ``audit``
+    embeds the per-row axiom audit (and makes rows from audit-less sweeps
+    non-reusable on resume, since their bytes differ).
+
+    Churn sweeps emit one row per ``(item, epoch)``.  Resume is
+    all-or-nothing per item: an item whose epoch block is complete and
+    matching is reused wholesale; a partial block (e.g. a sweep killed
+    mid-item, or a truncated tail epoch) is purged from the sink and the
+    item replays from epoch 0 — incremental replay needs the carried
+    state anyway, and rows are pure functions of the item, so the rerun
+    reproduces the purged rows byte-for-byte.
 
     ``progress`` (if given) is called with each freshly-computed row, in
     completion order.
     """
     _check_mechanisms(spec)
     items = spec.expand()
+    epochs = spec.churn.epochs if spec.churn is not None else None
     order = {item.item_id: idx for idx, item in enumerate(items)}
     by_id = {item.item_id: item for item in items}
 
+    def item_keys(item: SweepItem) -> list[tuple]:
+        if epochs is None:
+            return [(item.item_id, None)]
+        return [(item.item_id, epoch) for epoch in range(epochs)]
+
     sink = JSONLSink(out) if out is not None else None
-    completed: dict[str, dict] = {}
+    completed: dict[tuple, dict] = {}
     try:
         if sink is not None:
             stored = sink.start(resume=resume)
+            kept: dict[tuple, dict] = {}
             for row in stored:
                 item = by_id.get(row.get("item"))
-                if item is not None and _row_matches(row, item):
-                    completed[item.item_id] = row
+                if item is None or not _row_matches(row, item, audit):
+                    continue
+                key = (row["item"], row.get("epoch"))
+                if key not in kept:
+                    kept[key] = row
+            for item in items:
+                keys = item_keys(item)
+                if all(key in kept for key in keys):
+                    for key in keys:
+                        completed[key] = kept[key]
             if len(completed) != len(stored):
-                # Stale/foreign rows (another spec's sink, or a reused
-                # path) must not survive into the final file.
+                # Stale/foreign/partial-epoch rows (another spec's sink, a
+                # changed churn seed, or a mid-item crash) must not
+                # survive into the final file.
                 sink.rewrite(list(completed.values()))
-        todo = [item for item in items if item.item_id not in completed]
+        todo = [item for item in items if item_keys(item)[0] not in completed]
         groups = group_consecutive(todo, key=lambda item: item.scenario)
 
         fresh: list[dict] = []
@@ -174,18 +251,19 @@ def run_sweep(
                 if progress is not None:
                     progress(row)
 
+        run_group = functools.partial(_run_scenario_group, audit=audit)
         n_workers = max(1, min(int(workers), len(groups)))
         if n_workers <= 1:
             for group in groups:
-                collect(_run_scenario_group(group))
+                collect(run_group(group))
         else:
             with multiprocessing.Pool(n_workers) as pool:
-                for rows in pool.imap_unordered(_run_scenario_group, groups):
+                for rows in pool.imap_unordered(run_group, groups):
                     collect(rows)
     finally:
         if sink is not None:
             sink.close()
 
     merged = list(completed.values()) + fresh
-    merged.sort(key=lambda row: order[row["item"]])
+    merged.sort(key=lambda row: (order[row["item"]], row.get("epoch") or 0))
     return merged

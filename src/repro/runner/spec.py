@@ -24,7 +24,8 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 
-from repro.api.spec import MechanismSpec, ScenarioSpec
+from repro.api.spec import MechanismSpec, ScenarioSpec, seed_from_text
+from repro.dynamic.spec import ChurnSpec, DynamicScenarioSpec
 from repro.geometry.layouts import LAYOUT_FAMILIES
 
 PROFILE_GENERATORS = ("uniform", "constant")
@@ -72,10 +73,8 @@ class ProfileSpec:
         """The profile rng seed for ``scenario`` — a pure function of the
         scenario's wire form and this spec's base seed (never of execution
         order or worker id), shared by every mechanism on the scenario."""
-        digest = hashlib.sha256(
-            f"{scenario.to_json()}|profiles:{self.generator}:{self.seed}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "big")
+        return seed_from_text(
+            f"{scenario.to_json()}|profiles:{self.generator}:{self.seed}")
 
     def to_dict(self) -> dict:
         return {"generator": self.generator, "count": self.count,
@@ -128,6 +127,11 @@ class SweepSpec:
     order is deterministic: scenarios in axis order (layouts, then ns,
     then alphas, then seeds), mechanisms innermost — so items sharing a
     scenario are adjacent and an executor can pin them to one session.
+
+    ``churn`` (optional) adds the temporal axis: every scenario becomes a
+    :class:`~repro.dynamic.spec.DynamicScenarioSpec` replayed over the
+    churn model's epochs, and each work item produces one JSONL row per
+    epoch (``(item, epoch)`` resume keys) instead of a single row.
     """
 
     ns: tuple
@@ -140,6 +144,7 @@ class SweepSpec:
     side: float = 10.0
     source: int = 0
     tree: str = "spt"
+    churn: ChurnSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ns", _as_tuple(self.ns, int, "ns"))
@@ -166,6 +171,8 @@ class SweepSpec:
         object.__setattr__(self, "dim", int(self.dim))
         object.__setattr__(self, "side", float(self.side))
         object.__setattr__(self, "source", int(self.source))
+        if self.churn is not None and not isinstance(self.churn, ChurnSpec):
+            object.__setattr__(self, "churn", ChurnSpec.from_dict(self.churn))
         # Validate the scalar axes early with probe scenarios — n/alpha/dim/
         # side/source/tree errors surface at spec build, not mid-sweep.
         for alpha in self.alphas:
@@ -173,6 +180,12 @@ class SweepSpec:
 
     # -- expansion ----------------------------------------------------------
     def _scenario(self, layout: str, n: int, alpha: float, seed: int) -> ScenarioSpec:
+        if self.churn is not None:
+            return DynamicScenarioSpec(
+                kind="random", n=n, dim=self.dim, alpha=alpha, seed=seed,
+                side=self.side, source=self.source, tree=self.tree,
+                layout=layout, churn=self.churn,
+            )
         return ScenarioSpec.from_random(
             n=n, dim=self.dim, alpha=alpha, seed=seed, side=self.side,
             source=self.source, tree=self.tree, layout=layout,
@@ -218,9 +231,17 @@ class SweepSpec:
         return (len(self.layouts) * len(self.ns) * len(self.alphas)
                 * len(self.seeds) * len(self.mechanisms))
 
+    def n_epochs(self) -> int:
+        """Epochs per work item (1 for static sweeps)."""
+        return self.churn.epochs if self.churn is not None else 1
+
+    def n_rows(self) -> int:
+        """Total JSONL rows the sweep produces (items x epochs)."""
+        return self.n_items() * self.n_epochs()
+
     # -- wire format --------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "ns": list(self.ns),
             "alphas": list(self.alphas),
             "seeds": list(self.seeds),
@@ -232,6 +253,10 @@ class SweepSpec:
             "source": self.source,
             "tree": self.tree,
         }
+        # Omitted when unset, so pre-churn specs keep their exact wire form.
+        if self.churn is not None:
+            out["churn"] = self.churn.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepSpec":

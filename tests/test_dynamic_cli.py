@@ -1,0 +1,127 @@
+"""Tests for the ``python -m repro dynamic`` subcommand and the sweep
+CLI's churn + audit flags."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.dynamic import ChurnSpec, DynamicScenarioSpec
+from repro.runner import ChurnSpec as RunnerChurnSpec
+from repro.runner import ProfileSpec, SweepSpec
+
+
+def dyn_args(*extra):
+    return ["dynamic", "--n", "8", "--epochs", "3", "--seed", "1",
+            "--join-rate", "0.3", "--leave-rate", "0.2",
+            "--move-rate", "0.2", *extra]
+
+
+class TestDynamicSubcommand:
+    def test_prints_per_epoch_trajectory(self, capsys):
+        assert main(dyn_args()) == 0
+        printed = capsys.readouterr().out
+        assert "epoch" in printed and "active" in printed and "carried" in printed
+        assert "tree-shapley under churn" in printed
+
+    def test_check_asserts_incremental_equals_cold(self, capsys):
+        assert main(dyn_args("--check")) == 0
+        assert "check: incremental == cold over 3 epochs" in capsys.readouterr().out
+
+    def test_audit_reports_zero_violations(self, capsys):
+        assert main(dyn_args("--audit")) == 0
+        assert "0 axiom violations" in capsys.readouterr().out
+
+    def test_json_payload_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "dyn.json"
+        assert main(dyn_args("--json", "--out", str(out))) == 0
+        payload = json.loads(out.read_text())
+        assert payload == json.loads(capsys.readouterr().out)
+        spec = DynamicScenarioSpec.from_dict(payload["scenario"])
+        assert spec.n_epochs == 3 and len(payload["rows"]) == 3
+        assert payload["reuse"]["sessions_built"] >= 1
+
+    def test_json_stdout_stays_parseable_with_check_and_audit(self, capsys):
+        # --check and --audit diagnostics must not corrupt the --json
+        # payload: stdout is reserved for the machine-readable output.
+        assert main(dyn_args("--json", "--check", "--audit")) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # the whole stream is one JSON document
+        assert "incremental == cold" in captured.err
+        assert "0 axiom violations" in captured.err
+
+    def test_spec_file_mode(self, tmp_path, capsys):
+        spec = DynamicScenarioSpec(
+            kind="random", n=7, alpha=2.0, seed=4, side=5.0,
+            churn=ChurnSpec(epochs=2, seed=3, leave_rate=0.4))
+        path = tmp_path / "dyn_spec.json"
+        path.write_text(spec.to_json())
+        assert main(["dynamic", "--spec", str(path), "--mechanism", "jv",
+                     "--check"]) == 0
+        assert "jv under churn (n=7, 2 epochs" in capsys.readouterr().out
+
+    def test_plain_static_spec_file_fabricates_no_churn(self, tmp_path, capsys):
+        # A static ScenarioSpec JSON (no churn block) replays as exactly
+        # one churn-free epoch — nothing is invented.
+        from repro.api import ScenarioSpec
+
+        path = tmp_path / "static.json"
+        path.write_text(ScenarioSpec.from_random(n=6, alpha=2.0, seed=1).to_json())
+        assert main(["dynamic", "--spec", str(path)]) == 0
+        printed = capsys.readouterr().out
+        assert "1 epochs" in printed and "epoch" in printed
+
+    def test_unknown_mechanism_exits_2(self, capsys):
+        assert main(dyn_args("--mechanism", "warp-drive")) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err and "available" in err
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert main(["dynamic", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_inline_rates_exit_2(self, capsys):
+        assert main(dyn_args("--join-rate", "1.5")) == 2
+        assert "join_rate" in capsys.readouterr().err
+
+
+class TestSweepChurnCLI:
+    def test_churn_sweep_prints_epoch_rows(self, tmp_path, capsys):
+        spec = SweepSpec(ns=(6,), alphas=(2.0,), seeds=(0,),
+                         layouts=("cluster",), mechanisms=("tree-shapley",),
+                         profiles=ProfileSpec(count=2), side=5.0,
+                         churn=RunnerChurnSpec(epochs=3, seed=2, leave_rate=0.3))
+        path = tmp_path / "sweep.json"
+        path.write_text(spec.to_json())
+        out = tmp_path / "rows.jsonl"
+        assert main(["sweep", "--spec", str(path), "--out", str(out),
+                     "--by", "mechanism,epoch"]) == 0
+        printed = capsys.readouterr().out
+        assert "x 3 epochs = 3 rows" in printed
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["epoch"] for row in rows] == [0, 1, 2]
+
+    def test_sweep_audit_flag_reports_clean(self, tmp_path, capsys):
+        spec = SweepSpec(ns=(6,), alphas=(2.0,), seeds=(0,),
+                         layouts=("cluster",),
+                         mechanisms=("tree-shapley", "tree-mc"),
+                         profiles=ProfileSpec(count=2), side=5.0)
+        path = tmp_path / "sweep.json"
+        path.write_text(spec.to_json())
+        assert main(["sweep", "--spec", str(path), "--audit"]) == 0
+        assert "0 axiom violations" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestDynamicSmoke:
+    """The CI smoke case: a 3-epoch toy spec where incremental must equal
+    cold through the public CLI (what the workflow step runs)."""
+
+    def test_ci_smoke_command(self, capsys):
+        assert main(["dynamic", "--n", "8", "--epochs", "3", "--seed", "1",
+                     "--join-rate", "0.3", "--leave-rate", "0.2",
+                     "--move-rate", "0.2", "--mechanism", "tree-shapley",
+                     "--check", "--audit"]) == 0
+        printed = capsys.readouterr().out
+        assert "incremental == cold" in printed
+        assert "0 axiom violations" in printed

@@ -1,0 +1,226 @@
+"""Tests for repro.dynamic.session — incremental replay bit-identical to
+cold recomputation, delta-driven invalidation, and reuse accounting."""
+
+import pytest
+
+from repro.api import MulticastSession, result_to_dict
+from repro.dynamic import (
+    ChurnSpec,
+    DynamicScenarioSpec,
+    DynamicSession,
+    make_epoch_profiles,
+    replay_dynamic,
+)
+from repro.runner import ProfileSpec
+
+MECHS = ("tree-shapley", "tree-mc", "jv", "wireless")
+
+
+def dyn_spec(**churn_overrides) -> DynamicScenarioSpec:
+    churn = dict(epochs=5, seed=1, join_rate=0.3, leave_rate=0.3,
+                 move_rate=0.2, move_scale=0.4)
+    churn.update(churn_overrides)
+    return DynamicScenarioSpec(kind="random", n=8, alpha=2.0, seed=3,
+                               side=5.0, layout="cluster",
+                               churn=ChurnSpec(**churn))
+
+
+class TestIncrementalEqualsCold:
+    @pytest.mark.parametrize("mechanism", MECHS)
+    def test_replay_rows_bit_identical(self, mechanism):
+        spec = dyn_spec()
+        inc = replay_dynamic(spec, mechanism)
+        cold = replay_dynamic(spec, mechanism, incremental=False)
+        assert inc == cold  # the full wire rows, not just the shares
+
+    def test_epoch_results_match_cold_session_from_materialized_spec(self):
+        spec = dyn_spec()
+        dyn = DynamicSession(spec)
+        profile_spec = ProfileSpec(count=2)
+        for epoch in range(spec.n_epochs):
+            profiles = dyn.epoch_profiles(epoch, profile_spec)
+            inc = dyn.run_epoch(epoch, "jv", profiles)
+            cold = MulticastSession(spec.materialize(epoch)).run_batch("jv", profiles)
+            assert ([result_to_dict(r) for r in inc]
+                    == [result_to_dict(r) for r in cold])
+
+    def test_audit_rows_identical_and_clean(self):
+        spec = dyn_spec()
+        inc = replay_dynamic(spec, "tree-shapley", audit=True)
+        cold = replay_dynamic(spec, "tree-shapley", incremental=False, audit=True)
+        assert inc == cold
+        assert all(row["audit"]["violations"] == [] for row in inc)
+        # Shapley on the universal tree is budget balanced: factor == 1.
+        assert all(row["audit"]["bb_factor_max"] in (None, pytest.approx(1.0))
+                   for row in inc)
+
+
+class TestInvalidation:
+    def test_pure_membership_churn_builds_one_session(self):
+        spec = dyn_spec(move_rate=0.0)
+        dyn = DynamicSession(spec)
+        replay_dynamic(dyn, "tree-shapley")
+        assert dyn.counters["sessions_built"] == 1
+        assert dyn.counters["sessions_carried"] == spec.n_epochs - 1
+        # Distinct artifacts, credited once each: one universal tree, and
+        # at least one xi entry survived an epoch boundary.
+        assert dyn.counters["trees_carried"] == 1
+        assert dyn.counters["xi_entries_carried"] > 0
+
+    def test_carried_counters_credit_distinct_artifacts_once(self):
+        # Zero churn: the session's caches never grow after epoch 0, so
+        # the carried totals must not scale with the horizon.
+        spec = dyn_spec(move_rate=0.0, join_rate=0.0, leave_rate=0.0, epochs=6)
+        dyn = DynamicSession(spec)
+        replay_dynamic(dyn, "tree-shapley",
+                       ProfileSpec(generator="constant", count=1))
+        session_entries = sum(
+            m["misses"] for m in dyn.reuse_info()["session"]["methods"].values())
+        assert dyn.counters["trees_carried"] == 1
+        assert dyn.counters["xi_entries_carried"] == session_entries
+
+    def test_moves_rebuild_exactly_the_changed_epochs(self):
+        spec = dyn_spec(move_rate=0.3, epochs=6)
+        states = spec.epoch_states()
+        moved = sum(1 for s in states[1:] if any(e.kind == "move" for e in s.events))
+        assert 0 < moved < len(states) - 1  # the seed gives a mixed history
+        dyn = DynamicSession(spec)
+        replay_dynamic(dyn, "tree-shapley")
+        assert dyn.counters["sessions_built"] == 1 + moved
+        assert dyn.counters["sessions_carried"] == len(states) - 1 - moved
+
+    def test_moved_epoch_prices_the_new_geometry(self):
+        spec = dyn_spec(move_rate=0.3, epochs=6, join_rate=0.0, leave_rate=0.0)
+        states = spec.epoch_states()
+        epoch = next(s.epoch for s in states[1:]
+                     if any(e.kind == "move" for e in s.events))
+        dyn = DynamicSession(spec)
+        before = dyn.session(epoch - 1).network.matrix.copy()
+        after = dyn.session(epoch).network.matrix
+        assert (before != after).any()
+
+    def test_cold_mode_builds_every_epoch(self):
+        spec = dyn_spec(move_rate=0.0)
+        dyn = DynamicSession(spec, incremental=False)
+        replay_dynamic(dyn, "tree-shapley")
+        assert dyn.counters["sessions_built"] == spec.n_epochs
+        assert dyn.counters["sessions_carried"] == 0
+        assert dyn.counters["results_reused"] == 0
+
+    def test_constant_workload_reuses_results_on_quiet_epochs(self):
+        spec = dyn_spec(move_rate=0.0, join_rate=0.0, leave_rate=0.0, epochs=4)
+        dyn = DynamicSession(spec)
+        rows = replay_dynamic(dyn, "tree-shapley",
+                              ProfileSpec(generator="constant", count=2))
+        # Identical profiles on an unchanged network: every run after the
+        # first is a memo hit (the constant generator repeats the profile
+        # within each epoch too, so 4 epochs x 2 profiles = 1 miss + 7 hits).
+        assert dyn.counters["results_reused"] == 4 * 2 - 1
+        assert all(row["summary"] == rows[0]["summary"] for row in rows)
+
+    def test_result_memo_is_bounded_to_two_epochs(self):
+        # Uniform profiles never repeat (epoch-seeded draws), so the memo
+        # must not accumulate the whole horizon — only the repeat window.
+        spec = dyn_spec(move_rate=0.0, epochs=5)
+        dyn = DynamicSession(spec)
+        replay_dynamic(dyn, "tree-shapley", ProfileSpec(count=3))
+        assert len(dyn._result_memo) <= 3
+        assert len(dyn._result_memo_prev) <= 3
+
+    def test_replay_mode_conflict_raises(self):
+        dyn = DynamicSession(dyn_spec())
+        with pytest.raises(ValueError, match="cold|incremental"):
+            replay_dynamic(dyn, "tree-shapley", incremental=False)
+        cold = DynamicSession(dyn_spec(), incremental=False)
+        with pytest.raises(ValueError, match="cold|incremental"):
+            replay_dynamic(cold, "tree-shapley", incremental=True)
+        # Omitting the flag defers to the session's own mode.
+        assert replay_dynamic(cold, "tree-shapley") == \
+            replay_dynamic(dyn_spec(), "tree-shapley")
+
+    def test_shared_session_multi_mechanism_counters_stay_honest(self):
+        # The documented pattern: one DynamicSession, several mechanisms.
+        # Replaying earlier epochs again must not re-credit carries or
+        # inflate epochs_replayed past the horizon.
+        spec = dyn_spec(move_rate=0.0, epochs=4)
+        dyn = DynamicSession(spec)
+        first = replay_dynamic(dyn, "tree-shapley")
+        second = replay_dynamic(dyn, "jv")
+        assert dyn.counters["epochs_replayed"] == 4
+        assert dyn.counters["sessions_built"] + \
+            dyn.counters["sessions_carried"] == 4
+        # Both replays remain bit-identical to their cold references.
+        assert first == replay_dynamic(spec, "tree-shapley", incremental=False)
+        assert second == replay_dynamic(spec, "jv", incremental=False)
+
+    def test_reuse_info_snapshot(self):
+        dyn = DynamicSession(dyn_spec(move_rate=0.0))
+        replay_dynamic(dyn, "tree-shapley")
+        info = dyn.reuse_info()
+        assert info["sessions_built"] == 1
+        assert info["session"]["network_built"] is True
+
+
+class TestEpochProfiles:
+    def test_inactive_agents_report_zero(self):
+        spec = dyn_spec(leave_rate=0.6, join_rate=0.0, move_rate=0.0)
+        dyn = DynamicSession(spec)
+        for epoch in range(spec.n_epochs):
+            active = set(spec.active_agents(epoch))
+            for profile in dyn.epoch_profiles(epoch, ProfileSpec(count=2)):
+                assert set(profile) == set(spec.agents())
+                assert all(v == 0.0 for a, v in profile.items() if a not in active)
+                if active:
+                    assert any(v > 0.0 for a, v in profile.items() if a in active)
+
+    def test_trajectory_stable_under_other_agents_churn(self):
+        # Zeroing is applied after the draws, so an agent's utility stream
+        # does not shift when somebody else leaves.
+        spec_all = dyn_spec(leave_rate=0.0, join_rate=0.0, move_rate=0.0)
+        spec_churn = dyn_spec(leave_rate=0.6, join_rate=0.0, move_rate=0.0)
+        a = DynamicSession(spec_all)
+        b = DynamicSession(spec_churn)
+        pspec = ProfileSpec(count=1)
+        for epoch in range(spec_all.n_epochs):
+            active = set(spec_churn.active_agents(epoch))
+            if spec_churn.state(epoch).points != spec_all.state(epoch).points:
+                continue  # geometry diverged; draws may differ
+            pa = a.epoch_profiles(epoch, pspec)[0]
+            pb = b.epoch_profiles(epoch, pspec)[0]
+            assert all(pb[i] == pa[i] for i in active)
+
+    def test_fresh_draws_each_epoch(self):
+        spec = dyn_spec(move_rate=0.0, join_rate=0.0, leave_rate=0.0, epochs=3)
+        dyn = DynamicSession(spec)
+        p0 = dyn.epoch_profiles(0, ProfileSpec(count=1))
+        p1 = dyn.epoch_profiles(1, ProfileSpec(count=1))
+        assert p0 != p1
+
+    def test_make_epoch_profiles_pure(self):
+        spec = dyn_spec()
+        session = MulticastSession(spec.materialize(2))
+        args = (session.network, session.source, spec.materialize(2),
+                spec.active_agents(2), 2, ProfileSpec(count=2))
+        assert make_epoch_profiles(*args) == make_epoch_profiles(*args)
+
+
+class TestSessionAPI:
+    def test_accepts_mapping_spec(self):
+        spec = dyn_spec()
+        dyn = DynamicSession(spec.to_dict())
+        assert dyn.spec == spec
+
+    def test_rejects_static_spec(self):
+        from repro.api import ScenarioSpec
+
+        with pytest.raises(TypeError, match="DynamicScenarioSpec"):
+            DynamicSession(ScenarioSpec.from_random(n=5, alpha=2.0, seed=0))
+
+    def test_repr_mentions_mode(self):
+        assert "incremental" in repr(DynamicSession(dyn_spec()))
+        assert "cold" in repr(DynamicSession(dyn_spec(), incremental=False))
+
+    def test_replay_accepts_profile_mapping(self):
+        rows = replay_dynamic(dyn_spec(), "tree-shapley",
+                              {"generator": "constant", "count": 1, "scale": 2.0})
+        assert len(rows) == dyn_spec().n_epochs

@@ -1,0 +1,229 @@
+"""Tests for repro.dynamic.spec — churn validation, deterministic epoch
+derivation, wire round-trips, and epoch materialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec
+from repro.dynamic import ChurnSpec, DynamicScenarioSpec
+
+
+def dyn_spec(**overrides) -> DynamicScenarioSpec:
+    churn = overrides.pop("churn", None) or ChurnSpec(
+        epochs=4, seed=1, join_rate=0.3, leave_rate=0.3,
+        move_rate=0.2, move_scale=0.4)
+    base = dict(kind="random", n=8, alpha=2.0, seed=3, side=5.0,
+                layout="cluster", churn=churn)
+    base.update(overrides)
+    return DynamicScenarioSpec(**base)
+
+
+class TestChurnSpec:
+    def test_defaults_round_trip(self):
+        churn = ChurnSpec()
+        assert ChurnSpec.from_dict(churn.to_dict()) == churn
+
+    @pytest.mark.parametrize("field,value", [
+        ("epochs", 0), ("join_rate", -0.1), ("join_rate", 1.5),
+        ("leave_rate", 2.0), ("move_rate", -1.0),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError, match=field.split("_")[0]):
+            ChurnSpec(**{field: value})
+
+    def test_move_scale_zero_allowed_only_without_moves(self):
+        # "move_scale: 0" is a natural way to spell "no mobility"; it is
+        # only an error when moves could actually fire.
+        assert ChurnSpec(move_rate=0.0, move_scale=0.0).move_scale == 0.0
+        with pytest.raises(ValueError, match="move_scale"):
+            ChurnSpec(move_rate=0.5, move_scale=0.0)
+
+    def test_rejects_stray_fields(self):
+        with pytest.raises(ValueError, match="teleport_rate"):
+            ChurnSpec.from_dict({"epochs": 2, "teleport_rate": 1.0})
+
+    def test_identity_excludes_epochs(self):
+        # The seed-derivation identity must not change with the horizon.
+        a = ChurnSpec(epochs=3, seed=5).identity()
+        b = ChurnSpec(epochs=9, seed=5).identity()
+        assert a == b
+        assert ChurnSpec(epochs=3, seed=6).identity() != a
+
+    def test_identity_ignores_move_scale_when_moves_disabled(self):
+        # move_scale is inert at move_rate=0: tweaking it must not
+        # rewrite the join/leave history (or invalidate a resume sink).
+        a = ChurnSpec(seed=5, join_rate=0.2, move_rate=0.0, move_scale=0.5)
+        b = ChurnSpec(seed=5, join_rate=0.2, move_rate=0.0, move_scale=2.0)
+        assert a.identity() == b.identity()
+        c = ChurnSpec(seed=5, join_rate=0.2, move_rate=0.1, move_scale=0.5)
+        d = ChurnSpec(seed=5, join_rate=0.2, move_rate=0.1, move_scale=2.0)
+        assert c.identity() != d.identity()
+
+
+class TestDynamicScenarioSpec:
+    def test_wire_round_trip(self):
+        spec = dyn_spec()
+        again = DynamicScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.epoch_states() == spec.epoch_states()
+
+    def test_churn_accepts_mapping(self):
+        spec = DynamicScenarioSpec(kind="random", n=6, alpha=2.0, seed=0,
+                                   churn={"epochs": 2, "seed": 9})
+        assert spec.churn == ChurnSpec(epochs=2, seed=9)
+
+    def test_default_churn_is_single_epoch_free(self):
+        spec = DynamicScenarioSpec(kind="random", n=6, alpha=2.0, seed=0)
+        assert spec.churn == ChurnSpec()
+
+    def test_not_equal_to_static_spec(self):
+        spec = dyn_spec()
+        assert spec != spec.base_scenario()
+
+    def test_base_scenario_drops_churn_only(self):
+        spec = dyn_spec()
+        base = spec.base_scenario()
+        assert isinstance(base, ScenarioSpec)
+        wire = spec.to_dict()
+        wire.pop("churn")
+        assert base.to_dict() == wire
+
+    def test_matrix_kind_rejects_moves(self):
+        matrix = [[0.0, 1.0], [1.0, 0.0]]
+        with pytest.raises(ValueError, match="move_rate"):
+            DynamicScenarioSpec(kind="matrix", matrix=matrix,
+                                churn=ChurnSpec(epochs=2, move_rate=0.5))
+        # Membership churn alone is fine on general networks.
+        spec = DynamicScenarioSpec(kind="matrix", matrix=matrix,
+                                   churn=ChurnSpec(epochs=3, leave_rate=1.0))
+        assert spec.materialize(2) == ScenarioSpec.from_matrix(matrix)
+
+    def test_unknown_churn_type_rejected(self):
+        with pytest.raises(ValueError, match="churn"):
+            DynamicScenarioSpec(kind="random", n=6, alpha=2.0, seed=0,
+                                churn="heavy")
+
+
+class TestEpochDerivation:
+    def test_epoch0_is_base_state(self):
+        spec = dyn_spec()
+        state = spec.state(0)
+        assert state.active == tuple(spec.agents())
+        assert state.events == ()
+        assert state.points is not None
+
+    def test_deterministic_across_instances(self):
+        assert dyn_spec().epoch_states() == dyn_spec().epoch_states()
+
+    def test_prefix_stable_when_horizon_grows(self):
+        short = dyn_spec(churn=ChurnSpec(epochs=3, seed=1, join_rate=0.3,
+                                         leave_rate=0.3, move_rate=0.2,
+                                         move_scale=0.4))
+        long = dyn_spec(churn=ChurnSpec(epochs=8, seed=1, join_rate=0.3,
+                                        leave_rate=0.3, move_rate=0.2,
+                                        move_scale=0.4))
+        assert long.epoch_states()[:3] == short.epoch_states()
+
+    def test_churn_seed_changes_history(self):
+        a = dyn_spec(churn=ChurnSpec(epochs=4, seed=1, leave_rate=0.5))
+        b = dyn_spec(churn=ChurnSpec(epochs=4, seed=2, leave_rate=0.5))
+        assert a.epoch_states() != b.epoch_states()
+
+    def test_zero_rates_freeze_the_session(self):
+        spec = dyn_spec(churn=ChurnSpec(epochs=5, seed=1, join_rate=0.0,
+                                        leave_rate=0.0, move_rate=0.0))
+        states = spec.epoch_states()
+        assert all(s.active == states[0].active for s in states)
+        assert all(s.points == states[0].points for s in states)
+        assert all(s.events == () for s in states)
+
+    def test_leave_rate_one_empties_then_join_rate_one_refills(self):
+        spec = dyn_spec(churn=ChurnSpec(epochs=3, seed=1, join_rate=1.0,
+                                        leave_rate=1.0))
+        states = spec.epoch_states()
+        assert states[1].active == ()          # everyone leaves at once
+        assert states[2].active == tuple(spec.agents())  # everyone rejoins
+
+    def test_events_respect_active_membership(self):
+        spec = dyn_spec()
+        for prev, state in zip(spec.epoch_states(), spec.epoch_states()[1:]):
+            prev_active = set(prev.active)
+            for event in state.events:
+                if event.kind == "join":
+                    assert event.agent not in prev_active
+                elif event.kind == "leave":
+                    assert event.agent in prev_active
+                assert event.agent != spec.source
+
+    def test_moves_update_points_and_only_points(self):
+        spec = dyn_spec(churn=ChurnSpec(epochs=6, seed=3, join_rate=0.0,
+                                        leave_rate=0.0, move_rate=0.5,
+                                        move_scale=0.7))
+        states = spec.epoch_states()
+        for prev, state in zip(states, states[1:]):
+            moved = {e.agent: e.position for e in state.events if e.kind == "move"}
+            for agent in range(spec.n_stations):
+                if agent in moved:
+                    assert state.points[agent] == moved[agent]
+                    assert state.points[agent] != prev.points[agent]
+                else:
+                    assert state.points[agent] == prev.points[agent]
+
+    def test_epoch_out_of_range(self):
+        with pytest.raises(ValueError, match="epoch"):
+            dyn_spec().state(99)
+
+
+class TestMaterialize:
+    def test_epoch0_network_bit_identical_to_base(self):
+        spec = dyn_spec()
+        cold = spec.materialize(0).build_network()
+        base = spec.base_scenario().build_network()
+        assert (cold.matrix == base.matrix).all()
+
+    def test_materialized_points_round_trip_exactly(self):
+        spec = dyn_spec()
+        for epoch in range(spec.n_epochs):
+            mat = spec.materialize(epoch)
+            again = ScenarioSpec.from_json(mat.to_json())
+            assert again == mat
+            assert (again.build_network().matrix == mat.build_network().matrix).all()
+
+    def test_points_kind_base_supported(self):
+        base = ScenarioSpec.from_random(n=6, alpha=2.0, seed=0).build_network()
+        spec = DynamicScenarioSpec(
+            kind="points", points=tuple(tuple(float(x) for x in row)
+                                        for row in base.points.coords),
+            alpha=2.0, churn=ChurnSpec(epochs=3, seed=4, move_rate=0.5))
+        assert spec.materialize(0).points == spec.points
+        assert spec.n_epochs == 3
+
+
+@st.composite
+def churny_specs(draw):
+    return DynamicScenarioSpec(
+        kind="random",
+        n=draw(st.integers(min_value=2, max_value=10)),
+        alpha=2.0,
+        seed=draw(st.integers(min_value=0, max_value=1000)),
+        side=5.0,
+        churn=ChurnSpec(
+            epochs=draw(st.integers(min_value=1, max_value=5)),
+            seed=draw(st.integers(min_value=0, max_value=1000)),
+            join_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+            leave_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+            move_rate=draw(st.floats(min_value=0.0, max_value=0.5)),
+        ),
+    )
+
+
+class TestWireProperty:
+    @given(churny_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_json_round_trip_preserves_history(self, spec):
+        again = DynamicScenarioSpec.from_dict(json.loads(spec.to_json()))
+        assert again == spec
+        assert again.epoch_states() == spec.epoch_states()

@@ -152,6 +152,66 @@ class TestMechanismEquivalence:
         assert sum(got.values()) == pytest.approx(jv.closure_mst_weight(R))
 
 
+class TestChurnEquivalence:
+    """ISSUE 4 differential oracles: incremental epoch replay vs cold
+    per-epoch recomputation, and dict vs dense backends under churn."""
+
+    @st.composite
+    def dynamic_specs(draw):
+        from repro.dynamic import ChurnSpec, DynamicScenarioSpec
+
+        return DynamicScenarioSpec(
+            kind="random",
+            n=draw(st.integers(min_value=3, max_value=9)),
+            alpha=2.0,
+            seed=draw(seeds),
+            side=5.0,
+            churn=ChurnSpec(
+                epochs=draw(st.integers(min_value=1, max_value=4)),
+                seed=draw(seeds),
+                join_rate=draw(st.floats(min_value=0.0, max_value=0.6)),
+                leave_rate=draw(st.floats(min_value=0.0, max_value=0.6)),
+                move_rate=draw(st.floats(min_value=0.0, max_value=0.5)),
+            ),
+        )
+
+    @given(dynamic_specs(), st.sampled_from(["tree-shapley", "tree-mc", "jv"]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_incremental_replay_matches_cold_session(self, spec, mechanism):
+        from repro.api import MulticastSession, result_to_dict
+        from repro.dynamic import DynamicSession
+        from repro.runner import ProfileSpec
+
+        dyn = DynamicSession(spec)
+        profile_spec = ProfileSpec(count=2)
+        for epoch in range(spec.n_epochs):
+            profiles = dyn.epoch_profiles(epoch, profile_spec)
+            incremental = dyn.run_epoch(epoch, mechanism, profiles)
+            cold = MulticastSession(spec.materialize(epoch)).run_batch(
+                mechanism, profiles)
+            assert ([result_to_dict(r) for r in incremental]
+                    == [result_to_dict(r) for r in cold])
+
+    @given(dynamic_specs())
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_dict_and_dense_backends_agree_under_churn(self, spec):
+        from repro.dynamic import DynamicSession
+        from repro.runner import ProfileSpec
+
+        dyn = DynamicSession(spec)
+        for epoch in range(spec.n_epochs):
+            network = spec.materialize(epoch).build_network()
+            t_dense = UniversalTree.from_shortest_paths(network, 0)
+            t_dict = UniversalTree.from_shortest_paths(network, 0, backend="dict")
+            assert t_dense.parents == t_dict.parents
+            for profile in dyn.epoch_profiles(epoch, ProfileSpec(count=2)):
+                res_dense = UniversalTreeShapleyMechanism(t_dense).run(profile)
+                res_dict = UniversalTreeShapleyMechanism(t_dict).run(profile)
+                assert res_dense.receivers == res_dict.receivers
+                assert res_dense.shares == res_dict.shares  # bit-identical
+                assert res_dense.cost == res_dict.cost
+
+
 def _reference_moat_shares(jv: JVSteinerShares, R: frozenset) -> dict:
     """The seed's dict-graph Kruskal-trace moat (kept here as the oracle).
 

@@ -158,6 +158,19 @@ class TestExpS1:
                 assert row["mean_bb"] == pytest.approx(1.0)
 
 
+class TestExpD1:
+    def test_churn_trajectories_verify_and_audit(self):
+        out = E.exp_d1_churn_trajectories(n=8, epochs=4, seed=0)
+        assert out["incremental_equals_cold"]
+        assert out["axiom_violations"] == 0
+        assert len(out["rows"]) == 4
+        assert out["sessions_built"] + out["sessions_carried"] == 4
+        for row in out["rows"]:
+            assert row["active"] <= 7  # never more than the agent pool
+            # tree-shapley is budget balanced on every epoch it serves.
+            assert row["bb_factor_max"] in (None, pytest.approx(1.0))
+
+
 class TestExpS2:
     def test_batched_pipeline_is_exact(self):
         out = E.exp_s2_batch_pipeline(n=10, n_profiles=8, seed=0)

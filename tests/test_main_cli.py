@@ -22,7 +22,7 @@ class TestCLI:
 
     def test_registry_covers_design_doc(self):
         expected = {"F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7",
-                    "E1", "E2", "E3", "E4", "S1", "S2", "A1", "A2", "A3", "A4"}
+                    "E1", "E2", "E3", "E4", "S1", "S2", "D1", "A1", "A2", "A3", "A4"}
         assert set(RUNNERS) == expected
 
     @pytest.mark.parametrize("key", ["E2", "A1"])

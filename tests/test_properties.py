@@ -116,6 +116,80 @@ class TestDeviationSearch:
         assert 0.0 in grid and all(v >= 0 for v in grid)
 
 
+class NoisyPostedPrice(CostSharingMechanism):
+    """A strategyproof posted-price rule whose shares carry deterministic
+    float noise proportional to the price scale — the summation-order
+    jitter a large-n mechanism legitimately exhibits.  The noise depends
+    on the *reported profile* (like accumulated rounding does), so an
+    absolute tolerance would misread it as a profitable deviation."""
+
+    def __init__(self, price, agents, noise=1e-9):
+        self.price = price
+        self.agents = list(agents)
+        self.noise = noise * max(1.0, price)
+
+    def run(self, profile):
+        u = self.validate_profile(profile)
+        R = frozenset(i for i in self.agents if u[i] >= self.price)
+        jitter = 1.0 if (sum(u.values()) * 1e6) % 2 < 1 else -1.0
+        return MechanismResult(
+            receivers=R,
+            shares={i: self.price + jitter * self.noise for i in R},
+            cost=self.price * len(R),
+        )
+
+
+class TestToleranceContract:
+    """The relative-tolerance contract: float noise at large utility
+    scales is never reported as a deviation, genuine gains still are."""
+
+    def test_float_noise_not_flagged_at_large_scale(self):
+        # Utilities ~1e6: noise of 1e-9 * scale = 1e-3 in absolute terms,
+        # far above the old absolute tol=1e-6 but far below the relative
+        # floor tol * max(1, |u_i|) = 1.0.
+        price = 1e6
+        agents = list(range(1, 31))
+        mech = NoisyPostedPrice(price, agents)
+        profile = {i: price * (1.0 + 0.001 * i) for i in agents}
+        assert find_unilateral_deviation(mech, profile) is None
+        assert find_group_deviation(mech, profile, max_coalition_size=2,
+                                    n_samples_per_coalition=10, rng=0) is None
+
+    def test_real_gains_still_found_at_large_scale(self):
+        # First-price manipulation gains scale with the utilities, so the
+        # relative floor must not hide them.
+        agents = (1, 2)
+        mech = FirstPrice(agents)
+        profile = {1: 4e6, 2: 3e6}
+        deviation = find_unilateral_deviation(mech, profile)
+        assert deviation is not None
+        assert deviation.gain > 1.0
+
+    def test_small_scale_behaviour_unchanged(self):
+        assert find_unilateral_deviation(FixedPrice(), {1: 3.0, 2: 1.0, 3: 2.5}) is None
+        assert find_unilateral_deviation(FirstPrice(), {1: 4.0, 2: 3.0}) is not None
+
+    def test_misreport_grid_dedupes_relatively(self):
+        # At truth 1e12, 0.99 * truth is a genuine probe but truth + 1e-3
+        # (an "others' utility" perturbation of the truth itself) is the
+        # truth re-rounded at float precision; it must not survive.
+        grid = candidate_misreports(1e12, {1: 1e12, 2: 1e12 + 1e-3})
+        assert all(abs(v - 1e12) > 1e-12 * 1e12 or v < 1e12 * 0.5 for v in grid)
+        assert any(v == pytest.approx(0.99e12) for v in grid)
+
+    def test_audit_accepts_precomputed_result(self):
+        mech = FixedPrice()
+        profile = {1: 3.0, 2: 1.0, 3: 2.5}
+        result = mech.run(profile)
+
+        class Exploding(FixedPrice):
+            def run(self, profile):  # pragma: no cover - must not be called
+                raise AssertionError("audit re-ran the mechanism")
+
+        report = audit_basic_axioms(Exploding(), profile, result=result)
+        assert report["npt"] and report["vp"] and report["cost_recovery"]
+
+
 class TestEfficiencyGap:
     def test_zero_for_optimal(self):
         result = MechanismResult(receivers=frozenset({1}), shares={1: 1.0}, cost=1.0)

@@ -1,5 +1,6 @@
 """Tests for repro.runner.execute + sink — deterministic seeding, the
-serial==parallel equivalence, and crash-safe resume."""
+serial==parallel equivalence, crash-safe resume, and the churn axis
+(per-epoch rows with all-or-nothing item resume)."""
 
 import json
 
@@ -7,11 +8,13 @@ import pytest
 
 from repro.api import MulticastSession
 from repro.runner import (
+    ChurnSpec,
     JSONLSink,
     ProfileSpec,
     SweepSpec,
     make_profiles,
     read_rows,
+    run_dynamic_item,
     run_item,
     run_sweep,
     summarize_rows,
@@ -25,6 +28,14 @@ def small_spec(**overrides) -> SweepSpec:
                 profiles=ProfileSpec(count=2), side=5.0)
     base.update(overrides)
     return SweepSpec(**base)
+
+
+def churn_spec(**churn_overrides) -> SweepSpec:
+    churn = dict(epochs=3, seed=7, join_rate=0.3, leave_rate=0.3,
+                 move_rate=0.15, move_scale=0.3)
+    churn.update(churn_overrides)
+    return small_spec(seeds=(0,), layouts=("uniform", "ring"),
+                      churn=ChurnSpec(**churn))
 
 
 def payload_lines(path) -> list[str]:
@@ -189,6 +200,148 @@ class TestResume:
                             progress=lambda row: reran.append(row["item"]))
         assert reran == [full[2]["item"]]
         assert resumed == full
+
+
+class TestChurnSweep:
+    def test_one_row_per_item_epoch_in_expansion_order(self):
+        spec = churn_spec()
+        rows = run_sweep(spec)
+        assert len(rows) == spec.n_rows() == 12
+        expected = [(item.item_id, epoch) for item in spec.expand()
+                    for epoch in range(3)]
+        assert [(r["item"], r["epoch"]) for r in rows] == expected
+
+    def test_serial_vs_parallel_byte_identical(self, tmp_path):
+        spec = churn_spec()
+        serial = run_sweep(spec, workers=1, out=tmp_path / "serial.jsonl")
+        parallel = run_sweep(spec, workers=3, out=tmp_path / "parallel.jsonl")
+        assert serial == parallel
+        assert payload_lines(tmp_path / "serial.jsonl") == \
+            payload_lines(tmp_path / "parallel.jsonl")
+
+    def test_run_dynamic_item_replays_any_epoch_block(self):
+        spec = churn_spec()
+        rows = run_sweep(spec)
+        for item in spec.expand():
+            block = [r for r in rows if r["item"] == item.item_id]
+            assert run_dynamic_item(item) == block
+
+    def test_run_item_and_run_dynamic_item_reject_wrong_kinds(self):
+        with pytest.raises(ValueError, match="run_dynamic_item"):
+            run_item(churn_spec().expand()[0])
+        with pytest.raises(ValueError, match="run_item"):
+            run_dynamic_item(small_spec().expand()[0])
+
+    def test_rows_reflect_churn_events(self):
+        spec = churn_spec()
+        rows = run_sweep(spec)
+        scenario = spec.expand()[0].scenario
+        for row in rows[:3]:
+            state = scenario.state(row["epoch"])
+            assert row["active"] == list(state.active)
+            assert row["event_counts"] == state.event_counts()
+            assert row["scenario"]["churn"] == spec.churn.to_dict()
+
+    def test_audit_flags_embed_clean_reports(self):
+        rows = run_sweep(churn_spec(), audit=True)
+        assert all(row["audit"]["violations"] == [] for row in rows)
+        assert all(row["audit"]["profiles"] == 2 for row in rows)
+
+
+class TestChurnResume:
+    def test_truncation_mid_epoch_block_reruns_whole_items(self, tmp_path):
+        spec = churn_spec()
+        sink = tmp_path / "rows.jsonl"
+        full = run_sweep(spec, out=sink)
+        reference = payload_lines(sink)
+
+        # Cut the sink mid-way through an item's epoch block (plus a
+        # partial tail line): the wounded items replay from epoch 0.
+        lines = sink.read_text().splitlines(keepends=True)
+        sink.write_text("".join(lines[:5]) + lines[5][:30])
+
+        reran = []
+        resumed = run_sweep(spec, out=sink, resume=True,
+                            progress=lambda row: reran.append((row["item"], row["epoch"])))
+        assert resumed == full
+        assert payload_lines(sink) == reference
+        # Every item with a missing epoch reran completely (all-or-nothing).
+        for item in spec.expand():
+            block = [(item.item_id, e) for e in range(3)]
+            if all(json.dumps(row, sort_keys=True) + "\n" in lines[:5]
+                   for row in full if (row["item"], row["epoch"]) in block):
+                continue
+            assert set(block) <= set(reran), f"{item.item_id} should have reran"
+
+    def test_complete_sink_runs_nothing(self, tmp_path):
+        spec = churn_spec()
+        sink = tmp_path / "rows.jsonl"
+        full = run_sweep(spec, out=sink)
+        reran = []
+        resumed = run_sweep(spec, out=sink, resume=True,
+                            progress=lambda row: reran.append(row))
+        assert resumed == full and reran == []
+
+    def test_churn_seed_change_purges_every_row(self, tmp_path):
+        sink = tmp_path / "rows.jsonl"
+        run_sweep(churn_spec(seed=7), out=sink)
+        spec = churn_spec(seed=8)  # identical item ids, different history
+        reran = []
+        rows = run_sweep(spec, out=sink, resume=True,
+                         progress=lambda row: reran.append(row["item"]))
+        assert len(reran) == spec.n_rows()  # nothing was reused
+        assert rows == run_sweep(spec)
+        assert payload_lines(sink) == sorted(
+            json.dumps(row, sort_keys=True) for row in rows)
+
+    def test_interleaved_static_and_epoch_rows(self, tmp_path):
+        # A sink holding both a static sweep's rows and a churn sweep's
+        # rows: each spec resumes against its own rows and purges the
+        # foreign ones.
+        static = small_spec(seeds=(0,), layouts=("uniform",))
+        churny = churn_spec()
+        sink = tmp_path / "rows.jsonl"
+        static_rows = run_sweep(static, out=sink)
+        churn_rows = run_sweep(churny)
+        interleaved = []
+        for idx in range(max(len(static_rows), len(churn_rows))):
+            for rows in (static_rows, churn_rows):
+                if idx < len(rows):
+                    interleaved.append(rows[idx])
+        sink.write_text("".join(json.dumps(row, sort_keys=True) + "\n"
+                                for row in interleaved))
+
+        reran = []
+        resumed = run_sweep(churny, out=sink, resume=True,
+                            progress=lambda row: reran.append(row["item"]))
+        assert resumed == churn_rows and reran == []
+        # The static rows are purged: they belong to another spec's sweep.
+        kept = read_rows(sink)
+        assert all("epoch" in row for row in kept)
+        assert len(kept) == len(churn_rows)
+
+    def test_audit_mismatch_is_not_reusable(self, tmp_path):
+        spec = churn_spec()
+        sink = tmp_path / "rows.jsonl"
+        run_sweep(spec, out=sink)  # audit-less rows
+        reran = []
+        audited = run_sweep(spec, out=sink, resume=True, audit=True,
+                            progress=lambda row: reran.append(row["item"]))
+        assert len(reran) == spec.n_rows()
+        assert all("audit" in row for row in audited)
+
+    def test_epoch_rows_with_garbled_epoch_field_rerun(self, tmp_path):
+        spec = churn_spec()
+        sink = tmp_path / "rows.jsonl"
+        full = run_sweep(spec, out=sink)
+        rows = [json.loads(line) for line in sink.read_text().splitlines()]
+        rows[0]["epoch"] = 99  # out-of-range epoch: the block is incomplete
+        sink.write_text("".join(json.dumps(row, sort_keys=True) + "\n"
+                                for row in rows))
+        resumed = run_sweep(spec, out=sink, resume=True)
+        assert resumed == full
+        assert payload_lines(sink) == sorted(
+            json.dumps(row, sort_keys=True) for row in full)
 
 
 class TestSink:
