@@ -24,6 +24,11 @@ Layering (each layer only depends on the ones above it):
 * :mod:`repro.runner` — declarative sweep grids over scenario layout
   families x mechanisms (x churn epochs), the process-parallel executor,
   and the resumable JSONL result store (the fleet entry path);
+* :mod:`repro.service` — the concurrent serving layer: a bounded LRU
+  session store with single-flight request coalescing, a micro-batcher
+  executing in-flight requests per scenario on shared caches, and the
+  asyncio HTTP/JSON endpoint with explicit 429 backpressure (the
+  online entry path — ``python -m repro serve`` / ``loadgen``);
 * :mod:`repro.analysis` — instances, experiments, tables.
 
 The most common entry points are re-exported here; run
@@ -66,14 +71,22 @@ from repro.engine import CSRGraph, DenseGraph
 from repro.geometry import LAYOUT_FAMILIES, PointSet, layout_points, uniform_points
 from repro.mechanism import MechanismResult
 from repro.runner import ProfileSpec, SweepSpec, run_sweep
+from repro.service import (
+    CostSharingService,
+    MicroBatcher,
+    ServiceClient,
+    ServiceServer,
+    SessionStore,
+)
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CSRGraph",
     "ChurnSpec",
     "CostGraph",
+    "CostSharingService",
     "DenseGraph",
     "DynamicScenarioSpec",
     "DynamicSession",
@@ -84,12 +97,16 @@ __all__ = [
     "LAYOUT_FAMILIES",
     "MechanismResult",
     "MechanismSpec",
+    "MicroBatcher",
     "MulticastSession",
     "NWSTMechanism",
     "PointSet",
     "PowerAssignment",
     "ProfileSpec",
     "ScenarioSpec",
+    "ServiceClient",
+    "ServiceServer",
+    "SessionStore",
     "SweepSpec",
     "UniversalTree",
     "UniversalTreeMCMechanism",

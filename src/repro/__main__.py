@@ -31,6 +31,15 @@ Three modes:
   fails unless the rows are bit-identical::
 
       python -m repro dynamic --n 12 --epochs 4 --mechanism jv --check
+
+* **Serving** (``serve`` / ``loadgen``): runs the asyncio HTTP/JSON
+  endpoint of :mod:`repro.service` (LRU session store, request
+  coalescing, micro-batched execution, 429 backpressure), and drives it
+  with a deterministic closed-loop load generator reporting p50/p95
+  latency and throughput::
+
+      python -m repro serve --port 8123 --cache-size 64 --batch-window 0.005
+      python -m repro loadgen --port 8123 --requests 100 --concurrency 8
 """
 
 from __future__ import annotations
@@ -367,6 +376,128 @@ def dynamic_command(argv: list[str]) -> int:
     return 0
 
 
+def serve_command(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the HTTP/JSON cost-sharing service."""
+    import asyncio
+
+    from repro.service import CostSharingService, run_server
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve cost-sharing requests over HTTP/JSON "
+                    "(POST /v1/run, /v1/batch; GET /v1/healthz, /v1/stats).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123,
+                        help="listen port (0 = ephemeral, printed on startup)")
+    parser.add_argument("--cache-size", type=int, default=64,
+                        help="LRU session store capacity (scenarios kept warm; "
+                             "0 disables retention)")
+    parser.add_argument("--batch-window", type=float, default=0.005,
+                        help="micro-batch collection window in seconds "
+                             "(0 = flush every request immediately)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="flush early once this many requests are pending")
+    parser.add_argument("--queue-limit", type=int, default=128,
+                        help="admitted in-flight requests beyond which new "
+                             "ones are answered 429 + Retry-After")
+    args = parser.parse_args(argv)
+
+    try:
+        service = CostSharingService(
+            cache_size=args.cache_size, batch_window=args.batch_window,
+            max_batch=args.max_batch, queue_limit=args.queue_limit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(server) -> None:
+        # Machine-readable: loadgen/CI scrape the port from this line.
+        print(f"serving on http://{args.host}:{server.port}", flush=True)
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def loadgen_command(argv: list[str]) -> int:
+    """The ``loadgen`` subcommand: deterministic closed-loop load over a
+    running service; reports latency percentiles and throughput."""
+    from repro.service.loadgen import run_loadgen
+
+    from repro.api import available_mechanisms
+    from repro.geometry.layouts import LAYOUT_FAMILIES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description="Closed-loop load generator for `python -m repro serve`.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="port of the running service")
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="closed-loop workers (each sends its next "
+                             "request as soon as the previous one answers)")
+    parser.add_argument("--n", type=int, default=20, help="stations per scenario")
+    parser.add_argument("--alpha", type=float, default=2.0)
+    parser.add_argument("--side", type=float, default=10.0)
+    parser.add_argument("--seeds", default="0",
+                        help="comma-separated layout seeds (default: 0)")
+    parser.add_argument("--layouts", default="uniform",
+                        help="comma-separated layout families, from: "
+                             f"{', '.join(LAYOUT_FAMILIES)}")
+    parser.add_argument("--mechanisms", default="tree-shapley,jv",
+                        help="comma-separated registry names "
+                             f"(available: {', '.join(available_mechanisms())})")
+    parser.add_argument("--profile-count", type=int, default=2,
+                        help="utility profiles per request")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--expect-engaged", action="store_true",
+                        help="fail unless /v1/stats shows the warm paths "
+                             "engaged (cache hits or coalescing, and at "
+                             "least one multi-request batch)")
+    args = parser.parse_args(argv)
+
+    mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
+    unknown = sorted(set(mechanisms) - set(available_mechanisms()))
+    if unknown:
+        print(f"unknown mechanisms {unknown}; "
+              f"available: {list(available_mechanisms())}", file=sys.stderr)
+        return 2
+    layouts = [l.strip() for l in args.layouts.split(",") if l.strip()]
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError as exc:
+        print(f"error: --seeds must be comma-separated integers: {exc}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        report = run_loadgen(
+            host=args.host, port=args.port, requests=args.requests,
+            concurrency=args.concurrency, n=args.n, alpha=args.alpha,
+            side=args.side, seeds=seeds, layouts=layouts,
+            mechanisms=mechanisms, profile_count=args.profile_count,
+            timeout=args.timeout)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for line in report.lines():
+        print(line)
+    failures = report.check(expect_engaged=args.expect_engaged)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "run":
         return run_command(argv[1:])
@@ -374,6 +505,10 @@ def main(argv: list[str]) -> int:
         return sweep_command(argv[1:])
     if argv and argv[0] == "dynamic":
         return dynamic_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_command(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return loadgen_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)
     unknown = [w for w in wanted if w not in RUNNERS]
     if unknown:

@@ -23,6 +23,7 @@ and asserted every run by EXP-S2).
 from __future__ import annotations
 
 import inspect
+import threading
 from collections.abc import Iterable, Mapping
 
 from repro.api.spec import MechanismSpec, ScenarioSpec
@@ -39,6 +40,18 @@ class MulticastSession:
     (an already-built :class:`CostGraph`), or a plain dict/JSON-shaped
     mapping.  ``run``/``run_batch`` address mechanisms by registry name
     or :class:`MechanismSpec`.
+
+    Safe under concurrent access: every lazy build (network, universal
+    trees, metric closure, mechanism instances, method caches) is guarded
+    by one reentrant lock, so racing threads observe exactly one fully
+    built artifact per key; the mechanism runs themselves execute outside
+    the lock against read-only scenario state (the memoised ``xi`` caches
+    carry their own lock — see :class:`~repro.engine.batch.MethodCache`).
+    The service layer's request coalescing (``repro.service.state``)
+    additionally ensures a cold session is *built* once, but a session
+    reached by several threads stays correct without it — regression
+    tested against the serial oracle in
+    ``tests/test_api_session_concurrency.py``.
     """
 
     def __init__(self, scenario: ScenarioSpec | CostGraph | Mapping, *,
@@ -60,6 +73,7 @@ class MulticastSession:
                 f"source={source} conflicts with the spec's source={scenario.source}"
             )
         self.scenario = scenario
+        self._lock = threading.RLock()
         self._trees: dict[str, UniversalTree] = {}
         self._closure = None
         self._mechanisms: dict[tuple, CostSharingMechanism] = {}
@@ -74,9 +88,10 @@ class MulticastSession:
     @property
     def network(self) -> CostGraph:
         """The scenario's network (built once)."""
-        if self._network is None:
-            self._network = self.scenario.build_network()
-        return self._network
+        with self._lock:
+            if self._network is None:
+                self._network = self.scenario.build_network()
+            return self._network
 
     def agents(self) -> list[int]:
         return self.scenario.agents()
@@ -89,20 +104,22 @@ class MulticastSession:
         """The universal tree of construction ``kind`` (default: the
         spec's ``tree``), built once per kind."""
         kind = kind or self.scenario.tree
-        tree = self._trees.get(kind)
-        if tree is None:
-            tree = UniversalTree.build(self.network, self.source, kind)
-            self._trees[kind] = tree
-        return tree
+        with self._lock:
+            tree = self._trees.get(kind)
+            if tree is None:
+                tree = UniversalTree.build(self.network, self.source, kind)
+                self._trees[kind] = tree
+            return tree
 
     def metric_closure(self):
         """All-pairs shortest-path matrix of the network (built once;
         shared by every Jain-Vazirani parameterization)."""
-        if self._closure is None:
-            from repro.core.jv_steiner import metric_closure_matrix
+        with self._lock:
+            if self._closure is None:
+                from repro.core.jv_steiner import metric_closure_matrix
 
-            self._closure = metric_closure_matrix(self.network)
-        return self._closure
+                self._closure = metric_closure_matrix(self.network)
+            return self._closure
 
     # -- mechanisms ---------------------------------------------------------
     def _key(self, name: str, params: Mapping) -> tuple:
@@ -112,7 +129,8 @@ class MulticastSession:
         """Fill in the builder's keyword defaults (and resolve ``tree=None``
         to the spec's kind) so equivalent requests — parameter omitted vs
         passed explicitly — share one mechanism instance and one xi cache."""
-        defaults = self._builder_defaults.get(name)
+        with self._lock:
+            defaults = self._builder_defaults.get(name)
         if defaults is None:
             from repro.api.registry import registered
 
@@ -122,7 +140,8 @@ class MulticastSession:
                 for p in signature.parameters.values()
                 if p.kind == p.KEYWORD_ONLY and p.default is not p.empty
             }
-            self._builder_defaults[name] = defaults
+            with self._lock:
+                self._builder_defaults[name] = defaults
         canonical = {**defaults, **params}
         if "tree" in canonical and canonical["tree"] is None:
             canonical["tree"] = self.scenario.tree
@@ -141,11 +160,12 @@ class MulticastSession:
 
         name, params = self._resolve(mechanism, params)
         key = self._key(name, params)
-        mech = self._mechanisms.get(key)
-        if mech is None:
-            mech = registered(name).builder(self, **params)
-            self._mechanisms[key] = mech
-        return mech
+        with self._lock:
+            mech = self._mechanisms.get(key)
+            if mech is None:
+                mech = registered(name).builder(self, **params)
+                self._mechanisms[key] = mech
+            return mech
 
     def method_cache(self, mechanism: str | MechanismSpec, **params) -> MethodCache | None:
         """The memoised cost-sharing method for ``(name, params)``, or
@@ -155,14 +175,15 @@ class MulticastSession:
 
         name, params = self._resolve(mechanism, params)
         key = self._key(name, params)
-        cache = self._method_caches.get(key)
-        if cache is None:
-            entry = registered(name)
-            if entry.method_of is None:
-                return None
-            cache = MethodCache(entry.method_of(self.mechanism(name, **params)))
-            self._method_caches[key] = cache
-        return cache
+        with self._lock:
+            cache = self._method_caches.get(key)
+            if cache is None:
+                entry = registered(name)
+                if entry.method_of is None:
+                    return None
+                cache = MethodCache(entry.method_of(self.mechanism(name, **params)))
+                self._method_caches[key] = cache
+            return cache
 
     def run(self, mechanism: str | MechanismSpec, profile: Profile,
             **params) -> MechanismResult:
@@ -186,6 +207,10 @@ class MulticastSession:
     def cache_info(self) -> dict:
         """Diagnostics: what the session has built and how the memoised
         methods are hitting."""
+        with self._lock:
+            return self._cache_info_locked()
+
+    def _cache_info_locked(self) -> dict:
         per_name: dict[str, int] = {}
         for key in self._method_caches:
             per_name[key[0]] = per_name.get(key[0], 0) + 1

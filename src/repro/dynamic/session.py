@@ -40,6 +40,12 @@ from repro.api.spec import MechanismSpec, ScenarioSpec, seed_from_text
 from repro.dynamic.spec import ChurnSpec, DynamicScenarioSpec
 from repro.mechanism.base import MechanismResult, Profile
 
+# Per-generation cap on the (mechanism, profile) -> result memo: a
+# long-lived server re-pricing one epoch under never-repeating bids must
+# not accumulate a result per request (reuse is an optimisation; outputs
+# are identical with or without the memo).
+RESULT_MEMO_LIMIT = 4096
+
 
 def epoch_profile_seed(materialized: ScenarioSpec, epoch: int, profile_spec) -> int:
     """The profile rng seed of one epoch — a pure function of the epoch's
@@ -97,9 +103,13 @@ class DynamicSession:
         self._max_epoch: int | None = None  # high-water mark of carried credit
         # Two-generation (mechanism, profile) -> result memo: the current
         # epoch's results plus the previous epoch's (the repeat window of
-        # a churning subscription workload).  Bounded by construction —
-        # a long horizon of never-repeating uniform profiles costs two
-        # epochs of results, not the whole history.
+        # a churning subscription workload).  A long horizon of
+        # never-repeating uniform profiles costs two epochs of results,
+        # not the whole history; RESULT_MEMO_LIMIT additionally caps each
+        # generation, because a *serving* workload can re-price one epoch
+        # forever with fresh profiles (the rotation only fires on epoch
+        # advance) — at the cap fresh results are still computed and
+        # returned, just not memoised.
         self._result_memo: dict[tuple, MechanismResult] = {}
         self._result_memo_prev: dict[tuple, MechanismResult] = {}
         # What the carried counters have already credited (so each
@@ -217,7 +227,8 @@ class DynamicSession:
                     found = session.run(mechanism, profile)
                 else:
                     self.counters["results_reused"] += 1
-                self._result_memo[key] = found
+                if len(self._result_memo) < RESULT_MEMO_LIMIT:
+                    self._result_memo[key] = found
             else:
                 self.counters["results_reused"] += 1
             out.append(found)

@@ -32,6 +32,7 @@ building blocks.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
@@ -44,23 +45,37 @@ class MethodCache:
 
     The wrapped method must be pure (every ``xi`` in this codebase is).
     Returned dicts are fresh copies, so callers may mutate them safely.
+
+    Safe under concurrent access: lookups and insertions are guarded by a
+    lock, while the wrapped method runs *outside* it — two threads racing
+    on the same cold key may both compute ``xi`` (purity makes the
+    duplicate harmless; the first writer's dict wins and the loser counts
+    a hit), but no thread ever observes a partially-built entry.
     """
 
     def __init__(self, method: Method) -> None:
         self._method = method
         self._cache: dict[frozenset, dict[Agent, float]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __call__(self, R: frozenset) -> dict[Agent, float]:
         key = frozenset(R)
-        found = self._cache.get(key)
-        if found is None:
-            found = dict(self._method(key))
-            self._cache[key] = found
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            found = self._cache.get(key)
+            if found is not None:
+                self.hits += 1
+                return dict(found)
+        computed = dict(self._method(key))
+        with self._lock:
+            found = self._cache.get(key)
+            if found is None:
+                self._cache[key] = computed
+                self.misses += 1
+                found = computed
+            else:
+                self.hits += 1
         return dict(found)
 
     @property
@@ -69,9 +84,10 @@ class MethodCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 def run_profiles(

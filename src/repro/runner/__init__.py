@@ -12,7 +12,7 @@ replayable results.
 * :func:`run_sweep` / :func:`run_item` — the executor: one session per
   scenario, optional ``multiprocessing`` fan-out, bit-identical to the
   serial path (:mod:`repro.runner.execute`);
-* :class:`JSONLSink` / :func:`read_rows` — the append-only result store
+* :class:`JSONLSink` / :func:`read_rows` / :func:`iter_rows` — the append-only result store
   with truncation-tolerant resume (:mod:`repro.runner.sink`);
 * :func:`summarize_rows` / :func:`summarize_jsonl` — roll sink files into
   ``analysis.tables``-ready summaries (:mod:`repro.runner.aggregate`).
@@ -24,7 +24,7 @@ replayable results.
 from repro.dynamic.spec import ChurnSpec
 from repro.runner.aggregate import mechanism_label, summarize_jsonl, summarize_rows
 from repro.runner.execute import make_profiles, run_dynamic_item, run_item, run_sweep
-from repro.runner.sink import JSONLSink, read_rows
+from repro.runner.sink import JSONLSink, iter_rows, read_rows
 from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "SweepSpec",
     "make_profiles",
     "mechanism_label",
+    "iter_rows",
     "read_rows",
     "run_dynamic_item",
     "run_item",

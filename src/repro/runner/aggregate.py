@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.runner.sink import read_rows
+from repro.runner.sink import iter_rows
 
 DEFAULT_GROUP_BY = ("layout", "mechanism", "n", "alpha")
 
@@ -91,13 +91,23 @@ def summarize_rows(rows: Iterable[Mapping],
 
 
 def summarize_jsonl(paths: str | os.PathLike | Iterable[str | os.PathLike],
-                    by: Sequence[str] = DEFAULT_GROUP_BY) -> list[dict]:
+                    by: Sequence[str] = DEFAULT_GROUP_BY, *,
+                    chunk_size: int = 1 << 16) -> list[dict]:
     """Summarize one sink file — or several, concatenated in argument
     order (a sharded sweep writing one file per host rolls up the same
-    way a single-file sweep does)."""
+    way a single-file sweep does).
+
+    Rows are *streamed* through :func:`~repro.runner.sink.iter_rows` —
+    one row in memory at a time, only the per-group accumulators
+    retained — so service/sweep logs of millions of rows aggregate in
+    O(groups) memory, not O(rows).
+    """
     if isinstance(paths, (str, os.PathLike)):
         paths = [paths]
-    rows: list[dict] = []
-    for path in paths:
-        rows.extend(read_rows(path))
-    return summarize_rows(rows, by=by)
+    path_list = list(paths)
+
+    def stream():
+        for path in path_list:
+            yield from iter_rows(path, chunk_size=chunk_size)
+
+    return summarize_rows(stream(), by=by)

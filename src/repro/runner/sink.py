@@ -44,10 +44,46 @@ def _scan(path: pathlib.Path) -> tuple[list[dict], int]:
     return rows, good_end
 
 
+def iter_rows(path: str | os.PathLike, *,
+              chunk_size: int = 1 << 16):
+    """Yield the complete rows of a sink file one at a time.
+
+    Streams the file in ``chunk_size`` blocks and holds at most one
+    pending line in memory, so a multi-million-row service or sweep log
+    aggregates in O(1) memory.  Semantics match :func:`read_rows`
+    exactly: blank lines are skipped, a partial trailing line (no
+    newline — a writer killed mid-row) is ignored, and a malformed line
+    ends the stream (everything before it stands, as on resume).
+    """
+    path = pathlib.Path(path)
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not path.exists():
+        return
+    buffer = b""
+    with path.open("rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                return  # leftover buffer (if any) is a partial tail
+            buffer += chunk
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line, buffer = buffer[:newline], buffer[newline + 1:]
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    yield json.loads(text)
+                except json.JSONDecodeError:
+                    return  # malformed tail; everything before it stands
+
+
 def read_rows(path: str | os.PathLike) -> list[dict]:
     """All complete rows of a sink file (a truncated tail is ignored)."""
-    rows, _ = _scan(pathlib.Path(path))
-    return rows
+    return list(iter_rows(path))
 
 
 class JSONLSink:

@@ -1,0 +1,52 @@
+"""repro.service — the concurrent cost-sharing serving layer.
+
+The fourth architectural layer, above :mod:`repro.api` /
+:mod:`repro.runner` / :mod:`repro.dynamic`: a stdlib-only asyncio
+subsystem that serves pricing requests over long-lived warm state.
+
+* :class:`SessionStore` — a bounded LRU of
+  :class:`~repro.api.MulticastSession`s (and
+  :class:`~repro.dynamic.DynamicSession`s for churn scenarios) keyed by
+  the scenario's wire form, with single-flight coalescing of concurrent
+  cold builds (:mod:`repro.service.state`);
+* :class:`MicroBatcher` — collects in-flight requests over a short
+  window and executes them per-scenario on shared caches
+  (:mod:`repro.service.batching`);
+* :class:`CostSharingService` / :class:`ServiceClient` /
+  :class:`ServiceServer` — the transport-agnostic dispatch core, the
+  in-process client, and the asyncio HTTP/1.1 endpoint with bounded
+  queues and 429 backpressure (:mod:`repro.service.server`);
+* the wire protocol — request parsing and payload shapes shared by both
+  transports (:mod:`repro.service.protocol`).
+
+``python -m repro serve`` runs the endpoint; ``python -m repro loadgen``
+drives it closed-loop and reports latency percentiles.  Every response
+is bit-identical to a direct cold :class:`~repro.api.MulticastSession`
+run — the caches only skip recomputing pure functions.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.protocol import (
+    ProtocolError,
+    RunRequest,
+    parse_batch_request,
+    parse_run_request,
+    run_payload,
+)
+from repro.service.server import CostSharingService, ServiceClient, ServiceServer, run_server
+from repro.service.state import SessionStore, scenario_key
+
+__all__ = [
+    "CostSharingService",
+    "MicroBatcher",
+    "ProtocolError",
+    "RunRequest",
+    "ServiceClient",
+    "ServiceServer",
+    "SessionStore",
+    "parse_batch_request",
+    "parse_run_request",
+    "run_payload",
+    "run_server",
+    "scenario_key",
+]

@@ -1,0 +1,164 @@
+"""Micro-batched mechanism execution over the session store.
+
+A serving process under concurrent load sees the same scenario many
+times in a short interval.  :class:`MicroBatcher` exploits that: run
+requests submitted while a flush window is open are collected, grouped
+by scenario, and executed per scenario on one warm
+:class:`~repro.api.session.MulticastSession` via ``run_batch`` — one
+mechanism lookup and one memoised ``xi`` cache shared across every
+request of the group, while distinct scenarios execute concurrently on
+the worker pool.
+
+Batching changes *when* work runs, never *what* it computes: each
+request's results are a pure function of ``(scenario, mechanism,
+profiles)`` (the caches only avoid recomputing pure functions), so a
+response is bit-identical whether the request flushed alone, rode a
+batch, or bypassed the batcher entirely — property-tested in
+``tests/test_service_property.py``.
+
+The flush window is the latency the operator trades for throughput
+(``window=0`` disables collection: every request flushes immediately,
+still through the store's warm sessions).  ``max_batch`` bounds the
+collection — a full window flushes early, so the pending queue can never
+grow beyond one window's worth of admitted requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+
+from repro.service.protocol import RunRequest
+from repro.service.state import SessionStore, StoreEntry
+
+
+class MicroBatcher:
+    """Collects in-flight run requests and executes them per-scenario.
+
+    Must be driven from one asyncio event loop (``submit`` is a
+    coroutine); the actual mechanism execution happens on
+    ``executor`` (default: the loop's default thread pool), so the loop
+    stays responsive while mechanisms run.
+    """
+
+    def __init__(self, store: SessionStore, *, window: float = 0.005,
+                 max_batch: int = 32, executor: Executor | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.store = store
+        self.window = max(0.0, float(window))
+        self.max_batch = int(max_batch)
+        self._executor = executor
+        self._pending: list[tuple[RunRequest, asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._tasks: set[asyncio.Task] = set()
+        # -- counters --------------------------------------------------------
+        self.requests = 0
+        self.batches = 0
+        self.batched_requests = 0  # requests that shared their flush with others
+        self.max_batch_size = 0
+
+    # -- submission ----------------------------------------------------------
+    async def submit(self, request: RunRequest) -> list:
+        """Price one request; resolves to its list of
+        :class:`~repro.mechanism.base.MechanismResult`."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        self.requests += 1
+        if self.window <= 0.0 or len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.window, self._flush)
+        return await future
+
+    def pending(self) -> int:
+        """Requests collected but not yet flushed."""
+        return len(self._pending)
+
+    def in_flight(self) -> int:
+        """Requests handed to the executor whose results are still due."""
+        return sum(task._repro_size for task in self._tasks)  # type: ignore[attr-defined]
+
+    # -- flushing ------------------------------------------------------------
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.batches += 1
+        self.max_batch_size = max(self.max_batch_size, len(batch))
+        if len(batch) > 1:
+            self.batched_requests += len(batch)
+        groups: dict[str, list[tuple[RunRequest, asyncio.Future]]] = {}
+        for request, future in batch:
+            groups.setdefault(request.key, []).append((request, future))
+        for group in groups.values():
+            task = asyncio.ensure_future(self._execute_group(group))
+            task._repro_size = len(group)  # type: ignore[attr-defined]
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _execute_group(self, group: list[tuple[RunRequest, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in group]
+        try:
+            outcomes = await loop.run_in_executor(
+                self._executor, self._run_group, requests)
+        except BaseException as exc:  # store build failure: fail the group
+            for _, future in group:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_, future), outcome in zip(group, outcomes):
+            if future.cancelled():
+                continue
+            if isinstance(outcome, BaseException):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+
+    def _run_group(self, requests: list[RunRequest]) -> list:
+        """Synchronous worker body: one store lookup for the whole group,
+        then every request priced on the shared session.  Per-request
+        failures (e.g. a profile naming stray agents) stay per-request —
+        they must not poison the rest of the batch."""
+        entry = self.store.get(requests[0].scenario, key=requests[0].key)
+        outcomes: list = []
+        for request in requests:
+            try:
+                outcomes.append(self._run_one(entry, request))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    @staticmethod
+    def _run_one(entry: StoreEntry, request: RunRequest) -> list:
+        if request.is_dynamic:
+            # DynamicSession mutates epoch state across calls; its entry
+            # lock serializes executions (static sessions need no lock —
+            # MulticastSession is internally thread-safe).
+            with entry.exec_lock:
+                return entry.session.run_epoch(
+                    request.epoch, request.mechanism, list(request.profiles))
+        return entry.session.run_batch(request.mechanism, list(request.profiles))
+
+    # -- lifecycle -----------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush anything pending and wait for all in-flight work."""
+        self._flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def stats(self) -> dict:
+        return {
+            "window": self.window,
+            "max_batch": self.max_batch,
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_size": self.max_batch_size,
+            "pending": len(self._pending),
+        }

@@ -1,0 +1,232 @@
+"""Deterministic closed-loop load generator for the serving endpoint.
+
+Builds a fixed request schedule — round-robin over the cross product of
+layout families x seeds x mechanisms, with per-request utility profiles
+drawn from seeds *derived* from each request's identity via
+:func:`~repro.api.spec.seed_from_text` — so two loadgen runs against any
+server issue byte-identical request bodies in the same per-worker order.
+
+Closed loop means each worker sends its next request the moment the
+previous answer lands (the service's own latency paces the offered
+load), which is the shape that exercises the LRU store, the single-
+flight coalescing and the micro-batcher together: concurrent workers
+keep several requests in flight, so cold scenarios coalesce and warm
+requests share flush windows.
+
+The report carries per-request latencies (p50/p95/max), throughput, the
+status-code histogram and the server's ``/v1/stats`` snapshot;
+``check()`` turns it into pass/fail for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.spec import ScenarioSpec, seed_from_text
+
+UTILITY_SCALE = 10.0
+
+
+def build_requests(*, requests: int, n: int, alpha: float, side: float,
+                   seeds: list[int], layouts: list[str], mechanisms: list[str],
+                   profile_count: int) -> list[dict]:
+    """The deterministic request schedule (plain wire dicts)."""
+    if requests < 1:
+        raise ValueError(f"need requests >= 1, got {requests}")
+    scenarios = [ScenarioSpec.from_random(n=n, alpha=alpha, seed=seed,
+                                          side=side, layout=layout)
+                 for layout in layouts for seed in seeds]
+    if not scenarios:
+        raise ValueError("need at least one layout and one seed")
+    if not mechanisms:
+        raise ValueError("need at least one mechanism")
+    out = []
+    for index in range(requests):
+        scenario = scenarios[index % len(scenarios)]
+        mechanism = mechanisms[(index // len(scenarios)) % len(mechanisms)]
+        rng = np.random.default_rng(seed_from_text(
+            f"loadgen|{scenario.to_json()}|{mechanism}|request:{index}"))
+        profiles = [{str(a): float(rng.uniform(0.0, UTILITY_SCALE))
+                     for a in scenario.agents()}
+                    for _ in range(profile_count)]
+        out.append({"scenario": scenario.to_dict(), "mechanism": mechanism,
+                    "profiles": profiles})
+    return out
+
+
+@dataclass
+class LoadReport:
+    """Everything one loadgen run observed."""
+
+    requests: int
+    concurrency: int
+    elapsed: float
+    latencies: list[float]            # seconds, completion order
+    statuses: dict[int, int]
+    errors: list[str]
+    stats: dict | None                # the server's /v1/stats snapshot
+    config: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else float("inf")
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        position = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[position]
+
+    def lines(self) -> list[str]:
+        status = " ".join(f"{code}:{count}"
+                          for code, count in sorted(self.statuses.items()))
+        out = [
+            f"loadgen: {self.requests} requests, concurrency "
+            f"{self.concurrency}, {self.elapsed:.2f}s, "
+            f"{self.throughput:.1f} req/s",
+            f"latency: p50 {self.percentile(0.50) * 1e3:.1f}ms  "
+            f"p95 {self.percentile(0.95) * 1e3:.1f}ms  "
+            f"max {max(self.latencies) * 1e3:.1f}ms" if self.latencies
+            else "latency: no samples",
+            f"status: {status or 'none'}",
+        ]
+        for error in self.errors[:5]:
+            out.append(f"error: {error}")
+        if self.stats is not None:
+            store, batcher = self.stats.get("store", {}), self.stats.get("batcher", {})
+            out.append(
+                "stats: store hits={hits} misses={misses} evictions={evictions} "
+                "coalesced={coalesced}; batcher batches={batches} "
+                "requests={requests} max_batch={max_batch_size}".format(
+                    **{**{k: "?" for k in ("hits", "misses", "evictions",
+                                           "coalesced")}, **store},
+                    **{**{k: "?" for k in ("batches", "requests",
+                                           "max_batch_size")}, **batcher}))
+        return out
+
+    def check(self, *, expect_engaged: bool = False) -> list[str]:
+        """CI verdicts: every request answered 200; optionally the warm
+        machinery must have engaged."""
+        failures = []
+        non_200 = {code: count for code, count in self.statuses.items()
+                   if code != 200}
+        if non_200 or self.errors:
+            failures.append(
+                f"expected all-200 responses, got {dict(sorted(self.statuses.items()))}"
+                + (f" with transport errors: {self.errors[:3]}" if self.errors else ""))
+        if expect_engaged:
+            if self.stats is None:
+                failures.append("no /v1/stats snapshot to verify engagement")
+            else:
+                store = self.stats.get("store", {})
+                batcher = self.stats.get("batcher", {})
+                if store.get("hits", 0) + store.get("coalesced", 0) < 1:
+                    failures.append(
+                        "session reuse never engaged (store hits + coalesced == 0)")
+                if batcher.get("max_batch_size", 0) < 2:
+                    failures.append(
+                        "micro-batching never engaged (no flush held >= 2 requests)")
+        return failures
+
+
+def _post_json(connection: http.client.HTTPConnection, path: str,
+               body: bytes) -> tuple[int, dict]:
+    connection.request("POST", path, body=body,
+                       headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _get_json(connection: http.client.HTTPConnection, path: str) -> tuple[int, dict]:
+    connection.request("GET", path)
+    response = connection.getresponse()
+    return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
+                n: int, alpha: float, side: float, seeds: list[int],
+                layouts: list[str], mechanisms: list[str], profile_count: int,
+                timeout: float = 60.0) -> LoadReport:
+    """Drive the service closed-loop and return the observed report."""
+    schedule = build_requests(requests=requests, n=n, alpha=alpha, side=side,
+                              seeds=seeds, layouts=layouts,
+                              mechanisms=mechanisms,
+                              profile_count=profile_count)
+    bodies = [json.dumps(request, sort_keys=True).encode("utf-8")
+              for request in schedule]
+    concurrency = max(1, min(int(concurrency), len(bodies)))
+
+    next_index = 0
+    index_lock = threading.Lock()
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    errors: list[str] = []
+    record_lock = threading.Lock()
+
+    def worker() -> None:
+        nonlocal next_index
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                with index_lock:
+                    if next_index >= len(bodies):
+                        return
+                    index = next_index
+                    next_index += 1
+                started = time.perf_counter()
+                try:
+                    status, _payload = _post_json(connection, "/v1/run",
+                                                  bodies[index])
+                except (OSError, http.client.HTTPException):
+                    # One reconnect per failure: keep-alive sockets the
+                    # server closed between requests look like this.
+                    connection.close()
+                    connection = http.client.HTTPConnection(host, port,
+                                                            timeout=timeout)
+                    try:
+                        status, _payload = _post_json(connection, "/v1/run",
+                                                      bodies[index])
+                    except (OSError, http.client.HTTPException) as exc2:
+                        with record_lock:
+                            errors.append(f"request {index}: {exc2}")
+                            statuses[0] = statuses.get(0, 0) + 1
+                        continue
+                elapsed = time.perf_counter() - started
+                with record_lock:
+                    latencies.append(elapsed)
+                    statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    stats = None
+    try:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        status, payload = _get_json(connection, "/v1/stats")
+        if status == 200:
+            stats = payload
+        connection.close()
+    except (OSError, http.client.HTTPException) as exc:
+        errors.append(f"stats: {exc}")
+
+    return LoadReport(
+        requests=len(bodies), concurrency=concurrency, elapsed=elapsed,
+        latencies=latencies, statuses=statuses, errors=errors, stats=stats,
+        config={"host": host, "port": port, "n": n, "alpha": alpha,
+                "side": side, "seeds": seeds, "layouts": layouts,
+                "mechanisms": mechanisms, "profile_count": profile_count})

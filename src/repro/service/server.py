@@ -1,0 +1,390 @@
+"""The cost-sharing service: dispatch core, in-process client, HTTP layer.
+
+Three pieces, layered so tests can stop at any of them:
+
+* :class:`CostSharingService` — the transport-agnostic application.
+  ``dispatch(method, path, body)`` routes the four endpoints, applies
+  admission control (bounded in-flight work; over the bound a request is
+  answered ``429`` with a ``Retry-After`` header instead of queueing
+  unboundedly), and maps :class:`~repro.service.protocol.ProtocolError`
+  and runtime validation errors to JSON error responses.
+* :class:`ServiceClient` — the in-process client: same ``dispatch``, no
+  sockets.  What the property tests, the examples and the benchmark
+  drive.
+* :class:`ServiceServer` — a minimal asyncio HTTP/1.1 front end over
+  ``dispatch`` (stdlib only), with keep-alive and bounded request
+  bodies.  ``python -m repro serve`` runs it; ``python -m repro
+  loadgen`` load-tests it.
+
+Endpoints::
+
+    POST /v1/run      one pricing request        -> run payload
+    POST /v1/batch    {"requests": [...]}        -> per-request payloads
+    GET  /v1/healthz  liveness                   -> {"status": "ok", ...}
+    GET  /v1/stats    store/batcher/http counters
+
+Every successful response body is a pure function of the request (the
+store and batcher only cache pure functions), so cold, warm and batched
+paths answer bit-identically — the property
+``tests/test_service_property.py`` pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.batching import MicroBatcher
+from repro.service.protocol import (
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    error_payload,
+    parse_batch_request,
+    parse_body,
+    parse_run_request,
+    run_payload,
+)
+from repro.service.state import SessionStore
+
+HTTP_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Content Too Large", 429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class CostSharingService:
+    """The transport-agnostic serving application (store + batcher +
+    admission control + routing)."""
+
+    def __init__(self, *, cache_size: int = 64, batch_window: float = 0.005,
+                 max_batch: int = 32, queue_limit: int = 128,
+                 max_batch_requests: int = 64, max_body: int = 8 << 20,
+                 retry_after: float = 1.0, executor=None) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.store = SessionStore(capacity=cache_size)
+        self.batcher = MicroBatcher(self.store, window=batch_window,
+                                    max_batch=max_batch, executor=executor)
+        self.queue_limit = int(queue_limit)
+        # A batch must be admissible on an idle server: anything larger
+        # than the queue limit would 429 forever (with a Retry-After that
+        # can never come true), so oversize batches get the honest,
+        # non-retryable 413 from the parser instead.
+        self.max_batch_requests = min(int(max_batch_requests), self.queue_limit)
+        self.max_body = int(max_body)
+        self.retry_after = float(retry_after)
+        self._inflight = 0
+        self.requests_total = 0
+        self.rejected = 0
+        self.responses: dict[int, int] = {}
+
+    # -- routing -------------------------------------------------------------
+    async def dispatch(self, method: str, path: str,
+                       body: bytes = b"") -> tuple[int, dict, dict]:
+        """Answer one request: ``(status, payload, extra_headers)``."""
+        self.requests_total += 1
+        try:
+            status, payload, headers = await self._route(method, path, body)
+        except ProtocolError as exc:
+            headers = ({"Retry-After": f"{self.retry_after:g}"}
+                       if exc.status == 429 else {})
+            status, payload = exc.status, error_payload(exc.message)
+        except (ValueError, TypeError, KeyError) as exc:
+            # Runtime validation the parser cannot see (stray agents in a
+            # profile, negative utilities, ...) is still the client's
+            # error, not a server fault.
+            status, payload, headers = 400, error_payload(str(exc)), {}
+        except Exception as exc:
+            # Anything else is a server fault — answer 500 rather than
+            # vanish mid-connection, and count it.
+            status, payload, headers = 500, error_payload(
+                f"internal error: {type(exc).__name__}: {exc}"), {}
+        self.responses[status] = self.responses.get(status, 0) + 1
+        return status, payload, headers
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, dict, dict]:
+        if path == "/v1/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self.health_payload(), {}
+        if path == "/v1/stats":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self.stats_payload(), {}
+        if path == "/v1/run":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            request = parse_run_request(parse_body(body))
+            async with self._admission(1):
+                results = await self.batcher.submit(request)
+            return 200, run_payload(request, results), {}
+        if path == "/v1/batch":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            requests = parse_batch_request(
+                parse_body(body), max_requests=self.max_batch_requests)
+            async with self._admission(len(requests)):
+                outcomes = await asyncio.gather(
+                    *(self.batcher.submit(r) for r in requests),
+                    return_exceptions=True)
+            entries = []
+            for request, outcome in zip(requests, outcomes):
+                if isinstance(outcome, BaseException):
+                    if not isinstance(outcome, (ProtocolError, ValueError,
+                                                TypeError, KeyError)):
+                        raise outcome
+                    message = getattr(outcome, "message", None) or str(outcome)
+                    entries.append({"status": 400, "body": error_payload(message)})
+                else:
+                    entries.append({"status": 200,
+                                    "body": run_payload(request, outcome)})
+            payload = {"schema": PROTOCOL_SCHEMA, "count": len(entries),
+                       "responses": entries}
+            return 200, payload, {}
+        return 404, error_payload(
+            f"no such endpoint {path!r} (try /v1/run, /v1/batch, "
+            "/v1/healthz, /v1/stats)"), {}
+
+    def _method_not_allowed(self, allowed: str) -> tuple[int, dict, dict]:
+        return 405, error_payload(f"method not allowed (use {allowed})"), {
+            "Allow": allowed}
+
+    # -- admission control ---------------------------------------------------
+    def _admission(self, cost: int) -> "_Admission":
+        return _Admission(self, cost)
+
+    def health_payload(self) -> dict:
+        from repro import __version__
+
+        return {"schema": PROTOCOL_SCHEMA, "status": "ok",
+                "version": __version__}
+
+    def stats_payload(self) -> dict:
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "store": self.store.stats(),
+            "batcher": self.batcher.stats(),
+            "http": {
+                "requests": self.requests_total,
+                "in_flight": self._inflight,
+                "queue_limit": self.queue_limit,
+                "rejected": self.rejected,
+                "responses": {str(k): v for k, v in sorted(self.responses.items())},
+            },
+        }
+
+    async def drain(self) -> None:
+        """Finish all admitted work (used by tests and shutdown)."""
+        await self.batcher.drain()
+
+
+class _Admission:
+    """Bounded in-flight accounting: admit or answer 429 — never queue
+    beyond ``queue_limit`` admitted requests."""
+
+    def __init__(self, service: CostSharingService, cost: int) -> None:
+        self.service, self.cost = service, cost
+
+    async def __aenter__(self) -> None:
+        service = self.service
+        if service._inflight + self.cost > service.queue_limit:
+            service.rejected += 1
+            raise ProtocolError(
+                f"queue full ({service._inflight} in flight, limit "
+                f"{service.queue_limit}); retry after "
+                f"{service.retry_after:g}s", status=429)
+        service._inflight += self.cost
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.service._inflight -= self.cost
+
+
+class ServiceClient:
+    """In-process client: the same dispatch the HTTP layer calls, minus
+    the sockets — responses are byte-identical to the wire."""
+
+    def __init__(self, service: CostSharingService) -> None:
+        self.service = service
+
+    async def request(self, method: str, path: str, payload: dict | None = None,
+                      *, body: bytes | None = None) -> tuple[int, dict]:
+        if body is None:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        status, out, _headers = await self.service.dispatch(method, path, body)
+        return status, out
+
+    async def run(self, scenario, mechanism, profiles, *, params: dict | None = None,
+                  epoch: int | None = None) -> tuple[int, dict]:
+        """POST /v1/run.  ``scenario`` may be a spec object or its wire
+        dict; ``mechanism`` a name or a ``{"name", "params"}`` dict."""
+        payload: dict = {
+            "scenario": scenario.to_dict() if hasattr(scenario, "to_dict") else scenario,
+            "mechanism": (mechanism.to_dict() if hasattr(mechanism, "to_dict")
+                          else mechanism),
+            "profiles": [{str(a): float(v) for a, v in p.items()} for p in (
+                profiles if isinstance(profiles, (list, tuple)) else [profiles])],
+        }
+        if params is not None:
+            payload["params"] = params
+        if epoch is not None:
+            payload["epoch"] = epoch
+        return await self.request("POST", "/v1/run", payload)
+
+    async def batch(self, requests: list[dict]) -> tuple[int, dict]:
+        return await self.request("POST", "/v1/batch", {"requests": requests})
+
+    async def healthz(self) -> tuple[int, dict]:
+        return await self.request("GET", "/v1/healthz")
+
+    async def stats(self) -> tuple[int, dict]:
+        return await self.request("GET", "/v1/stats")
+
+
+class ServiceServer:
+    """Minimal asyncio HTTP/1.1 front end over ``service.dispatch``."""
+
+    def __init__(self, service: CostSharingService, host: str = "127.0.0.1",
+                 port: int = 0, *, read_timeout: float = 30.0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; updated to the bound port on start
+        self.read_timeout = float(read_timeout)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections would otherwise linger until their
+        # read timeout; a closing server drops them.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*list(self._connections),
+                                 return_exceptions=True)
+        await self.service.drain()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError):
+            pass  # client went away / idle keep-alive expired
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-keep-alive; drop the connection
+        except Exception:
+            # Wire-level surprises (e.g. a request line overrunning the
+            # StreamReader limit raises ValueError): answer 400 if the
+            # socket still takes it, then drop the connection.
+            try:
+                await self._respond(writer, 400,
+                                    error_payload("unreadable request"),
+                                    {}, keep_alive=False)
+            except Exception:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform-dependent
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        request_line = await asyncio.wait_for(reader.readline(),
+                                              self.read_timeout)
+        if not request_line:
+            return False
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            await self._respond(writer, 400,
+                                error_payload("malformed request line"),
+                                {}, keep_alive=False)
+            return False
+        method, target, version = parts
+
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond(writer, 400,
+                                error_payload("invalid Content-Length"),
+                                {}, keep_alive=False)
+            return False
+        if length > self.service.max_body:
+            # We will not read the oversized body, so the connection
+            # cannot be reused.
+            await self._respond(writer, 413, error_payload(
+                f"request body of {length} bytes exceeds the "
+                f"{self.service.max_body}-byte limit"), {}, keep_alive=False)
+            return False
+        body = await asyncio.wait_for(reader.readexactly(length),
+                                      self.read_timeout) if length else b""
+
+        path = target.split("?", 1)[0]
+        status, payload, extra = await self.service.dispatch(method, path, body)
+        keep_alive = (version == "HTTP/1.1"
+                      and headers.get("connection", "").lower() != "close")
+        await self._respond(writer, status, payload, extra, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict, extra: dict, *, keep_alive: bool) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        reason = HTTP_REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+async def run_server(service: CostSharingService, host: str, port: int,
+                     *, ready=None) -> None:
+    """Start the HTTP server and serve until cancelled.  ``ready`` (if
+    given) is called with the bound :class:`ServiceServer` once
+    listening — how callers learn an ephemeral port."""
+    server = ServiceServer(service, host, port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()

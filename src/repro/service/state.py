@@ -1,0 +1,173 @@
+"""Bounded LRU session store with single-flight request coalescing.
+
+The serving layer's warm state is the session: a
+:class:`~repro.api.session.MulticastSession` (or a
+:class:`~repro.dynamic.session.DynamicSession` for churn scenarios) owns
+everything expensive a scenario ever builds — network, universal trees,
+metric closure, memoised ``xi`` caches.  :class:`SessionStore` keeps a
+bounded, least-recently-used set of them keyed by the scenario's *wire
+form* (``spec.to_json()``), so identical requests from any connection
+land on the same warm state.
+
+Two properties matter under concurrency:
+
+* **single-flight coalescing** — when several requests race on the same
+  *cold* scenario, exactly one thread builds the session; the others
+  block on the in-flight build's future and share its result (or its
+  exception — after which the key is clean and the next request
+  retries).  Cold builds are the expensive path; building the same
+  network/trees/closure N times for N concurrent requests is the failure
+  mode this prevents.
+* **eviction is safe mid-flight** — evicting a key only drops the
+  store's *reference*.  A session handed out earlier stays fully usable
+  (it is a self-contained cache of pure functions); the next request for
+  that scenario simply rebuilds cold.
+
+``capacity=0`` disables retention entirely (every request builds cold,
+coalescing still applies while builds are in flight) — the configuration
+the naive baseline in ``benchmarks/bench_service.py`` serves from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+
+from repro.api.session import MulticastSession
+from repro.api.spec import ScenarioSpec
+from repro.dynamic.session import DynamicSession
+from repro.dynamic.spec import DynamicScenarioSpec
+
+
+def scenario_key(spec: ScenarioSpec) -> str:
+    """The store key of a scenario: its canonical wire form.  Dynamic
+    scenarios embed their churn model, so a static spec and a churn spec
+    over the same layout never collide."""
+    return spec.to_json()
+
+
+def build_session(spec: ScenarioSpec):
+    """The session type a scenario warrants: churn scenarios get the
+    incremental :class:`DynamicSession`, static ones the caching
+    :class:`MulticastSession`."""
+    if isinstance(spec, DynamicScenarioSpec):
+        return DynamicSession(spec)
+    return MulticastSession(spec)
+
+
+class StoreEntry:
+    """One stored session plus its execution lock.
+
+    :class:`MulticastSession` is internally thread-safe, but
+    :class:`DynamicSession` mutates epoch state across calls —
+    ``exec_lock`` serializes executions on one entry where the caller
+    needs that (the micro-batcher takes it for dynamic sessions only).
+    """
+
+    __slots__ = ("session", "exec_lock")
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.exec_lock = threading.Lock()
+
+    @property
+    def is_dynamic(self) -> bool:
+        return isinstance(self.session, DynamicSession)
+
+
+class SessionStore:
+    """Thread-safe bounded LRU of scenario sessions with single-flight
+    builds and hit/miss/eviction/coalescing counters."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, StoreEntry] = OrderedDict()
+        self._building: dict[str, Future] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.coalesced = 0
+
+    def get(self, spec: ScenarioSpec, *, key: str | None = None) -> StoreEntry:
+        """The entry for ``spec`` — warm from the LRU, joined onto an
+        in-flight build, or built here (exactly one builder per key)."""
+        if key is None:
+            key = scenario_key(spec)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            future = self._building.get(key)
+            if future is not None:
+                # Single-flight: join the in-flight build instead of
+                # duplicating it.
+                self.coalesced += 1
+                owner = False
+            else:
+                future = Future()
+                self._building[key] = future
+                owner = True
+        if not owner:
+            return future.result()
+        try:
+            entry = StoreEntry(build_session(spec))
+        except BaseException as exc:
+            with self._lock:
+                self._building.pop(key, None)
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self.misses += 1
+            if self.capacity > 0:
+                self._entries[key] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self._building.pop(key, None)
+        future.set_result(entry)
+        return entry
+
+    # -- inspection / management --------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Stored keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every stored session (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot (one consistent read)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "building": len(self._building),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "coalesced": self.coalesced,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"SessionStore(size={s['size']}/{s['capacity']}, "
+                f"hits={s['hits']}, misses={s['misses']}, "
+                f"evictions={s['evictions']}, coalesced={s['coalesced']})")

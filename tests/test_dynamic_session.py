@@ -224,3 +224,27 @@ class TestSessionAPI:
         rows = replay_dynamic(dyn_spec(), "tree-shapley",
                               {"generator": "constant", "count": 1, "scale": 2.0})
         assert len(rows) == dyn_spec().n_epochs
+
+
+def test_result_memo_is_bounded_under_serving_style_repricing(monkeypatch):
+    """A long-lived server re-prices one epoch forever with fresh bids;
+    the per-generation result memo must cap out instead of accumulating
+    one MechanismResult per request — with identical outputs either way."""
+    from repro.dynamic import session as session_module
+
+    monkeypatch.setattr(session_module, "RESULT_MEMO_LIMIT", 5)
+    spec = dyn_spec()
+    dyn = DynamicSession(spec)
+    oracle = MulticastSession(spec.materialize(0))
+    for request in range(20):  # 20 distinct profiles, one epoch
+        profile = {a: 1.0 + request + a for a in spec.agents()}
+        incremental = dyn.run_epoch(0, "tree-shapley", [profile])
+        direct = oracle.run_batch("tree-shapley", [profile])
+        assert [result_to_dict(r) for r in incremental] == [
+            result_to_dict(r) for r in direct]
+        assert len(dyn._result_memo) <= 5
+    # Memoised repeats still work below the cap.
+    repeat_profile = {a: 1.0 + a for a in spec.agents()}
+    before = dyn.counters["results_reused"]
+    dyn.run_epoch(0, "tree-shapley", [repeat_profile])
+    assert dyn.counters["results_reused"] == before + 1

@@ -1,0 +1,96 @@
+"""Streaming sink iteration: ``iter_rows`` == ``read_rows`` == old ``_scan``.
+
+``summarize_jsonl`` streams rows through ``iter_rows`` in fixed-size
+chunks; these tests pin the behaviour contract on every corruption shape
+the append-only writer can produce, with chunk sizes small enough that
+single rows span many read chunks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import iter_rows, read_rows, summarize_jsonl, summarize_rows
+from repro.runner.sink import _scan
+
+
+def _write(path, text: str) -> str:
+    path.write_bytes(text.encode("utf-8"))
+    return str(path)
+
+
+def _row(i, extra=None):
+    row = {"item": f"it-{i:04d}", "layout": ["uniform", "ring"][i % 2],
+           "mechanism": {"name": "jv", "params": {}}, "n": 6, "alpha": 2.0,
+           "summary": {"profiles": 2, "mean_receivers": 2.5, "mean_charged": 1.0 + i,
+                       "mean_cost": 1.0 + i, "mean_bb": 1.0, "worst_bb": 1.0}}
+    if extra:
+        row.update(extra)
+    return row
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 64, 1 << 16])
+def test_iter_rows_matches_read_rows_on_clean_file(tmp_path, chunk_size):
+    rows = [_row(i) for i in range(20)]
+    path = _write(tmp_path / "clean.jsonl",
+                  "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows))
+    assert list(iter_rows(path, chunk_size=chunk_size)) == rows
+    assert read_rows(path) == rows
+    assert _scan(tmp_path / "clean.jsonl")[0] == rows
+
+
+@pytest.mark.parametrize("chunk_size", [1, 5, 64])
+def test_chunk_boundary_spanning_rows(tmp_path, chunk_size):
+    # Rows far larger than the chunk size: every row spans many chunks.
+    rows = [_row(i, extra={"padding": "x" * 300}) for i in range(8)]
+    path = _write(tmp_path / "wide.jsonl",
+                  "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows))
+    assert list(iter_rows(path, chunk_size=chunk_size)) == rows
+
+
+@pytest.mark.parametrize("tail", [
+    '{"item": "it-9999", "trunca',      # killed mid-write, no newline
+    '{"item": }\n',                     # malformed but newline-terminated
+    '{"item": "it-9999"}',              # complete JSON but no newline
+    "\n\n",                             # stray blank lines
+])
+def test_tail_corruption_semantics_match_scan(tmp_path, tail):
+    rows = [_row(i) for i in range(5)]
+    body = "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows)
+    path = _write(tmp_path / "tail.jsonl", body + tail)
+    expected, _ = _scan(tmp_path / "tail.jsonl")
+    for chunk_size in (3, 1 << 16):
+        assert list(iter_rows(path, chunk_size=chunk_size)) == expected == rows
+
+
+def test_malformed_interior_line_stops_the_stream(tmp_path):
+    rows = [_row(i) for i in range(4)]
+    lines = [json.dumps(r, sort_keys=True) for r in rows]
+    lines.insert(2, "{broken")  # complete line, malformed JSON
+    path = _write(tmp_path / "mid.jsonl", "\n".join(lines) + "\n")
+    expected, _ = _scan(tmp_path / "mid.jsonl")
+    assert list(iter_rows(path, chunk_size=8)) == expected == rows[:2]
+
+
+def test_missing_and_empty_files(tmp_path):
+    assert list(iter_rows(tmp_path / "absent.jsonl")) == []
+    assert list(iter_rows(_write(tmp_path / "empty.jsonl", ""))) == []
+    with pytest.raises(ValueError):
+        list(iter_rows(tmp_path / "absent.jsonl", chunk_size=0))
+
+
+def test_summarize_jsonl_streams_identically(tmp_path):
+    rows = [_row(i) for i in range(30)]
+    one = _write(tmp_path / "a.jsonl",
+                 "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows[:17]))
+    two = _write(tmp_path / "b.jsonl",
+                 "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows[17:])
+                 + '{"partial": tr')  # truncated tail on the second shard
+    whole = summarize_rows(rows)
+    assert summarize_jsonl([one, two]) == whole
+    # A chunk size smaller than any row still reproduces the summary.
+    assert summarize_jsonl([one, two], chunk_size=3) == whole
+    # Single-path form and by= grouping stay behaviour-identical.
+    assert summarize_jsonl(one, by=("layout",)) == summarize_rows(rows[:17], by=("layout",))

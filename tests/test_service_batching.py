@@ -1,0 +1,150 @@
+"""MicroBatcher: window collection, per-scenario grouping, early flush,
+per-request failure isolation — and results always equal direct runs.
+
+No pytest-asyncio in this environment: each test drives its own loop via
+``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import MulticastSession, ScenarioSpec, result_to_dict
+from repro.service import MicroBatcher, SessionStore, parse_run_request
+
+
+def _spec(seed: int, n: int = 6) -> ScenarioSpec:
+    return ScenarioSpec.from_random(n=n, alpha=2.0, seed=seed, side=5.0)
+
+
+def _request(spec: ScenarioSpec, mechanism: str, utility: float = 4.0):
+    return parse_run_request({
+        "scenario": spec.to_dict(),
+        "mechanism": mechanism,
+        "profiles": [{str(a): utility for a in spec.agents()}],
+    })
+
+
+def _wire(results) -> list[dict]:
+    return [result_to_dict(r) for r in results]
+
+
+def test_window_collects_one_batch_and_results_match_direct():
+    spec = _spec(0)
+    requests = [_request(spec, m, u)
+                for m in ("tree-shapley", "tree-mc", "jv") for u in (2.0, 6.0)]
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=0.05)
+        outs = await asyncio.gather(*(batcher.submit(r) for r in requests))
+        return batcher, outs
+
+    batcher, outs = asyncio.run(go())
+    session = MulticastSession(spec)
+    for request, results in zip(requests, outs):
+        assert _wire(results) == _wire(
+            session.run_batch(request.mechanism, list(request.profiles)))
+    stats = batcher.stats()
+    assert stats["batches"] == 1  # all six rode one flush window
+    assert stats["max_batch_size"] == len(requests)
+    assert stats["batched_requests"] == len(requests)
+    assert batcher.store.stats()["misses"] == 1  # one session for the group
+
+
+def test_distinct_scenarios_split_into_groups_but_share_the_flush():
+    specs = [_spec(1), _spec(2), _spec(3)]
+    requests = [_request(s, "tree-shapley") for s in specs]
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=0.05)
+        outs = await asyncio.gather(*(batcher.submit(r) for r in requests))
+        return batcher, outs
+
+    batcher, outs = asyncio.run(go())
+    for spec, request, results in zip(specs, requests, outs):
+        direct = MulticastSession(spec).run_batch(
+            request.mechanism, list(request.profiles))
+        assert _wire(results) == _wire(direct)
+    assert batcher.stats()["batches"] == 1
+    assert batcher.store.stats()["misses"] == len(specs)  # one build each
+
+
+def test_max_batch_flushes_early():
+    spec = _spec(4)
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=30.0, max_batch=2)
+        # A 30s window would hang the test unless max_batch forces the
+        # flush the moment the second request arrives.
+        outs = await asyncio.wait_for(asyncio.gather(
+            batcher.submit(_request(spec, "tree-shapley")),
+            batcher.submit(_request(spec, "tree-mc"))), timeout=10.0)
+        return batcher, outs
+
+    batcher, outs = asyncio.run(go())
+    assert len(outs) == 2 and all(outs)
+    assert batcher.stats()["batches"] == 1
+    assert batcher.stats()["max_batch_size"] == 2
+
+
+def test_zero_window_executes_each_request_immediately():
+    spec = _spec(5)
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=0.0)
+        first = await batcher.submit(_request(spec, "tree-shapley"))
+        second = await batcher.submit(_request(spec, "tree-shapley"))
+        return batcher, first, second
+
+    batcher, first, second = asyncio.run(go())
+    assert _wire(first) == _wire(second)
+    stats = batcher.stats()
+    assert stats["batches"] == 2 and stats["batched_requests"] == 0
+    # Warm store: the second immediate flush still reuses the session.
+    assert batcher.store.stats()["hits"] == 1
+
+
+def test_per_request_failure_does_not_poison_the_batch():
+    spec = _spec(6)
+    good = _request(spec, "tree-shapley")
+    bad = parse_run_request({
+        "scenario": spec.to_dict(), "mechanism": "tree-shapley",
+        # Wire-valid but semantically wrong: agent 999 does not exist in
+        # the scenario, which only the mechanism's own validation sees.
+        "profiles": [{str(a): 1.0 for a in spec.agents()} | {"999": 1.0}],
+    })
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=0.05)
+        outs = await asyncio.gather(batcher.submit(good), batcher.submit(bad),
+                                    batcher.submit(good),
+                                    return_exceptions=True)
+        return outs
+
+    first, failure, third = asyncio.run(go())
+    assert isinstance(failure, ValueError) and "999" in str(failure)
+    assert _wire(first) == _wire(third)
+    direct = MulticastSession(spec).run_batch(good.mechanism, list(good.profiles))
+    assert _wire(first) == _wire(direct)
+
+
+def test_drain_flushes_pending_work():
+    spec = _spec(7)
+
+    async def go():
+        batcher = MicroBatcher(SessionStore(capacity=4), window=5.0)
+        task = asyncio.ensure_future(batcher.submit(_request(spec, "jv")))
+        await asyncio.sleep(0)  # let the submit enqueue
+        assert batcher.pending() == 1
+        await batcher.drain()   # don't wait out the 5s window
+        return await asyncio.wait_for(task, timeout=1.0)
+
+    results = asyncio.run(go())
+    assert len(results) == 1
+
+
+def test_invalid_max_batch_rejected():
+    with pytest.raises(ValueError):
+        MicroBatcher(SessionStore(capacity=1), max_batch=0)

@@ -1,0 +1,143 @@
+"""SessionStore: LRU bounds, counters, single-flight coalescing."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import MulticastSession, ScenarioSpec, result_to_dict
+from repro.dynamic import ChurnSpec, DynamicScenarioSpec, DynamicSession
+from repro.service import SessionStore, scenario_key
+from repro.service import state as state_module
+
+
+def _spec(seed: int, n: int = 6) -> ScenarioSpec:
+    return ScenarioSpec.from_random(n=n, alpha=2.0, seed=seed, side=5.0)
+
+
+def test_session_types_match_scenario_kind():
+    store = SessionStore(capacity=4)
+    static = store.get(_spec(0))
+    assert isinstance(static.session, MulticastSession) and not static.is_dynamic
+    dynamic_spec = DynamicScenarioSpec(
+        kind="random", n=6, alpha=2.0, seed=0,
+        churn=ChurnSpec(epochs=2, seed=1, join_rate=0.3, leave_rate=0.2))
+    dynamic = store.get(dynamic_spec)
+    assert isinstance(dynamic.session, DynamicSession) and dynamic.is_dynamic
+    # The static spec and its churn extension are distinct keys.
+    assert scenario_key(dynamic_spec) != scenario_key(_spec(0))
+    assert len(store) == 2
+
+
+def test_hit_miss_and_identity():
+    store = SessionStore(capacity=4)
+    first = store.get(_spec(1))
+    again = store.get(_spec(1))
+    assert again is first  # same warm object, not a rebuild
+    other = store.get(_spec(2))
+    assert other is not first
+    stats = store.stats()
+    assert (stats["hits"], stats["misses"], stats["size"]) == (1, 2, 2)
+
+
+def test_lru_eviction_order_and_touch_on_hit():
+    store = SessionStore(capacity=2)
+    a, b = _spec(1), _spec(2)
+    store.get(a)
+    store.get(b)
+    store.get(a)          # touch a: b is now least-recently-used
+    store.get(_spec(3))   # evicts b
+    assert store.stats()["evictions"] == 1
+    assert scenario_key(a) in store
+    assert scenario_key(b) not in store
+    assert scenario_key(_spec(3)) in store
+
+
+def test_capacity_zero_disables_retention():
+    store = SessionStore(capacity=0)
+    first = store.get(_spec(1))
+    second = store.get(_spec(1))
+    assert first is not second
+    stats = store.stats()
+    assert stats["size"] == 0 and stats["misses"] == 2 and stats["hits"] == 0
+    with pytest.raises(ValueError):
+        SessionStore(capacity=-1)
+
+
+def test_eviction_mid_flight_keeps_handed_out_sessions_valid():
+    """Evicting a scenario drops the store's reference only — a session
+    already handed to a request keeps answering, bit-identically."""
+    store = SessionStore(capacity=1)
+    spec = _spec(4)
+    profile = {a: 3.0 for a in spec.agents()}
+    entry = store.get(spec)
+    warm = result_to_dict(entry.session.run("tree-shapley", profile))
+    store.get(_spec(5))  # evicts spec mid-flight
+    assert scenario_key(spec) not in store
+    still = result_to_dict(entry.session.run("tree-shapley", profile))
+    cold = result_to_dict(MulticastSession(spec).run("tree-shapley", profile))
+    assert still == warm == cold
+    # The next request for the evicted scenario rebuilds cold.
+    rebuilt = store.get(spec)
+    assert rebuilt.session is not entry.session
+
+
+def test_single_flight_coalesces_concurrent_cold_builds(monkeypatch):
+    """N threads racing on one cold key => exactly one build; the rest
+    join the in-flight future and share its session object."""
+    builds = []
+    gate = threading.Event()
+    real_build = state_module.build_session
+
+    def slow_build(spec):
+        builds.append(scenario_key(spec))
+        gate.wait(timeout=5.0)  # hold the build until every waiter queued
+        return real_build(spec)
+
+    monkeypatch.setattr(state_module, "build_session", slow_build)
+    store = SessionStore(capacity=4)
+    spec = _spec(6)
+    n_threads = 6
+    arrived = threading.Barrier(n_threads)
+
+    def fetch():
+        arrived.wait()
+        return store.get(spec)
+
+    with ThreadPoolExecutor(n_threads) as pool:
+        futures = [pool.submit(fetch) for _ in range(n_threads)]
+        # Open the gate once all waiters are parked on the in-flight build.
+        while store.stats()["coalesced"] < n_threads - 1:
+            if all(f.done() for f in futures):
+                break
+            time.sleep(0.005)
+        gate.set()
+        entries = [f.result(timeout=10.0) for f in futures]
+
+    assert len(builds) == 1  # the whole point: one cold build, not six
+    assert all(entry is entries[0] for entry in entries)
+    stats = store.stats()
+    assert stats["misses"] == 1 and stats["coalesced"] == n_threads - 1
+
+
+def test_failed_build_propagates_and_key_recovers(monkeypatch):
+    calls = []
+    real_build = state_module.build_session
+
+    def flaky_build(spec):
+        calls.append(1)
+        if len(calls) == 1:
+            raise RuntimeError("backend exploded")
+        return real_build(spec)
+
+    monkeypatch.setattr(state_module, "build_session", flaky_build)
+    store = SessionStore(capacity=4)
+    with pytest.raises(RuntimeError, match="backend exploded"):
+        store.get(_spec(7))
+    # The key is clean again: the next request retries and succeeds.
+    entry = store.get(_spec(7))
+    assert isinstance(entry.session, MulticastSession)
+    assert len(calls) == 2
