@@ -9,11 +9,20 @@ The n = 120 universal-tree/JV cases and the n = 40 NWST case exercise the
 ``repro.engine`` array backend (vectorised Dijkstra/Prim, lockstep
 node-weighted distances); machine-readable results land in
 ``benchmarks/out/BENCH_S1.json`` (see conftest).
+
+Instance sizes are CLI-parameterizable: ``--s1-sizes 64,256`` overrides
+the standard grid below, and ``--s1-large-sizes 2000`` overrides the
+large-n session cases (receivers-restricted scenarios priced through the
+terminal-sourced closure, including the ``*-approx`` Mehlhorn family).
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.api import ScenarioSpec
+from repro.api.session import MulticastSession
 from repro.core import (
     EuclideanJVMechanism,
     EuclideanShapleyMechanism,
@@ -27,6 +36,33 @@ from repro.graphs.random_graphs import random_node_weighted_instance
 from repro.wireless import EuclideanCostGraph, UniversalTree
 
 
+STANDARD_SIZES = [10, 20, 40, 120]
+LARGE_SIZES = [500]
+APPROX_SIZES = [1000]
+
+
+def _sizes(config, option, default):
+    raw = config.getoption(option)
+    if not raw:
+        return default
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def pytest_generate_tests(metafunc):
+    if "s1_n" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "s1_n", _sizes(metafunc.config, "--s1-sizes", STANDARD_SIZES)
+        )
+    if "s1_large_n" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "s1_large_n", _sizes(metafunc.config, "--s1-large-sizes", LARGE_SIZES)
+        )
+    if "s1_approx_n" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "s1_approx_n", _sizes(metafunc.config, "--s1-large-sizes", APPROX_SIZES)
+        )
+
+
 def euclid_case(n, dim=2, alpha=2.0, seed=0, scale=3.0):
     net = EuclideanCostGraph(uniform_points(n, dim, rng=seed, side=5.0), alpha)
     rng = np.random.default_rng(seed)
@@ -36,27 +72,24 @@ def euclid_case(n, dim=2, alpha=2.0, seed=0, scale=3.0):
 
 
 @pytest.mark.benchmark(group="EXP-S1 universal-tree-shapley")
-@pytest.mark.parametrize("n", [10, 20, 40, 120])
-def test_scaling_universal_tree_shapley(benchmark, n):
-    net, profile = euclid_case(n)
+def test_scaling_universal_tree_shapley(benchmark, s1_n):
+    net, profile = euclid_case(s1_n)
     mech = UniversalTreeShapleyMechanism(UniversalTree.from_shortest_paths(net, 0))
     result = benchmark(mech.run, profile)
     assert result.total_charged() == pytest.approx(result.cost)
 
 
 @pytest.mark.benchmark(group="EXP-S1 universal-tree-mc")
-@pytest.mark.parametrize("n", [10, 20, 40, 120])
-def test_scaling_universal_tree_mc(benchmark, n):
-    net, profile = euclid_case(n)
+def test_scaling_universal_tree_mc(benchmark, s1_n):
+    net, profile = euclid_case(s1_n)
     mech = UniversalTreeMCMechanism(UniversalTree.from_shortest_paths(net, 0))
     result = benchmark(mech.run, profile)
     assert result.total_charged() <= result.cost + 1e-9
 
 
 @pytest.mark.benchmark(group="EXP-S1 jv")
-@pytest.mark.parametrize("n", [10, 20, 40, 120])
-def test_scaling_jv(benchmark, n):
-    net, profile = euclid_case(n)
+def test_scaling_jv(benchmark, s1_n):
+    net, profile = euclid_case(s1_n)
     mech = EuclideanJVMechanism(net, 0)
     result = benchmark(mech.run, profile)
     assert result.total_charged() >= result.cost - 1e-9
@@ -89,3 +122,46 @@ def test_scaling_wireless(benchmark, n):
     mech = WirelessMulticastMechanism(net, 0)
     result = benchmark(mech.run, profile)
     assert result.total_charged() >= result.cost - 1e-6
+
+
+def large_session_case(n, k=16, seed=0):
+    """A receivers-restricted scenario priced through the terminal-sourced
+    closure (built once here so the rounds time the mechanism, not the
+    one-off closure)."""
+    spec = dataclasses.replace(
+        ScenarioSpec.from_random(n=n, alpha=2.0, seed=seed),
+        receivers=tuple(range(1, k + 1)),
+    )
+    sess = MulticastSession(spec)
+    sess.terminal_closure()
+    rng = np.random.default_rng(seed)
+    profile = {i: float(rng.uniform(0.0, 50.0)) for i in sess.agents()}
+    return sess, profile
+
+
+@pytest.mark.benchmark(group="EXP-S1 large-n tree-shapley")
+def test_scaling_large_tree_shapley(benchmark, s1_large_n):
+    sess, profile = large_session_case(s1_large_n)
+    mech = sess.mechanism("tree-shapley")
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() == pytest.approx(result.cost)
+
+
+@pytest.mark.benchmark(group="EXP-S1 large-n jv")
+def test_scaling_large_jv(benchmark, s1_large_n):
+    sess, profile = large_session_case(s1_large_n)
+    mech = sess.mechanism("jv")
+    result = benchmark(mech.run, profile)
+    assert result.total_charged() >= result.cost - 1e-9
+
+
+@pytest.mark.benchmark(group="EXP-S1 approx")
+@pytest.mark.parametrize("name", ["jv-approx", "bird-approx"])
+def test_scaling_approx(benchmark, name, s1_approx_n):
+    sess, profile = large_session_case(s1_approx_n)
+    mech = sess.mechanism(name)
+    result = benchmark(mech.run, profile)
+    # charged = auxiliary MST weight: covers the built tree (cost
+    # recovery) and stays within the declared 2x budget-balance factor
+    assert result.total_charged() >= result.cost - 1e-9
+    assert result.total_charged() <= 2.0 * result.cost + 1e-6

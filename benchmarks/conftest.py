@@ -27,6 +27,22 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 BENCH_JSON = OUT_DIR / "BENCH_S1.json"
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("exp-s1 scalability")
+    group.addoption(
+        "--s1-sizes",
+        default=None,
+        help="comma-separated n values overriding the EXP-S1 standard size "
+        "grid (universal-tree/jv cases), e.g. --s1-sizes 64,256",
+    )
+    group.addoption(
+        "--s1-large-sizes",
+        default=None,
+        help="comma-separated n values overriding the EXP-S1 large-n session "
+        "cases (terminal-sourced closure path), e.g. --s1-large-sizes 2000",
+    )
+
+
 def record(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -80,7 +80,7 @@ from repro.service import (
 )
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CSRGraph",

@@ -119,6 +119,9 @@ def run_command(argv: list[str]) -> int:
                         help="emit the full JSON payload instead of a table")
     parser.add_argument("--out", default=None,
                         help="write the JSON payload to this path")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the pricing run and print per-stage "
+                             "(build/closure/tree/xi) attribution to stderr")
     args = parser.parse_args(argv)
 
     if args.mechanism not in available_mechanisms():
@@ -141,8 +144,13 @@ def run_command(argv: list[str]) -> int:
         params = json.loads(pathlib.Path(args.params).read_text()) if args.params else {}
         mspec = MechanismSpec(args.mechanism, params)
 
-        session = MulticastSession(scenario)
-        results = session.run_batch(mspec, profiles)
+        from repro.runner.profiling import maybe_profile
+
+        with maybe_profile(args.profile) as prof:
+            session = MulticastSession(scenario)
+            results = session.run_batch(mspec, profiles)
+        if prof is not None:
+            prof.report(sys.stderr)
     except (OSError, ValueError, TypeError) as exc:
         # ValueError covers json.JSONDecodeError, bad specs/params, and
         # profile validation (missing/stray agents, negative utilities).
@@ -217,8 +225,16 @@ def sweep_command(argv: list[str]) -> int:
     parser.add_argument("--by", default="layout,mechanism,n,alpha",
                         help="comma-separated summary grouping columns "
                              "(default: layout,mechanism,n,alpha)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the sweep and print per-stage "
+                             "(build/closure/tree/xi) attribution to stderr "
+                             "(profiles this process only — use --workers 1)")
     args = parser.parse_args(argv)
 
+    if args.profile and args.workers != 1:
+        print("error: --profile needs --workers 1 (worker processes are "
+              "not captured by the parent's profiler)", file=sys.stderr)
+        return 2
     if args.resume and not args.out:
         print("error: --resume requires --out (the sink to resume from)",
               file=sys.stderr)
@@ -229,12 +245,17 @@ def sweep_command(argv: list[str]) -> int:
         print(f"  done {row['item']}", file=sys.stderr)
 
     try:
+        from repro.runner.profiling import maybe_profile
+
         spec = SweepSpec.from_json(pathlib.Path(args.spec).read_text())
         t0 = time.perf_counter()
-        rows = run_sweep(spec, workers=args.workers, out=args.out,
-                         resume=args.resume, audit=args.audit,
-                         progress=progress)
+        with maybe_profile(args.profile) as prof:
+            rows = run_sweep(spec, workers=args.workers, out=args.out,
+                             resume=args.resume, audit=args.audit,
+                             progress=progress)
         elapsed = time.perf_counter() - t0
+        if prof is not None:
+            prof.report(sys.stderr)
     except (OSError, ValueError, TypeError) as exc:
         # ValueError covers json.JSONDecodeError, bad specs, and unknown
         # mechanism names (the message lists the registered ones).

@@ -36,13 +36,22 @@ DEFAULT_GUARANTEES = ("npt", "vp", "cost_recovery")
 
 @dataclass(frozen=True)
 class RegisteredMechanism:
-    """One registry entry."""
+    """One registry entry.
+
+    ``bb_factor`` optionally declares a *proven* budget-balance bound:
+    total charged at most ``bb_factor * result.cost`` on every profile.
+    Audited mechanisms with a declared bound fail the audit when any
+    profile's empirical factor exceeds it (the ``*-approx`` family
+    declares the Mehlhorn 2x factor this way).  ``None`` means no bound
+    is claimed beyond the ``guarantees`` axioms.
+    """
 
     name: str
     builder: Builder
     method_of: Callable[[CostSharingMechanism], Callable] | None
     summary: str
     guarantees: tuple = DEFAULT_GUARANTEES
+    bb_factor: float | None = None
 
 
 _REGISTRY: dict[str, RegisteredMechanism] = {}
@@ -55,6 +64,7 @@ def register_mechanism(
     method_of: Callable[[CostSharingMechanism], Callable] | None = None,
     summary: str = "",
     guarantees: tuple = DEFAULT_GUARANTEES,
+    bb_factor: float | None = None,
     replace: bool = False,
 ):
     """Register ``builder`` under ``name`` (usable as a decorator).
@@ -75,6 +85,9 @@ def register_mechanism(
         cost recovery; the marginal-cost mechanisms narrow it to NPT + VP
         (they are efficient and strategyproof but run deficits by design,
         so cost recovery is *expected* to fail on them).
+    bb_factor:
+        Optional proven budget-balance bound (charged <= bb_factor * cost
+        per profile), enforced by the audit when declared.
     replace:
         Allow overwriting an existing entry (default: raise).
     """
@@ -84,7 +97,7 @@ def register_mechanism(
             raise ValueError(f"mechanism {name!r} is already registered (pass replace=True)")
         doc = summary or (fn.__doc__ or "").strip().split("\n")[0]
         _REGISTRY[name] = RegisteredMechanism(name, fn, method_of, doc,
-                                              tuple(guarantees))
+                                              tuple(guarantees), bb_factor)
         return fn
 
     if builder is None:

@@ -76,6 +76,7 @@ class MulticastSession:
         self._lock = threading.RLock()
         self._trees: dict[str, UniversalTree] = {}
         self._closure = None
+        self._terminal_closure = None
         self._mechanisms: dict[tuple, CostSharingMechanism] = {}
         self._method_caches: dict[tuple, MethodCache] = {}
         self._builder_defaults: dict[str, dict] = {}
@@ -120,6 +121,28 @@ class MulticastSession:
 
                 self._closure = metric_closure_matrix(self.network)
             return self._closure
+
+    def terminal_closure(self):
+        """The cheapest closure that can price this scenario's agents.
+
+        With an explicit ``receivers`` subset this is a terminal-sourced
+        :class:`~repro.engine.closure.TerminalClosure` over
+        ``{source} + receivers`` — ``O(k n^2)`` to build instead of the
+        ``O(n^3)`` all-pairs pass, with bit-identical rows (and therefore
+        bit-identical shares).  Without one, every station is a potential
+        terminal and the full matrix *is* the terminal closure, so this
+        falls through to :meth:`metric_closure`.
+        """
+        if self.scenario.receivers is None:
+            return self.metric_closure()
+        with self._lock:
+            if self._terminal_closure is None:
+                from repro.engine.closure import TerminalClosure
+
+                terminals = [self.source, *self.scenario.receivers]
+                self._terminal_closure = TerminalClosure.from_network(
+                    self.network, terminals)
+            return self._terminal_closure
 
     # -- mechanisms ---------------------------------------------------------
     def _key(self, name: str, params: Mapping) -> tuple:
@@ -197,10 +220,21 @@ class MulticastSession:
     def run_batch(self, mechanism: str | MechanismSpec, profiles: Iterable[Profile],
                   **params) -> list[MechanismResult]:
         """Price a profile stream on the shared caches (one mechanism
-        build, one method cache across the whole stream)."""
+        build, one method cache across the whole stream).
+
+        Mechanisms that expose a vectorized ``run_many`` (the universal
+        trees: one flat-array xi pass across every profile) take that
+        path; the results are bit-identical to the per-profile loop —
+        ``run_many`` only pre-seeds the shared cache and then replays the
+        real per-profile driver over it.
+        """
         mech = self.mechanism(mechanism, **params)
         cache = self.method_cache(mechanism, **params)
+        profiles = list(profiles)
         if cache is not None:
+            run_many = getattr(mech, "run_many", None)
+            if run_many is not None and len(profiles) > 1:
+                return run_many(profiles, method=cache)
             return [mech.run(profile, method=cache) for profile in profiles]
         return [mech.run(profile) for profile in profiles]
 
@@ -226,6 +260,7 @@ class MulticastSession:
             "network_built": self._network is not None,
             "trees": sorted(self._trees),
             "closure_built": self._closure is not None,
+            "terminal_closure_built": self._terminal_closure is not None,
             "mechanisms": len(self._mechanisms),
             "methods": {
                 label(key): {

@@ -79,6 +79,13 @@ class ScenarioSpec:
 
     ``source`` is the multicast root; ``tree`` fixes the universal-tree
     construction the section 2.1 mechanisms use (``spt``/``mst``/``star``).
+
+    ``receivers`` (valid for every kind) optionally restricts the agent
+    set to an explicit station subset — the lever that makes n=10^3..10^4
+    instances tractable: sessions then build *terminal-sourced* closures
+    over ``{source} + receivers`` instead of all-pairs ones, and
+    mechanisms price only the listed agents.  ``None`` keeps the
+    historical "every non-source station is an agent" behaviour.
     """
 
     kind: str
@@ -92,6 +99,7 @@ class ScenarioSpec:
     side: float | None = None
     seed: int | None = None
     layout: str | None = None
+    receivers: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in SCENARIO_KINDS:
@@ -146,6 +154,23 @@ class ScenarioSpec:
             raise ValueError(
                 f"source {self.source} out of range for {self.n_stations} stations"
             )
+
+        if self.receivers is not None:
+            try:
+                recv = sorted({int(r) for r in self.receivers})
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"receivers must be station indices: {exc}") from exc
+            if not recv:
+                raise ValueError("receivers must be non-empty when given (or omit it)")
+            if self.source in recv:
+                raise ValueError(f"source {self.source} cannot be a receiver")
+            out_of_range = [r for r in recv if not 0 <= r < self.n_stations]
+            if out_of_range:
+                raise ValueError(
+                    f"receivers {out_of_range} out of range for "
+                    f"{self.n_stations} stations"
+                )
+            object.__setattr__(self, "receivers", tuple(recv))
 
     def _reject_foreign_fields(self, foreign: tuple[str, ...]) -> None:
         set_anyway = [f for f in foreign if getattr(self, f) is not None]
@@ -210,7 +235,10 @@ class ScenarioSpec:
         return self.kind in ("points", "random")
 
     def agents(self) -> list[int]:
-        """Every potential receiver (all stations but the source)."""
+        """Every potential receiver: the explicit ``receivers`` subset when
+        given, otherwise all stations but the source."""
+        if self.receivers is not None:
+            return list(self.receivers)
         return [i for i in range(self.n_stations) if i != self.source]
 
     def build_network(self):

@@ -28,6 +28,11 @@ Module                                 Paper result
 =====================================  =========================================
 """
 
+from repro.core.approx_mechanisms import (
+    BirdApproxMechanism,
+    JVApproxMechanism,
+    MehlhornApproxMechanism,
+)
 from repro.core.distributed_tree import DistributedTreeNetWorth
 from repro.core.euclidean_bb import EuclideanJVMechanism
 from repro.core.euclidean_optimal import (
@@ -49,14 +54,17 @@ from repro.core.universal_tree_mechanisms import (
 )
 
 __all__ = [
+    "BirdApproxMechanism",
     "DistributedTreeNetWorth",
     "EuclideanJVMechanism",
     "EuclideanMCMechanism",
     "EuclideanShapleyMechanism",
     "ExactMCMechanism",
     "ExactShapleyMechanism",
+    "JVApproxMechanism",
     "JVSteinerShares",
     "MSTGame",
+    "MehlhornApproxMechanism",
     "NWSTInstance",
     "NWSTMechanism",
     "UniversalTreeMCMechanism",

@@ -49,11 +49,15 @@ class EuclideanJVMechanism(CostSharingMechanism):
         agent_weights: Mapping[Agent, float] | None = None,
         *,
         closure=None,
+        agents=None,
     ) -> None:
         self.network = network
         self.source = source
         self.jv = JVSteinerShares(network, source, agent_weights, closure=closure)
-        self.agents = [i for i in range(network.n) if i != source]
+        if agents is None:
+            self.agents = [i for i in range(network.n) if i != source]
+        else:
+            self.agents = sorted(set(agents) - {source})
 
     def _build(self, R: frozenset):
         R = set(R) - {self.source}
@@ -83,8 +87,15 @@ class EuclideanJVMechanism(CostSharingMechanism):
 def _build_jv(session, *, agent_weights: Mapping | None = None) -> EuclideanJVMechanism:
     if agent_weights is not None:  # wire params arrive with string keys
         agent_weights = {int(a): float(w) for a, w in agent_weights.items()}
-    return EuclideanJVMechanism(session.network, session.source, agent_weights,
-                                closure=session.metric_closure())
+    receivers = session.scenario.receivers
+    return EuclideanJVMechanism(
+        session.network, session.source, agent_weights,
+        # With an explicit receiver subset the terminal-sourced closure
+        # prices every reachable coalition bit-identically at O(k n^2)
+        # build cost; without one it IS the full matrix.
+        closure=session.terminal_closure(),
+        agents=None if receivers is None else session.agents(),
+    )
 
 
 register_mechanism(

@@ -298,6 +298,12 @@ def _euclidean_network(session) -> EuclideanCostGraph:
             "the optimal Euclidean mechanisms need a Euclidean scenario "
             f"(kind 'points' or 'random' with alpha), got {session.scenario.kind!r}"
         )
+    if session.scenario.receivers is not None:
+        raise ValueError(
+            "the optimal Euclidean mechanisms price every non-source "
+            "station; scenarios with an explicit receivers subset are not "
+            "supported (drop receivers or pick a restrictable mechanism)"
+        )
     return network
 
 

@@ -100,15 +100,24 @@ class ExactMCMechanism(MarginalCostMechanism):
 
 # -- registry wiring (repro.api) --------------------------------------------
 
+def _full_agent_network(session):
+    if session.scenario.receivers is not None:
+        raise ValueError(
+            "the exact mechanisms price every non-source station; scenarios "
+            "with an explicit receivers subset are not supported"
+        )
+    return session.network
+
+
 register_mechanism(
     "exact-shapley",
-    lambda session: ExactShapleyMechanism(session.network, session.source),
+    lambda session: ExactShapleyMechanism(_full_agent_network(session), session.source),
     method_of=lambda mech: mech.shares,
     summary="exact Shapley value over C* (1-BB; exponential, small instances)",
 )
 register_mechanism(
     "exact-mc",
-    lambda session: ExactMCMechanism(session.network, session.source),
+    lambda session: ExactMCMechanism(_full_agent_network(session), session.source),
     summary="VCG over exact C* (efficient + cost-optimal; exponential)",
     guarantees=("npt", "vp"),  # VCG/MC runs deficits: no cost recovery
 )

@@ -30,19 +30,23 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro.engine.closure import TerminalClosure
 from repro.engine.moats import moat_mst_weight, moat_shares
 from repro.mechanism.base import Agent
 from repro.wireless.cost_graph import CostGraph
 
 
 def metric_closure_matrix(network: CostGraph) -> np.ndarray:
-    """All-pairs shortest-path distances of the cost graph (vectorised
-    Floyd-Warshall on the dense matrix)."""
-    d = network.matrix.copy()
-    n = network.n
-    for k in range(n):
-        np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :], out=d)
-    return d
+    """All-pairs shortest-path distances of the cost graph (lockstep
+    batched Dijkstra on the dense matrix).
+
+    Each row is a Dijkstra distance field, so the terminal rows of a
+    :class:`~repro.engine.closure.TerminalClosure` built on the same
+    network are *bit-identical* to the corresponding rows here — the
+    invariant that lets terminal-sourced sessions skip this O(n^3) pass
+    without changing a single share.
+    """
+    return network.as_dense().all_pairs_arrays()
 
 
 class JVSteinerShares:
@@ -57,9 +61,13 @@ class JVSteinerShares:
         ``f_i``): a component's growth is split proportionally to the
         weights of its members.  Default: equal split.
     closure:
-        Optional precomputed metric closure of ``network`` (as returned by
-        :func:`metric_closure_matrix`) — lets a long-lived session amortize
-        the all-pairs shortest paths across share families.
+        Optional precomputed metric closure of ``network`` — either the
+        full matrix from :func:`metric_closure_matrix` or a
+        :class:`~repro.engine.closure.TerminalClosure` sourced at
+        ``{source} + receivers`` (O(k n^2) instead of O(n^3) to build;
+        shares are bit-identical as long as every requested agent is a
+        closure terminal).  Lets a long-lived session amortize the
+        shortest-path work across share families.
     """
 
     def __init__(
@@ -68,12 +76,19 @@ class JVSteinerShares:
         source: int,
         agent_weights: Mapping[Agent, float] | None = None,
         *,
-        closure: np.ndarray | None = None,
+        closure: np.ndarray | TerminalClosure | None = None,
     ) -> None:
         self.network = network
         self.source = source
         if closure is None:
             closure = metric_closure_matrix(network)
+        elif isinstance(closure, TerminalClosure):
+            if closure.n != network.n:
+                raise ValueError(
+                    f"closure covers n={closure.n} stations, network has {network.n}"
+                )
+            if not closure.covers([source]):
+                raise ValueError("terminal-sourced closure must include the source")
         elif closure.shape != (network.n, network.n):
             raise ValueError(
                 f"closure shape {closure.shape} does not match network n={network.n}"

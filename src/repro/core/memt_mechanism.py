@@ -198,21 +198,27 @@ class WirelessNWSTMechanism(CostSharingMechanism):
 
 # -- registry wiring (repro.api) --------------------------------------------
 
-def _receivers_param(receivers):
-    return None if receivers is None else [int(r) for r in receivers]
+def _receivers_param(session, receivers):
+    """An explicit ``receivers`` param wins; otherwise the scenario's own
+    ``receivers`` subset applies (``None`` = every non-source station)."""
+    if receivers is not None:
+        return [int(r) for r in receivers]
+    if session.scenario.receivers is not None:
+        return list(session.scenario.receivers)
+    return None
 
 
 register_mechanism(
     "wireless",
     lambda session, *, mode="branch", receivers=None: WirelessMulticastMechanism(
-        session.network, session.source, _receivers_param(receivers), mode=mode
+        session.network, session.source, _receivers_param(session, receivers), mode=mode
     ),
     summary="§2.2.3 wireless multicast mechanism (3 ln(k+1)-BB, SP)",
 )
 register_mechanism(
     "nwst",
     lambda session, *, mode="branch", receivers=None: WirelessNWSTMechanism(
-        session.network, session.source, _receivers_param(receivers), mode=mode
+        session.network, session.source, _receivers_param(session, receivers), mode=mode
     ),
     summary="§2.2.2 NWST mechanism on the MEMT reduction (1.5 ln k-BB, SP)",
 )

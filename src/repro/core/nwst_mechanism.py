@@ -86,6 +86,7 @@ class NWSTMechanism(CostSharingMechanism):
         protected: Iterable = (),
         mode: str = "branch",
         min_terminals: int = 3,
+        distance_mode: str = "auto",
     ) -> None:
         self.graph = graph
         self.weights = dict(weights)
@@ -96,6 +97,7 @@ class NWSTMechanism(CostSharingMechanism):
             raise ValueError(f"terminals cannot be both charged and protected: {overlap}")
         self.mode = mode
         self.min_terminals = min_terminals
+        self.distance_mode = distance_mode
 
     # -- public entry --------------------------------------------------------
     def run(self, profile: Profile) -> MechanismResult:
@@ -184,7 +186,8 @@ class NWSTMechanism(CostSharingMechanism):
 
         while state.n_terminals > 2:
             spider = state.min_ratio_spider(
-                min_terminals=self.min_terminals, mode=self.mode, counts=counts()
+                min_terminals=self.min_terminals, mode=self.mode, counts=counts(),
+                distance_mode=self.distance_mode
             )
             if spider is None:  # pragma: no cover - connected instances always have one
                 break

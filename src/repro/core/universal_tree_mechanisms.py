@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from repro.api.registry import register_mechanism
-from repro.engine.trees import efficient_set, water_filling_shares
+from repro.engine.trees import efficient_set, water_filling_shares, water_filling_shares_many
 from repro.mechanism.base import Agent, CostSharingMechanism, MechanismResult, Profile
 from repro.mechanism.moulin_shenker import moulin_shenker
 from repro.mechanism.vcg import MarginalCostMechanism
@@ -45,7 +45,8 @@ def universal_tree_shapley_shares(
 
 
 def tree_efficient_set(
-    tree: UniversalTree, profile: Mapping[Agent, float]
+    tree: UniversalTree, profile: Mapping[Agent, float],
+    agents: Iterable[Agent] | None = None,
 ) -> tuple[float, frozenset]:
     """``(max net worth, largest efficient receiver set)`` for the
     universal-tree cost function — bottom-up DP, polynomial.
@@ -55,18 +56,28 @@ def tree_efficient_set(
     parent then chooses which children to activate, paying the maximum
     child-edge cost among activated ones.  Maximising welfare (then size)
     decomposes because both add across children.  Runs on the iterative
-    set-free kernel of :mod:`repro.engine.trees`.
+    set-free kernel of :mod:`repro.engine.trees`.  ``agents`` optionally
+    restricts the potential receivers (other stations stay pure relays).
     """
-    return efficient_set(tree.index(), profile)
+    return efficient_set(tree.index(), profile, agents=agents)
 
 
 class UniversalTreeShapleyMechanism(CostSharingMechanism):
     """Shapley value mechanism on a universal tree: budget balanced, group
-    strategyproof, NPT/VP/CS (section 2.1)."""
+    strategyproof, NPT/VP/CS (section 2.1).
 
-    def __init__(self, tree: UniversalTree) -> None:
+    ``agents`` optionally restricts the potential receiver set (a
+    scenario's explicit ``receivers``); default: every non-source station.
+    """
+
+    def __init__(self, tree: UniversalTree,
+                 agents: Iterable[Agent] | None = None) -> None:
         self.tree = tree
-        self.agents = tree.agents()
+        self.agents = sorted(agents) if agents is not None else tree.agents()
+
+    def _build(self, R: frozenset) -> tuple[float, object]:
+        power = self.tree.power_assignment(R)
+        return power.cost(), power
 
     def run(self, profile: Profile, *, method=None) -> MechanismResult:
         """Run the mechanism; ``method`` optionally substitutes a memoised
@@ -79,27 +90,51 @@ class UniversalTreeShapleyMechanism(CostSharingMechanism):
             def method(R: frozenset) -> dict[Agent, float]:
                 return universal_tree_shapley_shares(self.tree, R)
 
-        def build(R: frozenset) -> tuple[float, object]:
-            power = self.tree.power_assignment(R)
-            return power.cost(), power
+        return moulin_shenker(self.agents, method, u, build=self._build)
 
-        return moulin_shenker(self.agents, method, u, build=build)
+    def run_many(self, profiles: Iterable[Profile], *, method) -> list[MechanismResult]:
+        """Price a profile batch with sweep-wide vectorized xi.
+
+        All profiles' drop iterations advance in lockstep and every
+        round's cold receiver sets are evaluated in one
+        :func:`~repro.engine.trees.water_filling_shares_many` flat-array
+        pass, deposited into the shared ``method`` cache
+        (:class:`~repro.engine.batch.MethodCache`).  Results are
+        bit-identical to looping :meth:`run` — the final replay runs the
+        real per-profile driver over the warmed cache.
+        """
+        from repro.engine.batch import run_profiles_lockstep
+
+        index = self.tree.index()
+
+        def many(sets: list[frozenset]) -> list[dict[Agent, float]]:
+            return water_filling_shares_many(index, sets)
+
+        validated = [self.validate_profile(p) for p in profiles]
+        return run_profiles_lockstep(self.agents, many, validated,
+                                     method=method, build=self._build)
 
 
 class UniversalTreeMCMechanism(MarginalCostMechanism):
     """Marginal-cost mechanism on a universal tree: efficient and
-    strategyproof (but not group strategyproof, and may run a deficit)."""
+    strategyproof (but not group strategyproof, and may run a deficit).
 
-    def __init__(self, tree: UniversalTree) -> None:
+    ``agents`` optionally restricts the potential receiver set; stations
+    outside it stay pure relays for the efficient-set DP."""
+
+    def __init__(self, tree: UniversalTree,
+                 agents: Iterable[Agent] | None = None) -> None:
         self.tree = tree
+        agent_list = sorted(agents) if agents is not None else tree.agents()
+        restrict = None if agents is None else agent_list
 
         def solver(profile: dict[Agent, float]) -> tuple[float, frozenset]:
-            return tree_efficient_set(tree, profile)
+            return tree_efficient_set(tree, profile, agents=restrict)
 
         def cost_fn(R: frozenset) -> float:
             return tree.cost(R)
 
-        super().__init__(tree.agents(), solver, cost_fn)
+        super().__init__(agent_list, solver, cost_fn)
 
     def run(self, profile: Profile) -> MechanismResult:
         result = super().run(profile)
@@ -115,15 +150,24 @@ class UniversalTreeMCMechanism(MarginalCostMechanism):
 
 # -- registry wiring (repro.api) --------------------------------------------
 
+def _session_agents(session):
+    """The agent restriction a session's scenario implies: its explicit
+    ``receivers`` subset, or ``None`` (every non-source station — the
+    bit-identical legacy path)."""
+    return session.agents() if session.scenario.receivers is not None else None
+
+
 register_mechanism(
     "tree-shapley",
-    lambda session, *, tree=None: UniversalTreeShapleyMechanism(session.universal_tree(tree)),
+    lambda session, *, tree=None: UniversalTreeShapleyMechanism(
+        session.universal_tree(tree), agents=_session_agents(session)),
     method_of=lambda mech: lambda R: universal_tree_shapley_shares(mech.tree, R),
     summary="§2.1 Shapley value mechanism on a universal tree (BB, GSP)",
 )
 register_mechanism(
     "tree-mc",
-    lambda session, *, tree=None: UniversalTreeMCMechanism(session.universal_tree(tree)),
+    lambda session, *, tree=None: UniversalTreeMCMechanism(
+        session.universal_tree(tree), agents=_session_agents(session)),
     summary="§2.1 marginal-cost mechanism on a universal tree (efficient, SP)",
     guarantees=("npt", "vp"),  # MC runs deficits: no cost recovery (§2.1)
 )

@@ -287,9 +287,10 @@ def epoch_payload(dyn: DynamicSession, epoch: int,
         from repro.api.registry import registered
 
         session = dyn.session(epoch)
+        entry = registered(mech_spec.name)
         row["audit"] = audit_profile_results(
             session.mechanism(mech_spec), profiles, results,
-            axioms=registered(mech_spec.name).guarantees)
+            axioms=entry.guarantees, bb_bound=entry.bb_factor)
     return row
 
 

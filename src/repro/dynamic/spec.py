@@ -174,6 +174,13 @@ class DynamicScenarioSpec(ScenarioSpec):
         object.__setattr__(self, "churn", churn)
         if self.kind == "matrix" and churn.move_rate > 0:
             raise ValueError("matrix scenarios have no geometry: churn.move_rate must be 0")
+        if self.receivers is not None:
+            # Churn IS the receiver-set model here: an explicit static
+            # subset would silently rewrite every epoch's membership draw.
+            raise ValueError(
+                "dynamic scenarios model the receiver set through churn; "
+                "the static receivers field is not supported"
+            )
         object.__setattr__(self, "_states", None)
         object.__setattr__(self, "_materialized", {})
 

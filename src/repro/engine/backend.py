@@ -58,19 +58,37 @@ def out_neighbors(graph, node: Node) -> Iterator[tuple[Node, float]]:
     return graph.neighbors(node)
 
 
+# ``prefer='auto'`` thresholds: below AUTO_CSR_MIN_NODES a dense (n, n)
+# matrix is small enough that the lockstep kernels win outright; at or
+# above it a *sparse* adjacency graph routes to CSR so the memory stays
+# O(n + m) and per-source Dijkstra O(m log n) — densifying an n=10^4
+# sparse instance would allocate an 800 MB matrix for mostly-inf entries.
+# Graphs denser than AUTO_DENSE_FRACTION of the complete edge count
+# densify regardless (the matrix is mostly real entries anyway).
+AUTO_CSR_MIN_NODES = 512
+AUTO_DENSE_FRACTION = 0.25
+
+
 def as_array_backend(graph, *, prefer: str = "dense") -> ArrayGraph | None:
     """Coerce ``graph`` to an array backend, or ``None`` when impossible.
 
     Array graphs pass through unchanged.  Adjacency-map graphs convert iff
     their node labels are exactly ``0..n-1`` (arbitrary hashable labels
     stay on the dict path — relabelling is the caller's decision).
-    ``prefer`` picks ``'dense'`` or ``'csr'`` for the converted copy.
+    ``prefer`` picks ``'dense'`` or ``'csr'`` for the converted copy;
+    ``'auto'`` densifies small or dense graphs and routes large sparse
+    ones through :class:`CSRGraph` (see :data:`AUTO_CSR_MIN_NODES`).
     """
     if isinstance(graph, ArrayGraph):
         return graph
-    if prefer not in ("dense", "csr"):
+    if prefer not in ("dense", "csr", "auto"):
         raise ValueError(f"unknown backend preference: {prefer!r}")
     if not _contiguous_int_labels(graph):
         return None
+    if prefer == "auto":
+        n = len(graph)
+        m = sum(1 for _ in graph.edges())
+        dense_enough = m >= AUTO_DENSE_FRACTION * n * (n - 1) / 2
+        prefer = "dense" if n < AUTO_CSR_MIN_NODES or dense_enough else "csr"
     cls = DenseGraph if prefer == "dense" else CSRGraph
     return cls.from_graph(graph)

@@ -78,6 +78,21 @@ class MethodCache:
                 self.hits += 1
         return dict(found)
 
+    def put(self, R: frozenset, shares: Mapping[Agent, float]) -> None:
+        """Seed the memo with an externally computed ``xi(R)`` (the batch
+        evaluators compute many sets in one vectorized pass and deposit
+        them here).  First writer wins, like racing ``__call__`` computes;
+        counts as a miss — it represents one real evaluation."""
+        key = frozenset(R)
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = dict(shares)
+                self.misses += 1
+
+    def __contains__(self, R: frozenset) -> bool:
+        with self._lock:
+            return frozenset(R) in self._cache
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -112,6 +127,61 @@ def run_profiles(
     else:
         xi = method._method if isinstance(method, MethodCache) else method
     return [moulin_shenker(agents, xi, profile, build=build) for profile in profiles]
+
+
+def run_profiles_lockstep(
+    agents: Sequence[Agent],
+    method_many: Callable[[list[frozenset]], list[dict[Agent, float]]],
+    profiles: Sequence[Profile],
+    *,
+    method: MethodCache,
+    build: Callable[[frozenset], tuple[float, object | None]] | None = None,
+) -> list[MechanismResult]:
+    """Moulin-Shenker over a profile batch with *batched* xi evaluation.
+
+    Every profile's drop iteration advances in lockstep: each round
+    collects the distinct receiver sets the still-running profiles sit
+    on, evaluates the cold ones in one ``method_many`` call (e.g.
+    :func:`repro.engine.trees.water_filling_shares_many` — one flat-array
+    pass instead of per-set kernels), and deposits them into ``method``.
+    The returned results come from the real per-profile
+    :func:`~repro.mechanism.moulin_shenker.moulin_shenker` driver replayed
+    over the warmed cache, so they are **bit-identical to the serial
+    loop by construction** — the lockstep pass only decides what to
+    precompute; any set it mispredicts is simply computed serially on
+    replay.
+    """
+    from repro.mechanism.moulin_shenker import _EPS
+
+    profiles = list(profiles)
+    current = [set(agents) for _ in profiles]
+    running = [bool(R) for R in current]
+    while any(running):
+        need: list[frozenset] = []
+        seen: set[frozenset] = set()
+        for p, alive in enumerate(running):
+            if alive:
+                key = frozenset(current[p])
+                if key not in seen and key not in method:
+                    seen.add(key)
+                    need.append(key)
+        if need:
+            for R, shares in zip(need, method_many(need)):
+                method.put(R, shares)
+        for p, alive in enumerate(running):
+            if not alive:
+                continue
+            shares = method(frozenset(current[p]))
+            deficient = [i for i in current[p]
+                         if profiles[p][i] < shares[i] - _EPS]
+            if not deficient:
+                running[p] = False
+                continue
+            current[p].difference_update(deficient)
+            if not current[p]:
+                running[p] = False
+    return [moulin_shenker(agents, method, profile, build=build)
+            for profile in profiles]
 
 
 class UniversalTreeBatch:

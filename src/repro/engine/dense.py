@@ -215,6 +215,20 @@ class DenseGraph(ArrayGraph):
         row ``i`` is the Dijkstra field of ``terminals[i]``."""
         return batched_dijkstra(self._w, list(terminals))
 
+    def multi_source_arrays(
+        self, seeds: Iterable[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One Dijkstra pass from *all* seeds at once (Voronoi partition).
+
+        Returns ``(dist, nearest, parent)``: per node the distance to its
+        closest seed, the seed it is closest to (-1 if unreachable), and
+        the predecessor on that shortest path (-1 at seeds and unreached
+        nodes).  Exact ties between seeds resolve to the seed whose region
+        claimed the node first under masked-min settle order (smallest
+        node index each round) — deterministic for fixed inputs.
+        """
+        return _dense_multi_source(self._w, list(seeds))
+
 
 class CSRGraph(ArrayGraph):
     """Compressed-sparse-row graph over nodes ``0..n-1``.
@@ -367,6 +381,46 @@ class CSRGraph(ArrayGraph):
             parent[idx[better]] = u
         return dist, parent, np.asarray(order, dtype=np.int64)
 
+    def heap_dijkstra_arrays(
+        self, source: int, targets: Iterable[int] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Heap-based single-source shortest paths: ``O(m + n log n)``-ish
+        instead of the ``O(n^2)`` masked-min loop of
+        :meth:`dijkstra_arrays` — the right kernel for sparse instances.
+
+        Distances are bit-identical to the masked-min kernel (both compute
+        the same min over left-accumulated float path sums); parent
+        pointers may differ on exact distance ties.  Same return contract
+        as :meth:`dijkstra_arrays`.
+        """
+        return _csr_heap_dijkstra(self._n, self._indptr, self._indices,
+                                  self._weights, (source,), targets)[:3]
+
+    def multi_source_arrays(
+        self, seeds: Iterable[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One heap Dijkstra pass seeded at every node of ``seeds``;
+        returns ``(dist, nearest, parent)`` as in
+        :meth:`DenseGraph.multi_source_arrays`."""
+        dist, parent, _, nearest = _csr_heap_dijkstra(
+            self._n, self._indptr, self._indices, self._weights,
+            list(seeds), None)
+        return dist, nearest, parent
+
+    def metric_closure_arrays(self, terminals: Iterable[int]) -> np.ndarray:
+        """Shortest-path distances from each terminal to every node (one
+        heap Dijkstra per terminal: ``O(k (m + n log n))`` total)."""
+        terminals = list(terminals)
+        out = np.full((len(terminals), self._n), _INF)
+        for i, t in enumerate(terminals):
+            out[i] = self.heap_dijkstra_arrays(int(t))[0]
+        return out
+
+    def all_pairs_arrays(self) -> np.ndarray:
+        """All-pairs shortest distances (a heap Dijkstra per node — no
+        dense ``(n, n)`` intermediate beyond the result itself)."""
+        return self.metric_closure_arrays(range(self._n))
+
     def prim_arrays(self, root: int) -> list[tuple[int, int, float]]:
         if self.directed:
             raise ValueError("Prim MST needs an undirected graph")
@@ -433,6 +487,85 @@ def _dense_dijkstra(
             dist[better] = cand[better]
             parent[better] = u
     return dist, parent, np.asarray(order, dtype=np.int64)
+
+
+def _dense_multi_source(
+    w: np.ndarray, seeds: list[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Masked-min Dijkstra with every seed at distance 0; ``nearest``
+    propagates the claiming seed alongside the distance field."""
+    n = w.shape[0]
+    dist = np.full(n, _INF)
+    nearest = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    if not seeds:
+        return dist, nearest, parent
+    seed_idx = np.asarray(seeds, dtype=np.int64)
+    dist[seed_idx] = 0.0
+    nearest[seed_idx] = seed_idx
+    settled = np.zeros(n, dtype=bool)
+    for _ in range(n):
+        masked = np.where(settled, _INF, dist)
+        u = int(np.argmin(masked))
+        if masked[u] == _INF:
+            break
+        settled[u] = True
+        cand = dist[u] + w[u]
+        better = cand < dist
+        if better.any():
+            dist[better] = cand[better]
+            nearest[better] = nearest[u]
+            parent[better] = u
+    return dist, nearest, parent
+
+
+def _csr_heap_dijkstra(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    seeds,
+    targets: Iterable[int] | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Heap Dijkstra over CSR arrays, seeded at one or many nodes.
+
+    Returns ``(dist, parent, order, nearest)``.  Heap ties resolve by
+    smallest node index (the entries are ``(dist, node)`` pairs), so the
+    output is deterministic for fixed inputs.
+    """
+    import heapq
+
+    dist = np.full(n, _INF)
+    parent = np.full(n, -1, dtype=np.int64)
+    nearest = np.full(n, -1, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    heap: list[tuple[float, int]] = []
+    for s in seeds:
+        s = int(s)
+        dist[s] = 0.0
+        nearest[s] = s
+        heapq.heappush(heap, (0.0, s))
+    remaining = None if targets is None else {int(t) for t in targets}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u] or d > dist[u]:
+            continue
+        settled[u] = True
+        order.append(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        lo, hi = indptr[u], indptr[u + 1]
+        for v, wv in zip(indices[lo:hi], weights[lo:hi]):
+            cand = d + wv
+            if cand < dist[v]:
+                dist[v] = cand
+                parent[v] = u
+                nearest[v] = nearest[u]
+                heapq.heappush(heap, (float(cand), int(v)))
+    return dist, parent, np.asarray(order, dtype=np.int64), nearest
 
 
 def batched_dijkstra(

@@ -24,13 +24,19 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.engine.closure import closure_submatrix
 from repro.graphs.disjoint_set import DisjointSet
 
 
-def _sorted_closure_edges(closure: np.ndarray, pts: Sequence[int]):
-    """Closure edges among ``pts`` in Kruskal order, as index pairs."""
+def _sorted_closure_edges(closure, pts: Sequence[int]):
+    """Closure edges among ``pts`` in Kruskal order, as index pairs.
+
+    ``closure`` may be the full ``(n, n)`` matrix or a terminal-sourced
+    :class:`~repro.engine.closure.TerminalClosure` — the submatrix (and
+    therefore the schedule) is bit-identical either way.
+    """
     k = len(pts)
-    sub = closure[np.ix_(pts, pts)]
+    sub = closure_submatrix(closure, pts)
     iu, iv = np.triu_indices(k, 1)
     w = sub[iu, iv]
     order = sorted(
@@ -38,6 +44,19 @@ def _sorted_closure_edges(closure: np.ndarray, pts: Sequence[int]):
         key=lambda e: (w[e], repr(pts[int(iu[e])]), repr(pts[int(iv[e])])),
     )
     return [(int(iu[e]), int(iv[e]), float(w[e])) for e in order]
+
+
+def sort_moat_edges(
+    pts: Sequence[int], edges: Sequence[tuple[int, int, float]]
+) -> list[tuple[int, int, float]]:
+    """An explicit edge list (index pairs into ``pts``) in the same Kruskal
+    order the closure path uses — the entry for *sparse* metrics (e.g. the
+    Mehlhorn auxiliary terminal graph, where only region-adjacent terminal
+    pairs carry an edge)."""
+    return sorted(
+        ((int(a), int(b), float(w)) for a, b, w in edges),
+        key=lambda e: (e[2], repr(pts[e[0]]), repr(pts[e[1]])),
+    )
 
 
 def moat_shares(
@@ -56,14 +75,41 @@ def moat_shares(
     exactly.
     """
     pts = [source, *members]
+    if len(pts) <= 1:
+        return {}
+    return run_moat_process(pts, _sorted_closure_edges(closure, pts), weight_of)
+
+
+def moat_shares_sparse(
+    source: int,
+    members: Sequence[int],
+    edges: Sequence[tuple[int, int, float]],
+    weight_of: Callable[[int], float] | None = None,
+) -> dict[int, float]:
+    """The moat process over an explicit sparse metric: ``edges`` are
+    ``(a, b, w)`` index pairs into ``[source, *members]``.  Same schedule
+    semantics (and tie-breaking) as :func:`moat_shares`; components never
+    absorbing the source simply keep paying until the last merge, so the
+    shares still sum to the spanning-forest weight."""
+    pts = [source, *members]
+    if len(pts) <= 1:
+        return {}
+    return run_moat_process(pts, sort_moat_edges(pts, edges), weight_of)
+
+
+def run_moat_process(
+    pts: Sequence[int],
+    sorted_edges: Sequence[tuple[int, int, float]],
+    weight_of: Callable[[int], float] | None = None,
+) -> dict[int, float]:
+    """The shared Kruskal moat loop: ``pts[0]`` is the source; edges must
+    already be in Kruskal order (see :func:`sort_moat_edges`)."""
     k = len(pts)
     shares = [0.0] * k
-    if k <= 1:
-        return {}
     dsu = DisjointSet(range(k))
     birth = {i: 0.0 for i in range(k)}  # keyed by current component root
     src_root = 0
-    for a, b, t in _sorted_closure_edges(closure, pts):
+    for a, b, t in sorted_edges:
         ra, rb = dsu.find(a), dsu.find(b)
         if ra == rb:
             continue
@@ -93,17 +139,22 @@ def moat_shares(
     return {pts[i]: shares[i] for i in range(1, k)}
 
 
-def moat_mst_weight(closure: np.ndarray, source: int, members: Sequence[int]) -> float:
+def moat_mst_weight(closure, source: int, members: Sequence[int]) -> float:
     """MST weight of the metric closure over ``{source} + members`` (the
     total the moat shares sum to), accumulated in Kruskal acceptance order
     so the float matches the reference sum exactly."""
     pts = [source, *members]
-    k = len(pts)
-    if k <= 1:
+    if len(pts) <= 1:
         return 0.0
+    return kruskal_total(len(pts), _sorted_closure_edges(closure, pts))
+
+
+def kruskal_total(k: int, sorted_edges: Sequence[tuple[int, int, float]]) -> float:
+    """Spanning-forest weight of ``sorted_edges`` over ``k`` points,
+    accumulated in Kruskal acceptance order."""
     dsu = DisjointSet(range(k))
     total = 0.0
-    for a, b, w in _sorted_closure_edges(closure, pts):
+    for a, b, w in sorted_edges:
         if dsu.union(a, b):
             total += w
             if dsu.n_components == 1:

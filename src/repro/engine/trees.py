@@ -105,7 +105,73 @@ def water_filling_shares(tree: TreeIndex, receivers: Iterable[int]) -> dict[int,
     return {i: acc[i] for i in R}
 
 
-def efficient_set(tree: TreeIndex, profile: Mapping[int, float]) -> tuple[float, frozenset]:
+def water_filling_shares_many(
+    tree: TreeIndex, receiver_sets: Iterable[Iterable[int]]
+) -> list[dict[int, float]]:
+    """:func:`water_filling_shares` for many receiver sets in one pass.
+
+    All sets advance through the tree together: membership, subtree
+    counts and the per-node payment accumulation become ``(node, set)``
+    array columns, so one BFS sweep prices the whole batch — the kernel
+    behind ``run_many`` / sweep-wide xi batching.
+
+    Floats are **identical** to the serial kernel per set: the same
+    ``c_i - c_{i-1}`` subtractions and ``increment / suffix`` divisions
+    happen in the same left-to-right order (``np.cumsum`` accumulates
+    sequentially, and the inactive positions contribute exact ``0.0``
+    terms, which float addition ignores).
+    """
+    import numpy as np
+
+    sets = [set(R) - {tree.source} for R in receiver_sets]
+    n_sets = len(sets)
+    if n_sets == 0:
+        return []
+    n, source, parent = tree.n, tree.source, tree.parent
+    in_t = np.zeros((n, n_sets), dtype=bool)
+    cnt = np.zeros((n, n_sets), dtype=np.int64)
+    in_t[source, :] = True
+    for s, R in enumerate(sets):
+        for r in R:
+            cnt[r, s] = 1
+            x = r
+            while not in_t[x, s]:
+                in_t[x, s] = True
+                x = parent[x]
+    for x in reversed(tree.order):
+        if x != source:
+            np.add(cnt[parent[x]], cnt[x], out=cnt[parent[x]], where=in_t[x])
+    acc = np.zeros((n, n_sets))
+    for x in tree.order:
+        kids = tree.children[x]
+        if not kids:
+            continue
+        active = in_t[kids]  # (k, n_sets); child wired => parent wired
+        if not active.any():
+            continue
+        costs = np.asarray(tree.child_cost[x])
+        # prev[i] = cost of the last active child before i (costs are
+        # sorted ascending, so the running max IS the last active one).
+        running = np.maximum.accumulate(
+            np.where(active, costs[:, None], -np.inf), axis=0)
+        prev = np.vstack([np.full((1, n_sets), -np.inf), running[:-1]])
+        prev = np.where(np.isneginf(prev), 0.0, prev)
+        increment = costs[:, None] - prev
+        suffix = np.cumsum(cnt[kids][::-1], axis=0)[::-1]
+        term = np.where(
+            active & (increment > _EPS) & (suffix > 0),
+            increment / np.maximum(suffix, 1),
+            0.0,
+        )
+        pay = np.cumsum(term, axis=0)
+        acc[kids] = np.where(active, acc[x][None, :] + pay, acc[kids])
+    return [{i: float(acc[i, s]) for i in R} for s, R in enumerate(sets)]
+
+
+def efficient_set(
+    tree: TreeIndex, profile: Mapping[int, float],
+    agents: Iterable[int] | None = None,
+) -> tuple[float, frozenset]:
     """``(max net worth, largest efficient receiver set)`` of the
     universal-tree cost function — the bottom-up DP of
     :func:`repro.core.universal_tree_mechanisms.tree_efficient_set`,
@@ -117,8 +183,20 @@ def efficient_set(tree: TreeIndex, profile: Mapping[int, float]) -> tuple[float,
     child (cheaper children join exactly when their subtree value is
     non-negative) and the receiver set is rebuilt in one descent at the
     end.
+
+    ``agents`` optionally restricts who counts as a potential receiver:
+    other stations stay pure relays — they contribute no utility and no
+    set size, and never appear in the returned set.  ``None`` keeps the
+    historical "every non-source station" behaviour bit-identically.
     """
     n, source = tree.n, tree.source
+    if agents is None:
+        is_agent = [True] * n
+    else:
+        is_agent = [False] * n
+        for a in agents:
+            is_agent[a] = True
+    is_agent[source] = False
     val_w = [0.0] * n
     val_size = [0] * n
     choice = [-1] * n  # index into children[x] of the costliest activated child
@@ -138,17 +216,17 @@ def efficient_set(tree: TreeIndex, profile: Mapping[int, float]) -> tuple[float,
             if w > best_w + _EPS or (abs(w - best_w) <= _EPS and size > best_size):
                 best_w, best_size, best_j = w, size, j
         choice[v] = best_j
-        if v == source:
-            val_w[v], val_size[v] = best_w, best_size
-        else:
+        if is_agent[v]:
             val_w[v] = best_w + float(profile.get(v, 0.0))
             val_size[v] = best_size + 1
+        else:
+            val_w[v], val_size[v] = best_w, best_size
     # Rebuild the winning receiver set by replaying the choices.
     members: list[int] = []
     stack = [source]
     while stack:
         v = stack.pop()
-        if v != source:
+        if is_agent[v]:
             members.append(v)
         j = choice[v]
         if j < 0:

@@ -43,6 +43,14 @@ Node = Hashable
 
 _INF = float("inf")
 
+# ``distance_mode='auto'`` switches to terminal-sourced distance columns at
+# this node count.  Below it the full all-sources sweep is cheap and keeps
+# the historical bit-exact floats; above it the k reverse-graph Dijkstras
+# win asymptotically (O(k n^2) vs O(n^3) dense work) and the possible
+# last-ulp differences (reversed summation order along each path) are an
+# accepted trade at that scale.
+TERMINAL_COLUMNS_MIN_NODES = 192
+
 
 @dataclass(frozen=True)
 class Spider:
@@ -77,6 +85,7 @@ def find_min_ratio_spider(
     mode: str = "branch",
     max_dp_terminals: int = 16,
     counts: Mapping[Node, int] | None = None,
+    distance_mode: str = "auto",
 ) -> Spider | None:
     """Exact minimum-ratio spider over all centers.
 
@@ -92,11 +101,24 @@ def find_min_ratio_spider(
     *countable* covered terminals, and a spider must cover at least one.
     The structural "3+" requirement stays on the total covered terminals.
 
+    ``distance_mode`` picks how the terminal distance columns ``T[v, t]``
+    are computed.  ``'full'``: one all-sources lockstep sweep (the
+    historical path; also yields the full ``D`` the branch subset DP
+    needs).  ``'terminal'``: ``k`` reverse-graph Dijkstras sourced at the
+    terminals — O(k) instead of O(n) sweeps, the n=10^3..10^4 scaling
+    path; incompatible with the branch DP (which reads whole ``D`` rows)
+    and *not* guaranteed bit-identical to ``'full'`` (per-path sums
+    accumulate in the opposite order).  ``'auto'`` (default): terminal
+    columns whenever the branch DP is not engaged and the graph has at
+    least :data:`TERMINAL_COLUMNS_MIN_NODES` nodes, else full.
+
     Returns ``None`` when no spider covering ``min_terminals`` terminals
     exists (e.g. fewer terminals remain).
     """
     if mode not in ("classic", "branch"):
         raise ValueError(f"unknown spider mode: {mode!r}")
+    if distance_mode not in ("full", "terminal", "auto"):
+        raise ValueError(f"unknown distance mode: {distance_mode!r}")
     term_list = list(dict.fromkeys(terminals))
     k = len(term_list)
     if k < min_terminals:
@@ -117,8 +139,27 @@ def find_min_ratio_spider(
     node_list = graph.nodes()
     node_index = {u: a for a, u in enumerate(node_list)}
     n_nodes = len(node_list)
-    D = batched_dijkstra(node_weighted_arc_matrix(graph, weights, node_list))
-    T = D[:, [node_index[t] for t in term_list]] if k else np.zeros((n_nodes, 0))
+    term_cols = [node_index[t] for t in term_list]
+    needs_full = mode == "branch"  # the pair DP reads whole D rows per center
+    if distance_mode == "terminal" and needs_full:
+        raise ValueError(
+            "distance_mode='terminal' cannot serve the branch subset DP "
+            "(it needs all-sources distances); use mode='classic' or "
+            "distance_mode='full'/'auto'")
+    use_terminal = not needs_full and (
+        distance_mode == "terminal"
+        or (distance_mode == "auto" and n_nodes >= TERMINAL_COLUMNS_MIN_NODES))
+    arc = node_weighted_arc_matrix(graph, weights, node_list)
+    if use_terminal:
+        # dist(v -> t) read off a Dijkstra sourced at t on the transposed
+        # arc matrix: k sweeps instead of n.  D itself is never needed —
+        # the classic/prefix paths only consume terminal columns.
+        D = None
+        T = (batched_dijkstra(np.ascontiguousarray(arc.T), term_cols).T
+             if k else np.zeros((n_nodes, 0)))
+    else:
+        D = batched_dijkstra(arc)
+        T = D[:, term_cols] if k else np.zeros((n_nodes, 0))
 
     # Predecessor maps are only needed to walk the *winning* spider's legs;
     # recover them lazily with the deterministic dict Dijkstra.
@@ -223,7 +264,8 @@ def find_min_ratio_spider(
     else:
         S = info["S"]
         choice = info["choice"]
-        c_row = D[node_index[center]]
+        # Pair legs exist only in branch mode, where D was materialised.
+        c_row = D[node_index[center]] if D is not None else None
         while S:
             ch = choice[S]
             assert ch is not None
@@ -297,10 +339,11 @@ class NWSTState:
         min_terminals: int = 3,
         mode: str = "branch",
         counts: Mapping[Node, int] | None = None,
+        distance_mode: str = "auto",
     ) -> Spider | None:
         return find_min_ratio_spider(self.graph, self.weights, self.terminals,
                                      min_terminals=min_terminals, mode=mode,
-                                     counts=counts)
+                                     counts=counts, distance_mode=distance_mode)
 
     def contract_spider(self, spider: Spider) -> Node:
         """Shrink ``spider`` into a fresh meta-terminal; returns its id."""
@@ -376,9 +419,11 @@ class GreedySpiderSolver:
     ``mode='classic'`` the Klein-Ravi 2 ln k variant.
     """
 
-    def __init__(self, mode: str = "branch", min_terminals: int = 3) -> None:
+    def __init__(self, mode: str = "branch", min_terminals: int = 3,
+                 distance_mode: str = "auto") -> None:
         self.mode = mode
         self.min_terminals = min_terminals
+        self.distance_mode = distance_mode
 
     def solve(self, graph: Graph, weights: Mapping[Node, float],
               terminals: Sequence[Node]) -> NWSTSolution:
@@ -386,7 +431,8 @@ class GreedySpiderSolver:
         spiders: list[Spider] = []
         charged = 0.0
         while state.n_terminals > 2:
-            spider = state.min_ratio_spider(min_terminals=self.min_terminals, mode=self.mode)
+            spider = state.min_ratio_spider(min_terminals=self.min_terminals, mode=self.mode,
+                                            distance_mode=self.distance_mode)
             if spider is None:
                 break
             spiders.append(spider)

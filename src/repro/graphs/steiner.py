@@ -31,7 +31,7 @@ def _all_pairs_fast(graph: Graph | ArrayGraph) -> dict[Node, dict[Node, float]]:
     labels allow it (``0..n-1`` ints).  Distance-only consumers — the
     Dreyfus-Wagner programs below — get identical floats either way, so
     the coercion is pure speedup with no tie sensitivity."""
-    arr = as_array_backend(graph)
+    arr = as_array_backend(graph, prefer="auto")
     return all_pairs_dijkstra(graph if arr is None else arr)
 
 

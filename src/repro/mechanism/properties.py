@@ -103,6 +103,7 @@ def audit_profile_results(
     results: Sequence[MechanismResult],
     *,
     axioms: Sequence[str] = ("npt", "vp", "cost_recovery"),
+    bb_bound: float | None = None,
 ) -> dict:
     """Audit a batch of already-computed outcomes against the paper's
     basic axioms — the payload the sweep runner embeds per JSONL row.
@@ -115,8 +116,12 @@ def audit_profile_results(
     (via :func:`audit_basic_axioms` on the precomputed result) plus the
     empirical budget-balance factor of the *built* solution
     (:func:`bb_factor` against ``result.cost`` — charged/cost, exactly 1
-    for the budget-balanced Shapley mechanisms).  Only failures are
-    itemized, so clean rows stay compact.
+    for the budget-balanced Shapley mechanisms).  ``bb_bound`` optionally
+    enforces a declared budget-balance factor: a profile whose empirical
+    factor exceeds it (beyond float tolerance) is itemized as a
+    ``"bb_bound"`` failure — how the registry's ``bb_factor`` claims
+    (e.g. the approx family's audited 2x) become hard audit errors.
+    Only failures are itemized, so clean rows stay compact.
     """
     axioms = tuple(axioms)
     unknown = sorted(set(axioms) - {"npt", "vp", "cost_recovery"})
@@ -129,6 +134,8 @@ def audit_profile_results(
                                     optimal_cost=result.cost)
         factors.append(report["bb_factor"])
         failed = [axiom for axiom in axioms if not report[axiom]]
+        if bb_bound is not None and report["bb_factor"] > bb_bound * (1 + _EPS):
+            failed = [*failed, "bb_bound"]
         if failed:
             violations.append({
                 "profile": idx, "failed": failed,
@@ -137,7 +144,8 @@ def audit_profile_results(
     finite = [f for f in factors if f != float("inf")]
     return {
         "profiles": len(results),
-        "checked": list(axioms),
+        "checked": list(axioms) if bb_bound is None
+        else [*axioms, f"bb_bound<={bb_bound:g}"],
         "violations": violations,
         "bb_factor_max": max(finite) if finite else None,
     }

@@ -53,14 +53,20 @@ def make_profiles(network, source: int, scenario: ScenarioSpec,
                   profile_spec: ProfileSpec) -> list[dict[int, float]]:
     """The scenario's utility profiles (identical for every mechanism and
     every execution schedule — see :meth:`ProfileSpec.derive_seed`)."""
-    agents = [i for i in range(network.n) if i != source]
+    agents = scenario.agents()
     if profile_spec.generator == "constant":
         return [{a: profile_spec.scale for a in agents}
                 for _ in range(profile_spec.count)]
     from repro.analysis.instances import random_utilities
 
     rng = np.random.default_rng(profile_spec.derive_seed(scenario))
-    return [random_utilities(network, source, rng, scale=profile_spec.scale)
+    # Draw over every non-source station, then restrict: an explicit
+    # ``receivers`` subset must not perturb the rng stream, so scenarios
+    # without one keep byte-identical profiles across versions.
+    keep = set(agents)
+    return [{i: u for i, u in
+             random_utilities(network, source, rng, scale=profile_spec.scale).items()
+             if i in keep}
             for _ in range(profile_spec.count)]
 
 
@@ -90,9 +96,10 @@ def _item_row(item: SweepItem, results: Sequence, *,
         "summary": summarize_results(results),
     }
     if audit:
+        entry = registered(item.mechanism.name)
         row["audit"] = audit_profile_results(
             session.mechanism(item.mechanism), profiles, results,
-            axioms=registered(item.mechanism.name).guarantees)
+            axioms=entry.guarantees, bb_bound=entry.bb_factor)
     return row
 
 

@@ -14,11 +14,13 @@ from repro.api import (
 )
 from repro.api.registry import _REGISTRY
 from repro.core import (
+    BirdApproxMechanism,
     EuclideanJVMechanism,
     EuclideanMCMechanism,
     EuclideanShapleyMechanism,
     ExactMCMechanism,
     ExactShapleyMechanism,
+    JVApproxMechanism,
     UniversalTreeMCMechanism,
     UniversalTreeShapleyMechanism,
     WirelessMulticastMechanism,
@@ -27,8 +29,8 @@ from repro.core import (
 from repro.wireless import UniversalTree
 
 EXPECTED_NAMES = {
-    "euclid-mc", "euclid-shapley", "exact-mc", "exact-shapley", "jv",
-    "nwst", "tree-mc", "tree-shapley", "wireless",
+    "bird-approx", "euclid-mc", "euclid-shapley", "exact-mc", "exact-shapley",
+    "jv", "jv-approx", "nwst", "tree-mc", "tree-shapley", "wireless",
 }
 
 
@@ -75,7 +77,7 @@ def test_decorator_form_and_replace():
 class TestDirectConstructionParity:
     """Every registry name must price bit-identically to hand construction.
 
-    One alpha = 1 Euclidean scenario keeps all nine mechanisms valid
+    One alpha = 1 Euclidean scenario keeps every mechanism valid
     (including the §3.1 optimal ones) and the exponential exact oracles
     tractable.
     """
@@ -90,6 +92,8 @@ class TestDirectConstructionParity:
             "nwst": lambda: WirelessNWSTMechanism(network, 0),
             "wireless": lambda: WirelessMulticastMechanism(network, 0),
             "jv": lambda: EuclideanJVMechanism(network, 0),
+            "jv-approx": lambda: JVApproxMechanism(network, 0),
+            "bird-approx": lambda: BirdApproxMechanism(network, 0),
             "euclid-shapley": lambda: EuclideanShapleyMechanism(network, 0),
             "euclid-mc": lambda: EuclideanMCMechanism(network, 0),
             "exact-shapley": lambda: ExactShapleyMechanism(network, 0),

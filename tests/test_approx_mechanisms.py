@@ -1,0 +1,126 @@
+"""Tests for repro.core.approx_mechanisms (the scalable ``*-approx`` family)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import ScenarioSpec, available_mechanisms, make_mechanism
+from repro.api.registry import registered
+from repro.api.session import MulticastSession
+from repro.core.approx_mechanisms import BirdApproxMechanism, JVApproxMechanism
+from repro.graphs.mehlhorn import mehlhorn_aux_metric
+from repro.mechanism.properties import (
+    audit_profile_results,
+    check_cost_recovery,
+    check_npt,
+    check_vp,
+)
+
+
+def session(seed=0, n=16, receivers=None):
+    spec = ScenarioSpec.from_random(n=n, alpha=2.0, seed=seed)
+    if receivers is not None:
+        spec = dataclasses.replace(spec, receivers=tuple(receivers))
+    return MulticastSession(spec)
+
+
+def profiles_for(sess, count=5, seed=0, scale=3.0):
+    rng = np.random.default_rng(seed)
+    return [{i: float(rng.uniform(0.0, scale)) for i in sess.agents()}
+            for _ in range(count)]
+
+
+class TestRegistry:
+    def test_registered_with_bb_factor(self):
+        for name in ("jv-approx", "bird-approx"):
+            assert name in available_mechanisms()
+            entry = registered(name)
+            assert entry.bb_factor == 2.0
+            assert entry.method_of is not None
+
+    def test_make_mechanism(self):
+        sess = session()
+        assert isinstance(make_mechanism("jv-approx", sess), JVApproxMechanism)
+        assert isinstance(make_mechanism("bird-approx", sess),
+                          BirdApproxMechanism)
+
+
+class TestShares:
+    @pytest.mark.parametrize("name", ["jv-approx", "bird-approx"])
+    def test_shares_total_aux_mst_weight(self, name):
+        sess = session(1)
+        mech = sess.mechanism(name)
+        R = frozenset([1, 4, 7, 10, 13])
+        shares = mech.shares(R)
+        aux = mehlhorn_aux_metric(sess.network.as_dense(), [0, *sorted(R)])
+        _, mst_weight = aux.spanning_mst()
+        assert sum(shares.values()) == pytest.approx(mst_weight)
+        assert set(shares) == set(R)
+        assert all(s >= 0 for s in shares.values())
+
+    def test_empty_coalition(self):
+        mech = session(2).mechanism("jv-approx")
+        assert mech.shares(frozenset()) == {}
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", ["jv-approx", "bird-approx"])
+    def test_axioms_and_power_artifact(self, name):
+        sess = session(3)
+        mech = sess.mechanism(name)
+        for profile in profiles_for(sess, seed=3):
+            result = mech.run(profile)
+            assert check_npt(result)
+            assert check_vp(result, profile)
+            assert check_cost_recovery(result)
+            assert "power_cost" in result.extra
+            if result.receivers:
+                assert result.power is not None
+
+    @pytest.mark.parametrize("name", ["jv-approx", "bird-approx"])
+    def test_audit_enforces_declared_bb_bound(self, name):
+        sess = session(4)
+        mech = sess.mechanism(name)
+        profiles = profiles_for(sess, seed=4)
+        results = [mech.run(p) for p in profiles]
+        report = audit_profile_results(
+            mech, profiles, results,
+            bb_bound=registered(name).bb_factor)
+        assert report["violations"] == []
+        assert "bb_bound<=2" in report["checked"]
+        if report["bb_factor_max"] is not None:
+            assert report["bb_factor_max"] <= 2.0 + 1e-7
+
+    def test_bb_bound_violation_is_itemized(self):
+        sess = session(5)
+        mech = sess.mechanism("jv-approx")
+        profiles = profiles_for(sess, seed=5, count=2)
+        results = [mech.run(p) for p in profiles]
+        # the empirical factor is >= 1 by convention (1.0 for empty
+        # outcomes), so a sub-1 bound flags every profile
+        fake_bound = 0.5
+        report = audit_profile_results(mech, profiles, results,
+                                       bb_bound=fake_bound)
+        assert len(report["violations"]) == len(results)
+        for violation in report["violations"]:
+            assert "bb_bound" in violation["failed"]
+
+    def test_receivers_subset_restricts_agents(self):
+        recv = (1, 3, 5)
+        sess = session(6, receivers=recv)
+        mech = sess.mechanism("jv-approx")
+        assert mech.agents == sorted(recv)
+        profile = {i: 100.0 for i in recv}
+        result = mech.run(profile)
+        assert result.receivers <= frozenset(recv)
+
+    def test_session_batch_matches_serial(self):
+        sess = session(7)
+        profiles = profiles_for(sess, seed=7)
+        batch = sess.run_batch("bird-approx", profiles)
+        serial = [sess.mechanism("bird-approx").run(p) for p in profiles]
+        for a, b in zip(batch, serial):
+            assert a.receivers == b.receivers
+            assert a.shares == b.shares
+            assert a.cost == b.cost

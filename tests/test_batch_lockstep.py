@@ -1,0 +1,148 @@
+"""Tests for the sweep-wide vectorized xi path (engine.trees +
+engine.batch.run_profiles_lockstep).
+
+Bit-identity is the contract everywhere: the flat-array batch evaluator
+must produce the exact floats of the serial water-filling walk, and the
+lockstep driver must reproduce a plain ``run`` loop result-for-result
+(the final replay runs the real Moulin-Shenker driver over a warmed
+cache, so a mispredicted set costs time, never correctness).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec
+from repro.api.session import MulticastSession
+from repro.engine.batch import MethodCache, run_profiles_lockstep
+from repro.engine.trees import water_filling_shares, water_filling_shares_many
+from repro.geometry.points import uniform_points
+from repro.wireless.cost_graph import EuclideanCostGraph
+from repro.wireless.universal_tree import UniversalTree
+
+
+def tree_for(seed, n=12, kind="spt"):
+    net = EuclideanCostGraph(uniform_points(n, 2, rng=seed, side=6.0), 2.0)
+    return UniversalTree.build(net, 0, kind=kind)
+
+
+class TestWaterFillingMany:
+    @pytest.mark.parametrize("kind", ["spt", "mst", "star"])
+    def test_bit_identical_to_serial(self, kind):
+        tree = tree_for(0, kind=kind)
+        index = tree.index()
+        rng = np.random.default_rng(0)
+        sets = []
+        for _ in range(20):
+            size = int(rng.integers(0, 12))
+            sets.append(frozenset(
+                int(x) for x in rng.choice(range(1, 12), size=min(size, 11),
+                                           replace=False)))
+        batch = water_filling_shares_many(index, sets)
+        for R, got in zip(sets, batch):
+            assert got == water_filling_shares(index, R)  # exact floats
+
+    def test_empty_batch(self):
+        index = tree_for(1).index()
+        assert water_filling_shares_many(index, []) == []
+
+    def test_empty_and_full_sets(self):
+        index = tree_for(2).index()
+        sets = [frozenset(), frozenset(range(1, 12))]
+        batch = water_filling_shares_many(index, sets)
+        assert batch[0] == {}
+        assert batch[1] == water_filling_shares(index, sets[1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), kind=st.sampled_from(["spt", "mst"]))
+    def test_property_bit_identical(self, seed, kind):
+        tree = tree_for(seed % 50, n=9, kind=kind)
+        index = tree.index()
+        rng = np.random.default_rng(seed)
+        sets = [frozenset(int(x) for x in rng.choice(
+            range(1, 9), size=int(rng.integers(1, 9)), replace=False))
+            for _ in range(8)]
+        batch = water_filling_shares_many(index, sets)
+        for R, got in zip(sets, batch):
+            assert got == water_filling_shares(index, R)
+
+
+class TestMethodCachePut:
+    def test_put_seeds_and_contains(self):
+        calls = []
+
+        def method(R):
+            calls.append(R)
+            return {i: 1.0 for i in R}
+
+        cache = MethodCache(method)
+        R = frozenset([1, 2])
+        assert R not in cache
+        cache.put(R, {1: 0.5, 2: 0.5})
+        assert R in cache
+        assert cache(R) == {1: 0.5, 2: 0.5}
+        assert calls == []  # the underlying method never ran
+
+    def test_put_is_first_writer_wins(self):
+        cache = MethodCache(lambda R: {})
+        R = frozenset([3])
+        cache.put(R, {3: 1.0})
+        cache.put(R, {3: 9.0})
+        assert cache(R) == {3: 1.0}
+
+
+class TestRunProfilesLockstep:
+    def test_matches_serial_session_runs(self):
+        spec = ScenarioSpec.from_random(n=14, alpha=2.0, seed=4)
+        rng = np.random.default_rng(4)
+        profiles = [{i: float(rng.uniform(0, 4)) for i in range(1, 14)}
+                    for _ in range(10)]
+        batch = MulticastSession(spec).run_batch("tree-shapley", profiles)
+        serial_sess = MulticastSession(spec)
+        serial = [serial_sess.mechanism("tree-shapley").run(p)
+                  for p in profiles]
+        for a, b in zip(batch, serial):
+            assert a.receivers == b.receivers
+            assert a.shares == b.shares
+            assert a.cost == b.cost
+            assert a.extra == b.extra
+
+    def test_lockstep_seeds_cache_with_batch_evals(self):
+        tree = tree_for(5)
+        index = tree.index()
+        serial_calls = []
+
+        def xi(R):
+            serial_calls.append(R)
+            return water_filling_shares(index, R)
+
+        def many(sets):
+            return water_filling_shares_many(index, sets)
+
+        cache = MethodCache(xi)
+        agents = list(range(1, 12))
+        rng = np.random.default_rng(5)
+        profiles = [{i: float(rng.uniform(0, 4)) for i in agents}
+                    for _ in range(6)]
+        results = run_profiles_lockstep(agents, many, profiles, method=cache)
+        assert len(results) == 6
+        # every set the drop loop visited was batch-evaluated: the serial
+        # method never ran
+        assert serial_calls == []
+
+    def test_single_profile(self):
+        tree = tree_for(6)
+        index = tree.index()
+        cache = MethodCache(lambda R: water_filling_shares(index, R))
+        agents = list(range(1, 12))
+        profile = {i: 2.0 for i in agents}
+        from repro.mechanism.moulin_shenker import moulin_shenker
+
+        [got] = run_profiles_lockstep(
+            agents, lambda sets: water_filling_shares_many(index, sets),
+            [profile], method=cache)
+        want = moulin_shenker(
+            agents, lambda R: water_filling_shares(index, R), profile)
+        assert got.receivers == want.receivers
+        assert got.shares == want.shares

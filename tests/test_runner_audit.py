@@ -99,8 +99,8 @@ class TestAcceptanceAuditGrid:
     def test_all_mechanisms_all_layouts_zero_violations(self):
         # alpha=1 is the regime where *every* registered mechanism is
         # defined (the exact Euclidean mechanisms are alpha=1/d=1 only),
-        # so one grid covers all 9 x all 5 layout families; 3 epochs of
-        # churn turn the 90 items into 270 audited rows.
+        # so one grid covers all 11 x all 5 layout families; 3 epochs of
+        # churn turn the 110 items into 330 audited rows.
         spec = SweepSpec(
             ns=(6,), alphas=(1.0,), seeds=(0, 1), layouts=ALL_LAYOUTS,
             mechanisms=available_mechanisms(),
@@ -108,10 +108,10 @@ class TestAcceptanceAuditGrid:
             churn=ChurnSpec(epochs=3, seed=11, join_rate=0.3,
                             leave_rate=0.3, move_rate=0.1, move_scale=0.3),
         )
-        assert len(available_mechanisms()) == 9
-        assert spec.n_rows() == 270
+        assert len(available_mechanisms()) == 11
+        assert spec.n_rows() == 330
         rows = run_sweep(spec, workers=2, audit=True)
-        assert len(rows) == 270
+        assert len(rows) == 330
         violations = [(row["item"], row["epoch"], row["audit"]["violations"])
                       for row in rows if row["audit"]["violations"]]
         assert violations == []
@@ -132,5 +132,5 @@ class TestAcceptanceAuditGrid:
                             leave_rate=0.25, move_rate=0.15, move_scale=0.4),
         )
         rows = run_sweep(spec, workers=2, audit=True)
-        assert len(rows) == spec.n_rows() == 105
+        assert len(rows) == spec.n_rows() == 135
         assert all(row["audit"]["violations"] == [] for row in rows)

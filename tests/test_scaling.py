@@ -1,0 +1,161 @@
+"""Scaling-path tests: auto backend dispatch, terminal-sourced NWST
+distance columns, and the large-n axiom audit.
+
+The fast tests pin the dispatch/equivalence contracts at small sizes
+(thresholds monkeypatched down); the ``slow``-marked audit prices a real
+n=500 grid through the registry and requires zero axiom violations plus
+the approx family's declared 2x budget-balance bound.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.engine.backend as backend_mod
+from repro.api import ScenarioSpec
+from repro.api.registry import registered
+from repro.api.session import MulticastSession
+from repro.engine.backend import as_array_backend
+from repro.engine.dense import CSRGraph, DenseGraph
+from repro.graphs.adjacency import Graph
+from repro.graphs.nwst import GreedySpiderSolver, find_min_ratio_spider
+from repro.mechanism.properties import audit_profile_results
+
+
+def sparse_graph(n, extra=0, seed=0):
+    g = Graph()
+    g.add_nodes(range(n))
+    rng = np.random.default_rng(seed)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, float(rng.uniform(0.5, 2.0)))
+    for _ in range(extra):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v), float(rng.uniform(0.5, 2.0)))
+    return g
+
+
+class TestAutoBackend:
+    def test_small_graph_densifies(self):
+        assert isinstance(as_array_backend(sparse_graph(10), prefer="auto"),
+                          DenseGraph)
+
+    def test_large_sparse_routes_to_csr(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "AUTO_CSR_MIN_NODES", 16)
+        assert isinstance(as_array_backend(sparse_graph(32), prefer="auto"),
+                          CSRGraph)
+
+    def test_large_dense_still_densifies(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "AUTO_CSR_MIN_NODES", 16)
+        g = Graph()
+        g.add_nodes(range(24))
+        for i in range(24):
+            for j in range(i + 1, 24):
+                g.add_edge(i, j, 1.0)
+        assert isinstance(as_array_backend(g, prefer="auto"), DenseGraph)
+
+    def test_force_overrides_auto(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "AUTO_CSR_MIN_NODES", 16)
+        g = sparse_graph(32)
+        assert isinstance(as_array_backend(g, prefer="dense"), DenseGraph)
+        assert isinstance(as_array_backend(g, prefer="csr"), CSRGraph)
+
+    def test_unknown_preference_rejected(self):
+        with pytest.raises(ValueError, match="preference"):
+            as_array_backend(sparse_graph(5), prefer="sparse")
+
+    def test_non_contiguous_labels_stay_none(self):
+        g = Graph()
+        g.add_nodes(["a", "b"])
+        g.add_edge("a", "b", 1.0)
+        assert as_array_backend(g, prefer="auto") is None
+
+
+class TestNWSTDistanceMode:
+    def instance(self, seed, n=24, k=6):
+        g = sparse_graph(n, extra=n, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        terms = sorted(int(t) for t in rng.choice(n, size=k, replace=False))
+        w = {i: float(rng.uniform(0.1, 2.0)) for i in range(n)}
+        for t in terms:
+            w[t] = 0.0
+        return g, w, terms
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_terminal_matches_full_classic(self, seed):
+        g, w, terms = self.instance(seed)
+        full = find_min_ratio_spider(g, w, terms, mode="classic",
+                                     distance_mode="full")
+        term = find_min_ratio_spider(g, w, terms, mode="classic",
+                                     distance_mode="terminal")
+        assert (full is None) == (term is None)
+        if full is not None:
+            assert term.cost == pytest.approx(full.cost)
+            assert term.terminals == full.terminals
+            assert term.center == full.center
+
+    def test_terminal_rejected_for_branch_dp(self):
+        g, w, terms = self.instance(0)
+        with pytest.raises(ValueError, match="branch subset DP"):
+            find_min_ratio_spider(g, w, terms, mode="branch",
+                                  distance_mode="terminal")
+
+    def test_branch_downgrade_unlocks_terminal_columns(self, monkeypatch):
+        import repro.graphs.nwst as nwst_mod
+
+        monkeypatch.setattr(nwst_mod, "TERMINAL_COLUMNS_MIN_NODES", 8)
+        g, w, terms = self.instance(1, n=40, k=20)
+        # k > max_dp_terminals downgrades branch to the classic prefix
+        # search, where auto may take the terminal-sourced path
+        auto = find_min_ratio_spider(g, w, terms, mode="branch",
+                                     distance_mode="auto")
+        full = find_min_ratio_spider(g, w, terms, mode="branch",
+                                     distance_mode="full")
+        assert auto.cost == pytest.approx(full.cost)
+        assert auto.terminals == full.terminals
+
+    def test_auto_below_threshold_is_bit_identical_to_full(self):
+        g, w, terms = self.instance(2)
+        auto = find_min_ratio_spider(g, w, terms, mode="branch",
+                                     distance_mode="auto")
+        full = find_min_ratio_spider(g, w, terms, mode="branch",
+                                     distance_mode="full")
+        assert auto == full
+
+    def test_unknown_mode_rejected(self):
+        g, w, terms = self.instance(3)
+        with pytest.raises(ValueError, match="distance mode"):
+            find_min_ratio_spider(g, w, terms, distance_mode="reverse")
+
+    @pytest.mark.parametrize("distance_mode", ["full", "terminal"])
+    def test_solver_end_to_end(self, distance_mode):
+        g, w, terms = self.instance(4)
+        sol = GreedySpiderSolver(mode="classic",
+                                 distance_mode=distance_mode).solve(g, w, terms)
+        assert sol.cost <= sol.charged + 1e-9
+
+
+@pytest.mark.slow
+class TestLargeNAudit:
+    """The n=500 acceptance grid: every scalable mechanism must audit
+    clean (zero axiom violations; the approx family additionally within
+    its declared 2x budget-balance bound)."""
+
+    def test_n500_grid_audits_clean(self):
+        spec = dataclasses.replace(
+            ScenarioSpec.from_random(n=500, alpha=2.0, seed=0),
+            receivers=tuple(range(1, 13)))
+        sess = MulticastSession(spec)
+        rng = np.random.default_rng(0)
+        profiles = [{i: float(rng.uniform(0.0, 40.0)) for i in sess.agents()}
+                    for _ in range(4)]
+        for name in ("tree-shapley", "jv", "jv-approx", "bird-approx"):
+            entry = registered(name)
+            results = sess.run_batch(name, profiles)
+            report = audit_profile_results(
+                sess.mechanism(name), profiles, results,
+                axioms=entry.guarantees, bb_bound=entry.bb_factor)
+            assert report["violations"] == [], (name, report)
+            if entry.bb_factor is not None:
+                assert report["bb_factor_max"] <= entry.bb_factor + 1e-7
