@@ -10,7 +10,10 @@ The whole `repro.service` loop without opening a socket:
 3. verify every response is bit-identical to a direct cold
    MulticastSession run (the serving machinery may only change speed);
 4. show the observability surface: store hits/misses/evictions/
-   coalescing, batcher windows, and per-status HTTP counters.
+   coalescing, batcher windows, per-status HTTP counters, and the
+   Prometheus-style metrics snapshot the registry accumulated
+   (per-stage latency means, flush occupancy) — the same families
+   ``GET /metrics`` serves over the wire.
 
 Run with ``PYTHONPATH=src python examples/service_demo.py``.
 """
@@ -22,6 +25,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.api import MulticastSession, ScenarioSpec, result_to_dict
+from repro.observability import parse_exposition, sample_total
 from repro.service import CostSharingService, ServiceClient
 
 MECHANISMS = ["tree-shapley", "tree-mc", "jv"]
@@ -61,13 +65,14 @@ async def drive(workload) -> tuple[list[dict], dict]:
         assert status == 200, payload
 
     _, stats = await client.stats()
+    _, metrics_text = await client.metrics()
     await service.drain()
-    return [payload for _, payload in responses], stats
+    return [payload for _, payload in responses], stats, metrics_text
 
 
 def main() -> None:
     workload = build_workload()
-    payloads, stats = asyncio.run(drive(workload))
+    payloads, stats, metrics_text = asyncio.run(drive(workload))
 
     # The serving contract: bit-identical to direct cold construction.
     mismatches = 0
@@ -103,6 +108,23 @@ def main() -> None:
     )
     print(f"http: {stats['http']['responses']}")
     assert batcher["max_batch_size"] >= 2, "burst should have shared a flush window"
+
+    # The metrics snapshot — the same exposition `GET /metrics` serves.
+    parsed = parse_exposition(metrics_text)
+    stage_means = []
+    for stage in ("parse", "queue", "build", "execute", "serialize"):
+        count = sample_total(parsed, "repro_stage_seconds_count", {"stage": stage})
+        total = sample_total(parsed, "repro_stage_seconds_sum", {"stage": stage})
+        stage_means.append(f"{stage} {total / count * 1e3:.2f}ms" if count else f"{stage} -")
+    flushes = sample_total(parsed, "repro_batch_occupancy_count")
+    solo = sample_total(parsed, "repro_batch_occupancy_bucket", {"le": "1"})
+    print(f"metrics: {len(parsed['types'])} families; stage means " + " | ".join(stage_means))
+    print(
+        f"metrics: {int(flushes - solo)}/{int(flushes)} flushes held more than "
+        f"one request; xi cache hits "
+        f"{int(sample_total(parsed, 'repro_xi_cache_total', {'result': 'hit'}))}"
+    )
+    assert "metrics" in stats, "stats payload should embed the registry snapshot"
     print("every response bit-identical to direct construction — serving adds speed, not drift")
 
 

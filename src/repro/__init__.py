@@ -29,6 +29,12 @@ Layering (each layer only depends on the ones above it):
   executing in-flight requests per scenario on shared caches, and the
   asyncio HTTP/JSON endpoint with explicit 429 backpressure (the
   online entry path — ``python -m repro serve`` / ``loadgen``);
+* :mod:`repro.observability` — the telemetry layer beside all of the
+  above: a thread-safe stdlib metrics registry (counters/gauges/
+  histograms in labeled families, Prometheus text exposition on
+  ``GET /metrics``), an event bus, structured JSON request logs, and
+  the :class:`~repro.observability.AdaptiveController` closing the
+  loop from observed traffic back onto the serving knobs;
 * :mod:`repro.analysis` — instances, experiments, tables.
 
 The most common entry points are re-exported here; run
@@ -70,6 +76,13 @@ from repro.dynamic import (
 from repro.engine import CSRGraph, DenseGraph
 from repro.geometry import LAYOUT_FAMILIES, PointSet, layout_points, uniform_points
 from repro.mechanism import MechanismResult
+from repro.observability import (
+    AdaptiveController,
+    EventBus,
+    MetricsRegistry,
+    RequestLogger,
+    default_registry,
+)
 from repro.runner import ProfileSpec, SweepSpec, run_sweep
 from repro.service import (
     CostSharingService,
@@ -80,9 +93,10 @@ from repro.service import (
 )
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
+    "AdaptiveController",
     "CSRGraph",
     "ChurnSpec",
     "CostGraph",
@@ -91,6 +105,9 @@ __all__ = [
     "DynamicScenarioSpec",
     "DynamicSession",
     "EuclideanCostGraph",
+    "EventBus",
+    "MetricsRegistry",
+    "RequestLogger",
     "EuclideanJVMechanism",
     "EuclideanMCMechanism",
     "EuclideanShapleyMechanism",
@@ -114,6 +131,7 @@ __all__ = [
     "WirelessMulticastMechanism",
     "WirelessNWSTMechanism",
     "available_mechanisms",
+    "default_registry",
     "layout_points",
     "make_mechanism",
     "register_mechanism",

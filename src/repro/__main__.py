@@ -40,6 +40,19 @@ Three modes:
 
       python -m repro serve --port 8123 --cache-size 64 --batch-window 0.005
       python -m repro loadgen --port 8123 --requests 100 --concurrency 8
+
+  The server exposes Prometheus text metrics on ``GET /metrics``, writes
+  structured JSON request logs with ``--request-log``, and adapts its
+  batch window and LRU capacity from observed traffic unless
+  ``--no-adapt``; ``loadgen`` scrapes the metrics and summarizes
+  per-stage latency next to its client-side percentiles.
+
+* **Telemetry snapshots** (``metrics-dump``): one JSON dump of the
+  metrics — scraped from a running service, or accumulated in-process by
+  running a sweep spec::
+
+      python -m repro metrics-dump --port 8123
+      python -m repro metrics-dump --spec sweep.json
 """
 
 from __future__ import annotations
@@ -422,28 +435,69 @@ def serve_command(argv: list[str]) -> int:
     parser.add_argument("--queue-limit", type=int, default=128,
                         help="admitted in-flight requests beyond which new "
                              "ones are answered 429 + Retry-After")
+    parser.add_argument("--no-adapt", action="store_true",
+                        help="disable the adaptive controller (keep "
+                             "--batch-window and --cache-size fixed)")
+    parser.add_argument("--adapt-interval", type=float, default=0.5,
+                        help="adaptive-controller tick interval in seconds")
+    parser.add_argument("--request-log", default=None, metavar="PATH",
+                        help="append one JSON line per priced request "
+                             "('-' = stderr)")
     args = parser.parse_args(argv)
 
+    from repro.observability import AdaptiveController, RequestLogger
+
+    request_log = (RequestLogger.open(args.request_log)
+                   if args.request_log else None)
     try:
         service = CostSharingService(
             cache_size=args.cache_size, batch_window=args.batch_window,
-            max_batch=args.max_batch, queue_limit=args.queue_limit)
+            max_batch=args.max_batch, queue_limit=args.queue_limit,
+            request_log=request_log)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    controller = None
+    if not args.no_adapt:
+        # Bounds derived from the operator's flags: the controller may
+        # roam one order of magnitude around them, never further.  A
+        # zero flag disables that knob entirely.
+        controller = AdaptiveController(
+            service, interval=args.adapt_interval,
+            min_window=args.batch_window / 8, max_window=args.batch_window * 8,
+            min_capacity=max(1, args.cache_size // 4),
+            max_capacity=args.cache_size * 4)
+        controller.bus.subscribe(
+            lambda event: print(
+                f"adapt: {event['knob']} {event['previous']} -> "
+                f"{event['value']} ({event['reason']})", flush=True))
 
     def ready(server) -> None:
         # Machine-readable: loadgen/CI scrape the port from this line.
         print(f"serving on http://{args.host}:{server.port}", flush=True)
 
+    async def serve_main() -> None:
+        task = (asyncio.ensure_future(controller.run())
+                if controller is not None else None)
+        try:
+            await run_server(service, args.host, args.port, ready=ready)
+        finally:
+            if task is not None:
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+
     try:
-        asyncio.run(run_server(service, args.host, args.port, ready=ready))
+        asyncio.run(serve_main())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
+    finally:
+        if request_log is not None:
+            request_log.close()
     return 0
 
 
@@ -519,6 +573,77 @@ def loadgen_command(argv: list[str]) -> int:
     return 1 if failures else 0
 
 
+def metrics_dump_command(argv: list[str]) -> int:
+    """The ``metrics-dump`` subcommand: one JSON telemetry snapshot —
+    either scraped from a running service's ``/metrics`` or accumulated
+    by running a sweep in-process against the default registry."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics-dump",
+        description="Dump a metrics snapshot as JSON: scrape a running "
+                    "service (--port) or run a sweep spec in-process "
+                    "(--spec) and report the default registry.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="scrape GET /metrics from a running service")
+    parser.add_argument("--spec", default=None, metavar="PATH",
+                        help="run this sweep spec serially in-process and "
+                             "dump the sweep/session telemetry it produced")
+    parser.add_argument("--raw", action="store_true",
+                        help="with --port: print the raw Prometheus text "
+                             "instead of JSON")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the snapshot here instead of stdout")
+    args = parser.parse_args(argv)
+
+    if (args.port is None) == (args.spec is None):
+        print("error: give exactly one of --port or --spec", file=sys.stderr)
+        return 2
+
+    if args.port is not None:
+        import http.client
+
+        from repro.observability import parse_exposition
+
+        try:
+            connection = http.client.HTTPConnection(args.host, args.port,
+                                                    timeout=30.0)
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            status = response.status
+            connection.close()
+        except OSError as exc:
+            print(f"error: cannot scrape {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if status != 200:
+            print(f"error: GET /metrics answered {status}", file=sys.stderr)
+            return 2
+        output = text if args.raw else json.dumps(
+            parse_exposition(text), indent=2, sort_keys=True)
+    else:
+        from repro.observability import default_registry
+        from repro.runner import SweepSpec, run_sweep
+
+        try:
+            spec = SweepSpec.from_json(open(args.spec).read())
+            rows = run_sweep(spec, workers=1)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        snapshot = default_registry().snapshot()
+        output = json.dumps({"rows": len(rows), "metrics": snapshot},
+                            indent=2, sort_keys=True)
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output if output.endswith("\n") else output + "\n")
+    else:
+        print(output)
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "run":
         return run_command(argv[1:])
@@ -530,6 +655,8 @@ def main(argv: list[str]) -> int:
         return serve_command(argv[1:])
     if argv and argv[0] == "loadgen":
         return loadgen_command(argv[1:])
+    if argv and argv[0] == "metrics-dump":
+        return metrics_dump_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)
     unknown = [w for w in wanted if w not in RUNNERS]
     if unknown:

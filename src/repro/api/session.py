@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import inspect
 import threading
+import time
 from collections.abc import Iterable, Mapping
 
 from repro.api.spec import MechanismSpec, ScenarioSpec
@@ -55,7 +56,7 @@ class MulticastSession:
     """
 
     def __init__(self, scenario: ScenarioSpec | CostGraph | Mapping, *,
-                 source: int | None = None) -> None:
+                 source: int | None = None, registry=None) -> None:
         if isinstance(scenario, CostGraph):
             self._network = scenario
             scenario = ScenarioSpec.from_network(scenario, source=source or 0)
@@ -73,6 +74,22 @@ class MulticastSession:
                 f"source={source} conflicts with the spec's source={scenario.source}"
             )
         self.scenario = scenario
+        # Telemetry is strictly opt-in: without a registry the session
+        # publishes nothing and pays nothing (direct constructions keep
+        # their benchmarked facade overhead).
+        if registry is not None:
+            self._h_build = registry.histogram(
+                "repro_session_build_seconds",
+                "Scenario artifact build latency (seconds)",
+                labels=("artifact",))
+            xi = registry.counter(
+                "repro_xi_cache_total", "Memoised xi(R) lookups by outcome",
+                labels=("result",))
+            self._xi_counters = (xi.labels(result="hit"),
+                                 xi.labels(result="miss"))
+        else:
+            self._h_build = None
+            self._xi_counters = None
         self._lock = threading.RLock()
         self._trees: dict[str, UniversalTree] = {}
         self._closure = None
@@ -86,12 +103,23 @@ class MulticastSession:
     def source(self) -> int:
         return self.scenario.source
 
+    def _timed_build(self, artifact: str, build):
+        """Run one lazy artifact build, observing its latency when a
+        registry is attached (called with the session lock held)."""
+        if self._h_build is None:
+            return build()
+        t0 = time.perf_counter()
+        built = build()
+        self._h_build.labels(artifact=artifact).observe(time.perf_counter() - t0)
+        return built
+
     @property
     def network(self) -> CostGraph:
         """The scenario's network (built once)."""
         with self._lock:
             if self._network is None:
-                self._network = self.scenario.build_network()
+                self._network = self._timed_build(
+                    "network", self.scenario.build_network)
             return self._network
 
     def agents(self) -> list[int]:
@@ -108,7 +136,9 @@ class MulticastSession:
         with self._lock:
             tree = self._trees.get(kind)
             if tree is None:
-                tree = UniversalTree.build(self.network, self.source, kind)
+                tree = self._timed_build(
+                    "tree",
+                    lambda: UniversalTree.build(self.network, self.source, kind))
                 self._trees[kind] = tree
             return tree
 
@@ -119,7 +149,8 @@ class MulticastSession:
             if self._closure is None:
                 from repro.core.jv_steiner import metric_closure_matrix
 
-                self._closure = metric_closure_matrix(self.network)
+                self._closure = self._timed_build(
+                    "closure", lambda: metric_closure_matrix(self.network))
             return self._closure
 
     def terminal_closure(self):
@@ -140,8 +171,9 @@ class MulticastSession:
                 from repro.engine.closure import TerminalClosure
 
                 terminals = [self.source, *self.scenario.receivers]
-                self._terminal_closure = TerminalClosure.from_network(
-                    self.network, terminals)
+                self._terminal_closure = self._timed_build(
+                    "closure",
+                    lambda: TerminalClosure.from_network(self.network, terminals))
             return self._terminal_closure
 
     # -- mechanisms ---------------------------------------------------------
@@ -204,7 +236,9 @@ class MulticastSession:
                 entry = registered(name)
                 if entry.method_of is None:
                     return None
-                cache = MethodCache(entry.method_of(self.mechanism(name, **params)))
+                cache = MethodCache(
+                    entry.method_of(self.mechanism(name, **params)),
+                    counters=self._xi_counters)
                 self._method_caches[key] = cache
             return cache
 

@@ -90,7 +90,7 @@ class DynamicSession:
     """
 
     def __init__(self, spec: DynamicScenarioSpec | Mapping, *,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True, registry=None) -> None:
         if isinstance(spec, Mapping):
             spec = DynamicScenarioSpec.from_dict(spec)
         if not isinstance(spec, DynamicScenarioSpec):
@@ -98,6 +98,7 @@ class DynamicSession:
                 f"spec must be a DynamicScenarioSpec or mapping, got {type(spec).__name__}")
         self.spec = spec
         self.incremental = bool(incremental)
+        self._registry = registry
         self._session: MulticastSession | None = None
         self._session_epoch: int | None = None
         self._max_epoch: int | None = None  # high-water mark of carried credit
@@ -126,6 +127,30 @@ class DynamicSession:
             "xi_entries_carried": 0,
             "results_reused": 0,
         }
+        # Registry mirror of the reuse counters (one counter family per
+        # key); the plain dict stays authoritative either way.
+        if registry is not None:
+            help_by_key = {
+                "epochs_replayed": "Epochs priced (carried or rebuilt)",
+                "sessions_built": "Cold session rebuilds forced by moves",
+                "sessions_carried": "Sessions carried across an epoch boundary",
+                "trees_carried": "Universal trees that survived a boundary",
+                "closures_carried": "Metric closures that survived a boundary",
+                "xi_entries_carried": "Memoised xi entries that survived a boundary",
+                "results_reused": "Exact (mechanism, profile) result reuses",
+            }
+            self._metrics = {
+                key: registry.counter(f"repro_dynamic_{key}_total",
+                                      help_by_key[key])
+                for key in self.counters
+            }
+        else:
+            self._metrics = None
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+        if self._metrics is not None and amount:
+            self._metrics[key].inc(amount)
 
     # -- epoch state --------------------------------------------------------
     @property
@@ -161,19 +186,19 @@ class DynamicSession:
                     self._max_epoch is None or epoch > self._max_epoch):
                 self._max_epoch = epoch
                 info = self._session.cache_info()
-                self.counters["sessions_carried"] += 1
-                self.counters["epochs_replayed"] += 1
+                self._bump("sessions_carried")
+                self._bump("epochs_replayed")
                 # Credit each distinct artifact the first time it crosses
                 # an epoch boundary alive (misses == xi entries created).
                 new_trees = set(info["trees"]) - self._counted_trees
-                self.counters["trees_carried"] += len(new_trees)
+                self._bump("trees_carried", len(new_trees))
                 self._counted_trees |= new_trees
                 if info["closure_built"] and not self._counted_closure:
-                    self.counters["closures_carried"] += 1
+                    self._bump("closures_carried")
                     self._counted_closure = True
                 xi_entries = sum(m["misses"] for m in info["methods"].values())
-                self.counters["xi_entries_carried"] += max(
-                    0, xi_entries - self._counted_xi)
+                self._bump("xi_entries_carried",
+                           max(0, xi_entries - self._counted_xi))
                 self._counted_xi = max(self._counted_xi, xi_entries)
                 # Rotate the result memo: the finished epoch becomes the
                 # repeat window, the new epoch starts fresh.
@@ -183,7 +208,7 @@ class DynamicSession:
             return self._session
         if self._session is None or epoch != self._session_epoch or (
                 self._session.scenario != scenario):
-            self._session = MulticastSession(scenario)
+            self._session = MulticastSession(scenario, registry=self._registry)
             self._session_epoch = epoch
             self._result_memo.clear()
             self._result_memo_prev = {}
@@ -191,8 +216,8 @@ class DynamicSession:
             self._counted_closure = False
             self._counted_xi = 0
             self._max_epoch = epoch
-            self.counters["sessions_built"] += 1
-            self.counters["epochs_replayed"] += 1
+            self._bump("sessions_built")
+            self._bump("epochs_replayed")
         return self._session
 
     def epoch_profiles(self, epoch: int, profile_spec) -> list[dict[int, float]]:
@@ -226,11 +251,11 @@ class DynamicSession:
                 if found is None:
                     found = session.run(mechanism, profile)
                 else:
-                    self.counters["results_reused"] += 1
+                    self._bump("results_reused")
                 if len(self._result_memo) < RESULT_MEMO_LIMIT:
                     self._result_memo[key] = found
             else:
-                self.counters["results_reused"] += 1
+                self._bump("results_reused")
             out.append(found)
         return out
 

@@ -51,31 +51,47 @@ class MethodCache:
     on the same cold key may both compute ``xi`` (purity makes the
     duplicate harmless; the first writer's dict wins and the loser counts
     a hit), but no thread ever observes a partially-built entry.
+
+    ``counters`` optionally mirrors every hit/miss into a pair of
+    external instruments with an ``inc()`` method (the session facade
+    passes registry counters) — the plain ``hits``/``misses`` attributes
+    stay authoritative either way.
     """
 
-    def __init__(self, method: Method) -> None:
+    def __init__(self, method: Method, *, counters=None) -> None:
         self._method = method
         self._cache: dict[frozenset, dict[Agent, float]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self._on_hit, self._on_miss = counters if counters else (None, None)
+
+    def _count_hit(self) -> None:
+        self.hits += 1
+        if self._on_hit is not None:
+            self._on_hit.inc()
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if self._on_miss is not None:
+            self._on_miss.inc()
 
     def __call__(self, R: frozenset) -> dict[Agent, float]:
         key = frozenset(R)
         with self._lock:
             found = self._cache.get(key)
             if found is not None:
-                self.hits += 1
+                self._count_hit()
                 return dict(found)
         computed = dict(self._method(key))
         with self._lock:
             found = self._cache.get(key)
             if found is None:
                 self._cache[key] = computed
-                self.misses += 1
+                self._count_miss()
                 found = computed
             else:
-                self.hits += 1
+                self._count_hit()
         return dict(found)
 
     def put(self, R: frozenset, shares: Mapping[Agent, float]) -> None:
@@ -87,7 +103,7 @@ class MethodCache:
         with self._lock:
             if key not in self._cache:
                 self._cache[key] = dict(shares)
-                self.misses += 1
+                self._count_miss()
 
     def __contains__(self, R: frozenset) -> bool:
         with self._lock:

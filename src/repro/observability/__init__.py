@@ -1,0 +1,66 @@
+"""repro.observability — the telemetry layer every other layer reports to.
+
+The reproduction stack is engine → api → runner/dynamic → service; this
+package is the fifth layer beside them, the one the other four publish
+into.  It is stdlib-only and deliberately small:
+
+* :mod:`~repro.observability.metrics` — thread-safe ``Counter`` /
+  ``Gauge`` / ``Histogram`` instruments in labeled families, registered
+  in a :class:`MetricsRegistry` whose single lock makes compound
+  updates and snapshots atomic; Prometheus text exposition
+  (:meth:`MetricsRegistry.render`) and a matching
+  :func:`parse_exposition` scraper; a process-wide
+  :func:`default_registry` plus injectable instances, and a no-op
+  :class:`NullRegistry` for overhead baselines.
+* :mod:`~repro.observability.events` — a synchronous :class:`EventBus`
+  with bounded replayable history.
+* :mod:`~repro.observability.logs` — :class:`RequestLogger` structured
+  JSON request logs (one line per priced request) and
+  :func:`scenario_hash` key digests.
+* :mod:`~repro.observability.adaptive` — the
+  :class:`AdaptiveController` closing the loop from observed arrival
+  and hit rates back onto the micro-batch window and LRU capacity,
+  with every decision event-logged for deterministic replay.
+"""
+
+from repro.observability.adaptive import AdaptiveController, AdaptObservation
+from repro.observability.events import EventBus
+from repro.observability.logs import RequestLogger, scenario_hash
+from repro.observability.metrics import (
+    BATCH_OCCUPANCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    format_value,
+    parse_exposition,
+    sample_total,
+    stage_histogram,
+)
+
+__all__ = [
+    "AdaptObservation",
+    "AdaptiveController",
+    "BATCH_OCCUPANCY_BUCKETS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "RequestLogger",
+    "default_registry",
+    "format_value",
+    "parse_exposition",
+    "sample_total",
+    "scenario_hash",
+    "stage_histogram",
+]

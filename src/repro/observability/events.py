@@ -1,0 +1,69 @@
+"""A tiny synchronous event bus with bounded replayable history.
+
+Metrics answer "how much / how fast"; events answer "what happened, in
+what order".  The :class:`AdaptiveController` publishes every knob
+decision here so tests can replay the exact decision sequence, and the
+serve CLI can subscribe a printer for operator visibility.
+
+Events are plain dicts — ``{"event": kind, **fields}`` — delivered
+synchronously to subscribers in registration order and appended to a
+bounded history deque.  Subscriber exceptions are swallowed: telemetry
+must never take down the pipeline it is observing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Publish/subscribe with a bounded in-memory history."""
+
+    def __init__(self, history: int = 256) -> None:
+        self._lock = threading.RLock()
+        self._history: deque[dict] = deque(maxlen=history)
+        self._subscribers: list[Callable[[dict], None]] = []
+
+    def subscribe(self, handler: Callable[[dict], None]) -> Callable[[], None]:
+        """Register ``handler`` for every future event; returns an
+        unsubscribe callable."""
+        with self._lock:
+            self._subscribers.append(handler)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._subscribers.remove(handler)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
+    def publish(self, kind: str, **fields: object) -> dict:
+        """Record and deliver one event; returns the event dict."""
+        event = {"event": kind, **fields}
+        with self._lock:
+            self._history.append(event)
+            handlers = list(self._subscribers)
+        for handler in handlers:
+            try:
+                handler(event)
+            except Exception:
+                pass  # observers never break the observed
+        return event
+
+    def history(self, kind: str | None = None) -> list[dict]:
+        """Recorded events oldest-first, optionally filtered by kind."""
+        with self._lock:
+            events = list(self._history)
+        if kind is not None:
+            events = [e for e in events if e.get("event") == kind]
+        return events
+
+    def clear(self) -> None:
+        with self._lock:
+            self._history.clear()

@@ -1,0 +1,70 @@
+"""Structured JSON request logs: one line per priced request.
+
+Each line is a self-contained JSON object — request id, scenario key
+hash (never the raw key: specs can be large and mildly sensitive),
+per-stage timings in milliseconds, and the HTTP status — so a fleet's
+logs can be grepped, joined on ``id``, and loaded straight into a
+dataframe.  Keys are sorted and floats rounded, so identical requests
+produce structurally identical lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import sys
+import threading
+import time
+from typing import IO
+
+__all__ = ["RequestLogger", "scenario_hash"]
+
+
+def scenario_hash(key: str) -> str:
+    """A stable 12-hex-digit digest of a scenario wire key — enough to
+    join log lines against cache entries without logging whole specs."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+
+
+class RequestLogger:
+    """Thread-safe one-JSON-line-per-request logger."""
+
+    def __init__(self, stream: IO[str], *, clock=time.time,
+                 close_stream: bool = False) -> None:
+        self._stream = stream
+        self._clock = clock
+        self._close_stream = close_stream
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    @classmethod
+    def open(cls, path: str, *, clock=time.time) -> "RequestLogger":
+        """``-`` or ``stderr`` log to standard error; anything else is
+        appended to as a file."""
+        if path in ("-", "stderr"):
+            return cls(sys.stderr, clock=clock)
+        return cls(open(path, "a", encoding="utf-8"), clock=clock,
+                   close_stream=True)
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def log(self, **fields: object) -> dict:
+        """Write one log line; returns the record that was written."""
+        record = {"ts": round(float(self._clock()), 6), **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            try:
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
+        return record
+
+    def close(self) -> None:
+        if self._close_stream:
+            try:
+                self._stream.close()
+            except OSError:
+                pass

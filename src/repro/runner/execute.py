@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import time
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -43,10 +44,27 @@ from repro.dynamic.session import DynamicSession, epoch_payload
 from repro.dynamic.spec import DynamicScenarioSpec
 from repro.engine.batch import group_consecutive
 from repro.mechanism.properties import audit_profile_results
+from repro.observability import default_registry
 from repro.runner.sink import JSONLSink
 from repro.runner.spec import ProfileSpec, SweepItem, SweepSpec
 
 ROW_SCHEMA = 1
+
+
+def _sweep_metrics():
+    """Per-process sweep telemetry in the *process-local* default
+    registry (a registry holds a lock, so it is never pickled to pool
+    workers — each worker accumulates its own and ``metrics-dump``
+    reports the serial in-process view).  Timings are observability
+    only: rows never carry them, so parallel output stays byte-identical
+    to serial."""
+    registry = default_registry()
+    return (registry.histogram(
+                "repro_sweep_item_seconds",
+                "Per-work-item pricing latency (seconds)",
+                labels=("mechanism",)),
+            registry.counter(
+                "repro_sweep_rows_total", "Sweep result rows produced"))
 
 
 def make_profiles(network, source: int, scenario: ScenarioSpec,
@@ -126,14 +144,19 @@ def _run_scenario_group(group: tuple[SweepItem, ...], audit: bool = False) -> li
     """Price every item of one scenario on a shared session."""
     if isinstance(group[0].scenario, DynamicScenarioSpec):
         return _run_dynamic_group(group, audit)
-    session = MulticastSession(group[0].scenario)
+    h_item, c_rows = _sweep_metrics()
+    session = MulticastSession(group[0].scenario, registry=default_registry())
     profiles = make_profiles(session.network, session.source,
                              group[0].scenario, group[0].profiles)
     rows = []
     for item in group:
+        t0 = time.perf_counter()
         results = session.run_batch(item.mechanism, profiles)
         rows.append(_item_row(item, results, session=session,
                               profiles=profiles, audit=audit))
+        h_item.labels(mechanism=item.mechanism.name).observe(
+            time.perf_counter() - t0)
+        c_rows.inc()
     return rows
 
 
@@ -145,16 +168,21 @@ def _run_dynamic_group(group: tuple[SweepItem, ...], audit: bool) -> list[dict]:
     exactly once, whatever the group size; rows come back item-major
     after the final sort in :func:`run_sweep`.
     """
-    dyn = DynamicSession(group[0].scenario)
+    h_item, c_rows = _sweep_metrics()
+    dyn = DynamicSession(group[0].scenario, registry=default_registry())
     rows = []
     for epoch in range(dyn.n_epochs):
         # Items of a group share one ProfileSpec (SweepSpec carries a
         # single profile recipe), so the epoch's profiles are drawn once.
         profiles = dyn.epoch_profiles(epoch, group[0].profiles)
         for item in group:
+            t0 = time.perf_counter()
             payload = epoch_payload(dyn, epoch, item.mechanism, item.profiles,
                                     profiles=profiles, audit=audit)
             rows.append({**_item_meta(item), **payload})
+            h_item.labels(mechanism=item.mechanism.name).observe(
+                time.perf_counter() - t0)
+            c_rows.inc()
     return rows
 
 

@@ -23,6 +23,15 @@ subsystem that serves pricing requests over long-lived warm state.
 drives it closed-loop and reports latency percentiles.  Every response
 is bit-identical to a direct cold :class:`~repro.api.MulticastSession`
 run — the caches only skip recomputing pure functions.
+
+The whole pipeline publishes into one
+:class:`~repro.observability.MetricsRegistry` per service — stage
+latency histograms, store and batch counters, HTTP status rates —
+exposed as Prometheus text on ``GET /metrics`` and snapshotted under
+the ``"metrics"`` key of ``GET /v1/stats``; the
+:class:`~repro.observability.AdaptiveController` (on by default under
+``python -m repro serve``) adjusts the flush window and LRU capacity
+from that telemetry.
 """
 
 from repro.service.batching import MicroBatcher

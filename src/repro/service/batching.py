@@ -21,13 +21,22 @@ The flush window is the latency the operator trades for throughput
 still through the store's warm sessions).  ``max_batch`` bounds the
 collection — a full window flushes early, so the pending queue can never
 grow beyond one window's worth of admitted requests.
+
+Telemetry: counters, the flush-occupancy histogram, and the
+``queue``/``build``/``execute`` legs of the per-request stage histogram
+all publish into the store's registry (the service injects one shared
+registry, so ``/metrics`` sees the whole pipeline).  ``submit_timed``
+returns the per-request stage timings alongside the results — the
+server's request log consumes them.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 
+from repro.observability import BATCH_OCCUPANCY_BUCKETS, stage_histogram
 from repro.service.protocol import RunRequest
 from repro.service.state import SessionStore, StoreEntry
 
@@ -46,30 +55,76 @@ class MicroBatcher:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.store = store
-        self.window = max(0.0, float(window))
         self.max_batch = int(max_batch)
         self._executor = executor
-        self._pending: list[tuple[RunRequest, asyncio.Future]] = []
+        self._pending: list[tuple[RunRequest, asyncio.Future, float]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
         self._tasks: set[asyncio.Task] = set()
-        # -- counters --------------------------------------------------------
-        self.requests = 0
-        self.batches = 0
-        self.batched_requests = 0  # requests that shared their flush with others
-        self.max_batch_size = 0
+        # -- telemetry (in the store's registry, one shared lock) -----------
+        self.registry = store.registry
+        self._c_requests = self.registry.counter(
+            "repro_batch_requests_total", "Run requests submitted for batching")
+        self._c_flushes = self.registry.counter(
+            "repro_batch_flushes_total", "Micro-batch flushes executed")
+        self._c_batched = self.registry.counter(
+            "repro_batch_batched_requests_total",
+            "Requests that shared their flush with at least one other")
+        self._h_occupancy = self.registry.histogram(
+            "repro_batch_occupancy", "Requests per micro-batch flush",
+            buckets=BATCH_OCCUPANCY_BUCKETS)
+        self._g_window = self.registry.gauge(
+            "repro_batch_window_seconds", "Micro-batch flush window in force")
+        self._g_max_seen = self.registry.gauge(
+            "repro_batch_max_size", "Largest flush observed")
+        self._h_stage = stage_histogram(self.registry)
+        self.window = window  # property setter: clamps and records the gauge
+
+    # -- the flush window (adaptive controller's knob) -----------------------
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @window.setter
+    def window(self, value: float) -> None:
+        self._window = max(0.0, float(value))
+        self._g_window.set(self._window)
+
+    # -- counters (registry-backed, read as plain ints) ----------------------
+    @property
+    def requests(self) -> int:
+        return int(self._c_requests.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._c_flushes.value)
+
+    @property
+    def batched_requests(self) -> int:
+        return int(self._c_batched.value)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._g_max_seen.value)
 
     # -- submission ----------------------------------------------------------
     async def submit(self, request: RunRequest) -> list:
         """Price one request; resolves to its list of
         :class:`~repro.mechanism.base.MechanismResult`."""
+        results, _ = await self.submit_timed(request)
+        return results
+
+    async def submit_timed(self, request: RunRequest) -> tuple[list, dict]:
+        """Like :meth:`submit`, but resolves to ``(results, stages)``
+        where ``stages`` carries the request's queue/build/execute leg
+        timings in seconds."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future))
-        self.requests += 1
-        if self.window <= 0.0 or len(self._pending) >= self.max_batch:
+        self._pending.append((request, future, time.perf_counter()))
+        self._c_requests.inc()
+        if self._window <= 0.0 or len(self._pending) >= self.max_batch:
             self._flush()
         elif self._flush_handle is None:
-            self._flush_handle = loop.call_later(self.window, self._flush)
+            self._flush_handle = loop.call_later(self._window, self._flush)
         return await future
 
     def pending(self) -> int:
@@ -88,31 +143,35 @@ class MicroBatcher:
         batch, self._pending = self._pending, []
         if not batch:
             return
-        self.batches += 1
-        self.max_batch_size = max(self.max_batch_size, len(batch))
-        if len(batch) > 1:
-            self.batched_requests += len(batch)
-        groups: dict[str, list[tuple[RunRequest, asyncio.Future]]] = {}
-        for request, future in batch:
-            groups.setdefault(request.key, []).append((request, future))
+        with self.registry.lock:
+            self._c_flushes.inc()
+            self._g_max_seen.set_max(len(batch))
+            self._h_occupancy.observe(len(batch))
+            if len(batch) > 1:
+                self._c_batched.inc(len(batch))
+        groups: dict[str, list[tuple[RunRequest, asyncio.Future, float]]] = {}
+        for item in batch:
+            groups.setdefault(item[0].key, []).append(item)
         for group in groups.values():
             task = asyncio.ensure_future(self._execute_group(group))
             task._repro_size = len(group)  # type: ignore[attr-defined]
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
 
-    async def _execute_group(self, group: list[tuple[RunRequest, asyncio.Future]]) -> None:
+    async def _execute_group(
+            self,
+            group: list[tuple[RunRequest, asyncio.Future, float]]) -> None:
         loop = asyncio.get_running_loop()
-        requests = [request for request, _ in group]
+        requests = [(request, enqueued) for request, _, enqueued in group]
         try:
             outcomes = await loop.run_in_executor(
                 self._executor, self._run_group, requests)
         except BaseException as exc:  # store build failure: fail the group
-            for _, future in group:
+            for _, future, _ in group:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
-        for (_, future), outcome in zip(group, outcomes):
+        for (_, future, _), outcome in zip(group, outcomes):
             if future.cancelled():
                 continue
             if isinstance(outcome, BaseException):
@@ -120,18 +179,30 @@ class MicroBatcher:
             else:
                 future.set_result(outcome)
 
-    def _run_group(self, requests: list[RunRequest]) -> list:
+    def _run_group(self, requests: list[tuple[RunRequest, float]]) -> list:
         """Synchronous worker body: one store lookup for the whole group,
         then every request priced on the shared session.  Per-request
         failures (e.g. a profile naming stray agents) stay per-request —
         they must not poison the rest of the batch."""
-        entry = self.store.get(requests[0].scenario, key=requests[0].key)
+        started = time.perf_counter()
+        first = requests[0][0]
+        entry = self.store.get(first.scenario, key=first.key)
+        build = time.perf_counter() - started
+        self._h_stage.labels(stage="build").observe(build)
         outcomes: list = []
-        for request in requests:
+        for request, enqueued in requests:
+            queue = max(0.0, started - enqueued)
+            self._h_stage.labels(stage="queue").observe(queue)
+            t0 = time.perf_counter()
             try:
-                outcomes.append(self._run_one(entry, request))
+                results = self._run_one(entry, request)
             except Exception as exc:
                 outcomes.append(exc)
+                continue
+            execute = time.perf_counter() - t0
+            self._h_stage.labels(stage="execute").observe(execute)
+            outcomes.append((results, {
+                "queue": queue, "build": build, "execute": execute}))
         return outcomes
 
     @staticmethod
@@ -153,12 +224,14 @@ class MicroBatcher:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
 
     def stats(self) -> dict:
-        return {
-            "window": self.window,
-            "max_batch": self.max_batch,
-            "requests": self.requests,
-            "batches": self.batches,
-            "batched_requests": self.batched_requests,
-            "max_batch_size": self.max_batch_size,
-            "pending": len(self._pending),
-        }
+        """Counter snapshot — one atomic read under the registry lock."""
+        with self.registry.lock:
+            return {
+                "window": self._window,
+                "max_batch": self.max_batch,
+                "requests": int(self._c_requests.value),
+                "batches": int(self._c_flushes.value),
+                "batched_requests": int(self._c_batched.value),
+                "max_batch_size": int(self._g_max_seen.value),
+                "pending": len(self._pending),
+            }

@@ -14,8 +14,13 @@ keep several requests in flight, so cold scenarios coalesce and warm
 requests share flush windows.
 
 The report carries per-request latencies (p50/p95/max), throughput, the
-status-code histogram and the server's ``/v1/stats`` snapshot;
-``check()`` turns it into pass/fail for CI smoke jobs.
+status-code histogram, the server's ``/v1/stats`` snapshot *and* its
+``/metrics`` Prometheus exposition — the scrape yields the per-stage
+latency summary (parse/queue/build/execute/serialize means) and the
+store hit rate printed next to the client-side percentiles, and it is
+what ``check(expect_engaged=True)`` verifies batch occupancy from: the
+server-side flush-occupancy histogram, not just the stats counters.
+``check()`` turns the whole report into pass/fail for CI smoke jobs.
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.spec import ScenarioSpec, seed_from_text
+from repro.observability import parse_exposition, sample_total
+
+STAGES = ("parse", "queue", "build", "execute", "serialize")
 
 UTILITY_SCALE = 10.0
 
@@ -72,6 +80,7 @@ class LoadReport:
     errors: list[str]
     stats: dict | None                # the server's /v1/stats snapshot
     config: dict = field(default_factory=dict)
+    metrics: str | None = None        # the server's /metrics exposition
 
     @property
     def throughput(self) -> float:
@@ -109,7 +118,46 @@ class LoadReport:
                                            "coalesced")}, **store},
                     **{**{k: "?" for k in ("batches", "requests",
                                            "max_batch_size")}, **batcher}))
+        out.extend(self.metric_lines())
         return out
+
+    def metric_lines(self) -> list[str]:
+        """The scraped-metrics summary: mean per-stage latency and the
+        server-side hit/occupancy picture."""
+        if self.metrics is None:
+            return []
+        parsed = parse_exposition(self.metrics)
+        stages = []
+        for stage in STAGES:
+            count = sample_total(parsed, "repro_stage_seconds_count",
+                                 {"stage": stage})
+            total = sample_total(parsed, "repro_stage_seconds_sum",
+                                 {"stage": stage})
+            stages.append(f"{stage} {total / count * 1e3:.2f}ms"
+                          if count else f"{stage} -")
+        lookups = sample_total(parsed, "repro_store_lookups_total")
+        hits = sample_total(parsed, "repro_store_hits_total")
+        coalesced = sample_total(parsed, "repro_store_coalesced_total")
+        flushes = sample_total(parsed, "repro_batch_occupancy_count")
+        solo = sample_total(parsed, "repro_batch_occupancy_bucket", {"le": "1"})
+        hit_rate = ((hits + coalesced) / lookups * 100) if lookups else 0.0
+        return [
+            "metrics: stage means " + " | ".join(stages),
+            f"metrics: store hit-rate {hit_rate:.0f}% "
+            f"({int(hits)} hits + {int(coalesced)} coalesced "
+            f"/ {int(lookups)} lookups); "
+            f"multi-request flushes {int(flushes - solo)}/{int(flushes)}",
+        ]
+
+    def batch_engaged(self) -> bool | None:
+        """Whether the scraped flush-occupancy histogram shows a flush
+        holding more than one request (``None``: no scrape to judge by)."""
+        if self.metrics is None:
+            return None
+        parsed = parse_exposition(self.metrics)
+        flushes = sample_total(parsed, "repro_batch_occupancy_count")
+        solo = sample_total(parsed, "repro_batch_occupancy_bucket", {"le": "1"})
+        return flushes - solo >= 1
 
     def check(self, *, expect_engaged: bool = False) -> list[str]:
         """CI verdicts: every request answered 200; optionally the warm
@@ -126,13 +174,19 @@ class LoadReport:
                 failures.append("no /v1/stats snapshot to verify engagement")
             else:
                 store = self.stats.get("store", {})
-                batcher = self.stats.get("batcher", {})
                 if store.get("hits", 0) + store.get("coalesced", 0) < 1:
                     failures.append(
                         "session reuse never engaged (store hits + coalesced == 0)")
-                if batcher.get("max_batch_size", 0) < 2:
-                    failures.append(
-                        "micro-batching never engaged (no flush held >= 2 requests)")
+            # Batch engagement is judged from the scraped flush-occupancy
+            # histogram — the server-side ground truth — with the stats
+            # counter as fallback for servers without /metrics.
+            engaged = self.batch_engaged()
+            if engaged is None:
+                batcher = (self.stats or {}).get("batcher", {})
+                engaged = batcher.get("max_batch_size", 0) >= 2
+            if not engaged:
+                failures.append(
+                    "micro-batching never engaged (no flush held >= 2 requests)")
         return failures
 
 
@@ -148,6 +202,12 @@ def _get_json(connection: http.client.HTTPConnection, path: str) -> tuple[int, d
     connection.request("GET", path)
     response = connection.getresponse()
     return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _get_text(connection: http.client.HTTPConnection, path: str) -> tuple[int, str]:
+    connection.request("GET", path)
+    response = connection.getresponse()
+    return response.status, response.read().decode("utf-8")
 
 
 def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
@@ -215,11 +275,15 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     elapsed = time.perf_counter() - started
 
     stats = None
+    metrics = None
     try:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
         status, payload = _get_json(connection, "/v1/stats")
         if status == 200:
             stats = payload
+        status, text = _get_text(connection, "/metrics")
+        if status == 200:
+            metrics = text
         connection.close()
     except (OSError, http.client.HTTPException) as exc:
         errors.append(f"stats: {exc}")
@@ -227,6 +291,7 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     return LoadReport(
         requests=len(bodies), concurrency=concurrency, elapsed=elapsed,
         latencies=latencies, statuses=statuses, errors=errors, stats=stats,
+        metrics=metrics,
         config={"host": host, "port": port, "n": n, "alpha": alpha,
                 "side": side, "seeds": seeds, "layouts": layouts,
                 "mechanisms": mechanisms, "profile_count": profile_count})

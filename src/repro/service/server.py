@@ -3,7 +3,7 @@
 Three pieces, layered so tests can stop at any of them:
 
 * :class:`CostSharingService` — the transport-agnostic application.
-  ``dispatch(method, path, body)`` routes the four endpoints, applies
+  ``dispatch(method, path, body)`` routes the endpoints, applies
   admission control (bounded in-flight work; over the bound a request is
   answered ``429`` with a ``Retry-After`` header instead of queueing
   unboundedly), and maps :class:`~repro.service.protocol.ProtocolError`
@@ -21,19 +21,33 @@ Endpoints::
     POST /v1/run      one pricing request        -> run payload
     POST /v1/batch    {"requests": [...]}        -> per-request payloads
     GET  /v1/healthz  liveness                   -> {"status": "ok", ...}
-    GET  /v1/stats    store/batcher/http counters
+    GET  /v1/stats    store/batcher/http counters + registry snapshot
+    GET  /metrics     Prometheus text exposition of the whole pipeline
 
 Every successful response body is a pure function of the request (the
 store and batcher only cache pure functions), so cold, warm and batched
 paths answer bit-identically — the property
-``tests/test_service_property.py`` pins.
+``tests/test_service_property.py`` pins; telemetry only watches the
+pipeline, it never feeds back into response bytes.
+
+Each service owns one :class:`~repro.observability.MetricsRegistry`
+(injectable for tests) shared by its store, batcher and sessions, so
+``GET /metrics`` exposes the full pipeline: per-stage latency
+histograms (``parse``/``queue``/``build``/``execute``/``serialize``),
+LRU hit/miss/eviction/coalesce counters, micro-batch occupancy, and
+HTTP status-code rates.  With a
+:class:`~repro.observability.RequestLogger` attached, every priced
+request also emits one structured JSON log line (request id, scenario
+key hash, per-stage millisecond timings, status).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 
+from repro.observability import MetricsRegistry, RequestLogger, scenario_hash, stage_histogram
 from repro.service.batching import MicroBatcher
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
@@ -51,18 +65,28 @@ HTTP_REASONS = {
     413: "Content Too Large", 429: "Too Many Requests", 500: "Internal Server Error",
 }
 
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Known routes keep their own label; anything else (typo'd paths, scans)
+# collapses into "other" so 404 traffic cannot mint unbounded label sets.
+_KNOWN_PATHS = ("/v1/run", "/v1/batch", "/v1/healthz", "/v1/stats", "/metrics")
+
 
 class CostSharingService:
     """The transport-agnostic serving application (store + batcher +
-    admission control + routing)."""
+    admission control + routing + telemetry)."""
 
     def __init__(self, *, cache_size: int = 64, batch_window: float = 0.005,
                  max_batch: int = 32, queue_limit: int = 128,
                  max_batch_requests: int = 64, max_body: int = 8 << 20,
-                 retry_after: float = 1.0, executor=None) -> None:
+                 retry_after: float = 1.0, executor=None,
+                 registry: MetricsRegistry | None = None,
+                 request_log: RequestLogger | None = None) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
-        self.store = SessionStore(capacity=cache_size)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.request_log = request_log
+        self.store = SessionStore(capacity=cache_size, registry=self.registry)
         self.batcher = MicroBatcher(self.store, window=batch_window,
                                     max_batch=max_batch, executor=executor)
         self.queue_limit = int(queue_limit)
@@ -77,12 +101,31 @@ class CostSharingService:
         self.requests_total = 0
         self.rejected = 0
         self.responses: dict[int, int] = {}
+        # -- telemetry -------------------------------------------------------
+        self._c_requests = self.registry.counter(
+            "repro_http_requests_total", "HTTP requests dispatched",
+            labels=("method", "path"))
+        self._c_responses = self.registry.counter(
+            "repro_http_responses_total", "HTTP responses by status code",
+            labels=("code",))
+        self._c_rejected = self.registry.counter(
+            "repro_http_rejected_total",
+            "Requests answered 429 by admission control")
+        self._g_inflight = self.registry.gauge(
+            "repro_http_in_flight", "Admitted requests currently in flight")
+        self._g_queue_limit = self.registry.gauge(
+            "repro_http_queue_limit", "Admission-control in-flight bound")
+        self._g_queue_limit.set(self.queue_limit)
+        self._h_stage = stage_histogram(self.registry)
 
     # -- routing -------------------------------------------------------------
     async def dispatch(self, method: str, path: str,
-                       body: bytes = b"") -> tuple[int, dict, dict]:
+                       body: bytes = b"") -> tuple[int, dict | str, dict]:
         """Answer one request: ``(status, payload, extra_headers)``."""
         self.requests_total += 1
+        self._c_requests.labels(
+            method=method,
+            path=path if path in _KNOWN_PATHS else "other").inc()
         try:
             status, payload, headers = await self._route(method, path, body)
         except ProtocolError as exc:
@@ -100,10 +143,16 @@ class CostSharingService:
             status, payload, headers = 500, error_payload(
                 f"internal error: {type(exc).__name__}: {exc}"), {}
         self.responses[status] = self.responses.get(status, 0) + 1
+        self._c_responses.labels(code=str(status)).inc()
+        if status >= 400 and self.request_log is not None:
+            self.request_log.log(
+                id=self.request_log.next_id(), kind="error", method=method,
+                path=path, status=status,
+                error=payload.get("error") if isinstance(payload, dict) else None)
         return status, payload, headers
 
     async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[int, dict, dict]:
+                     body: bytes) -> tuple[int, dict | str, dict]:
         if path == "/v1/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -112,43 +161,84 @@ class CostSharingService:
             if method != "GET":
                 return self._method_not_allowed("GET")
             return 200, self.stats_payload(), {}
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self.registry.render(), {
+                "Content-Type": METRICS_CONTENT_TYPE}
         if path == "/v1/run":
             if method != "POST":
                 return self._method_not_allowed("POST")
+            t0 = time.perf_counter()
             request = parse_run_request(parse_body(body))
+            parse_s = time.perf_counter() - t0
+            self._h_stage.labels(stage="parse").observe(parse_s)
             async with self._admission(1):
-                results = await self.batcher.submit(request)
-            return 200, run_payload(request, results), {}
+                results, stages = await self.batcher.submit_timed(request)
+            t1 = time.perf_counter()
+            payload = run_payload(request, results)
+            serialize_s = time.perf_counter() - t1
+            self._h_stage.labels(stage="serialize").observe(serialize_s)
+            self._log_run(request, 200,
+                          {"parse": parse_s, **stages, "serialize": serialize_s})
+            return 200, payload, {}
         if path == "/v1/batch":
             if method != "POST":
                 return self._method_not_allowed("POST")
+            t0 = time.perf_counter()
             requests = parse_batch_request(
                 parse_body(body), max_requests=self.max_batch_requests)
+            parse_s = time.perf_counter() - t0
+            self._h_stage.labels(stage="parse").observe(parse_s)
             async with self._admission(len(requests)):
                 outcomes = await asyncio.gather(
-                    *(self.batcher.submit(r) for r in requests),
+                    *(self.batcher.submit_timed(r) for r in requests),
                     return_exceptions=True)
             entries = []
-            for request, outcome in zip(requests, outcomes):
+            for index, (request, outcome) in enumerate(zip(requests, outcomes)):
                 if isinstance(outcome, BaseException):
                     if not isinstance(outcome, (ProtocolError, ValueError,
                                                 TypeError, KeyError)):
                         raise outcome
                     message = getattr(outcome, "message", None) or str(outcome)
                     entries.append({"status": 400, "body": error_payload(message)})
+                    self._log_run(request, 400, {"parse": parse_s},
+                                  batch_index=index, error=message)
                 else:
-                    entries.append({"status": 200,
-                                    "body": run_payload(request, outcome)})
+                    results, stages = outcome
+                    t1 = time.perf_counter()
+                    entry = {"status": 200, "body": run_payload(request, results)}
+                    serialize_s = time.perf_counter() - t1
+                    self._h_stage.labels(stage="serialize").observe(serialize_s)
+                    entries.append(entry)
+                    self._log_run(request, 200,
+                                  {"parse": parse_s, **stages,
+                                   "serialize": serialize_s}, batch_index=index)
             payload = {"schema": PROTOCOL_SCHEMA, "count": len(entries),
                        "responses": entries}
             return 200, payload, {}
         return 404, error_payload(
             f"no such endpoint {path!r} (try /v1/run, /v1/batch, "
-            "/v1/healthz, /v1/stats)"), {}
+            "/v1/healthz, /v1/stats, /metrics)"), {}
 
     def _method_not_allowed(self, allowed: str) -> tuple[int, dict, dict]:
         return 405, error_payload(f"method not allowed (use {allowed})"), {
             "Allow": allowed}
+
+    def _log_run(self, request, status: int, stages: dict,
+                 **fields: object) -> None:
+        if self.request_log is None:
+            return
+        self.request_log.log(
+            id=self.request_log.next_id(), kind="run",
+            scenario=scenario_hash(request.key),
+            mechanism=request.mechanism.name,
+            profiles=len(request.profiles),
+            **({"epoch": request.epoch} if request.is_dynamic else {}),
+            status=status,
+            stages_ms={name: round(seconds * 1e3, 3)
+                       for name, seconds in stages.items()},
+            **fields)
 
     # -- admission control ---------------------------------------------------
     def _admission(self, cost: int) -> "_Admission":
@@ -172,6 +262,7 @@ class CostSharingService:
                 "rejected": self.rejected,
                 "responses": {str(k): v for k, v in sorted(self.responses.items())},
             },
+            "metrics": self.registry.snapshot(),
         }
 
     async def drain(self) -> None:
@@ -190,14 +281,17 @@ class _Admission:
         service = self.service
         if service._inflight + self.cost > service.queue_limit:
             service.rejected += 1
+            service._c_rejected.inc()
             raise ProtocolError(
                 f"queue full ({service._inflight} in flight, limit "
                 f"{service.queue_limit}); retry after "
                 f"{service.retry_after:g}s", status=429)
         service._inflight += self.cost
+        service._g_inflight.set(service._inflight)
 
     async def __aexit__(self, *exc_info) -> None:
         self.service._inflight -= self.cost
+        self.service._g_inflight.set(self.service._inflight)
 
 
 class ServiceClient:
@@ -239,6 +333,10 @@ class ServiceClient:
 
     async def stats(self) -> tuple[int, dict]:
         return await self.request("GET", "/v1/stats")
+
+    async def metrics(self) -> tuple[int, str]:
+        """GET /metrics: the Prometheus text exposition."""
+        return await self.request("GET", "/metrics")
 
 
 class ServiceServer:
@@ -359,12 +457,21 @@ class ServiceServer:
         return keep_alive
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, extra: dict, *, keep_alive: bool) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+                       payload: dict | str, extra: dict, *,
+                       keep_alive: bool) -> None:
+        extra = dict(extra)
+        if isinstance(payload, str):
+            # Pre-rendered text endpoint (/metrics); the route supplies
+            # its own Content-Type.
+            body = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
         reason = HTTP_REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]

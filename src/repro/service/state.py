@@ -23,6 +23,14 @@ Two properties matter under concurrency:
   (it is a self-contained cache of pure functions); the next request for
   that scenario simply rebuilds cold.
 
+Counters live in a :class:`~repro.observability.metrics.MetricsRegistry`
+(each store defaults to a private one, so per-store stats stay isolated;
+the service injects its own so ``/metrics`` sees them).  Every lookup
+outcome — hit, miss, coalesced — is recorded *at claim time* in one
+atomic compound update under the registry lock, which is what makes
+``hits + misses + coalesced == lookups`` hold in every concurrent
+snapshot, not just quiescent ones.
+
 ``capacity=0`` disables retention entirely (every request builds cold,
 coalescing still applies while builds are in flight) — the configuration
 the naive baseline in ``benchmarks/bench_service.py`` serves from.
@@ -38,6 +46,7 @@ from repro.api.session import MulticastSession
 from repro.api.spec import ScenarioSpec
 from repro.dynamic.session import DynamicSession
 from repro.dynamic.spec import DynamicScenarioSpec
+from repro.observability import MetricsRegistry
 
 
 def scenario_key(spec: ScenarioSpec) -> str:
@@ -47,13 +56,14 @@ def scenario_key(spec: ScenarioSpec) -> str:
     return spec.to_json()
 
 
-def build_session(spec: ScenarioSpec):
+def build_session(spec: ScenarioSpec, *, registry: MetricsRegistry | None = None):
     """The session type a scenario warrants: churn scenarios get the
     incremental :class:`DynamicSession`, static ones the caching
-    :class:`MulticastSession`."""
+    :class:`MulticastSession`.  With a ``registry`` the session publishes
+    its artifact-build timings and cache telemetry into it."""
     if isinstance(spec, DynamicScenarioSpec):
-        return DynamicSession(spec)
-    return MulticastSession(spec)
+        return DynamicSession(spec, registry=registry)
+    return MulticastSession(spec, registry=registry)
 
 
 class StoreEntry:
@@ -78,9 +88,10 @@ class StoreEntry:
 
 class SessionStore:
     """Thread-safe bounded LRU of scenario sessions with single-flight
-    builds and hit/miss/eviction/coalescing counters."""
+    builds and atomic hit/miss/eviction/coalescing counters."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, *,
+                 registry: MetricsRegistry | None = None) -> None:
         capacity = int(capacity)
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
@@ -88,10 +99,37 @@ class SessionStore:
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, StoreEntry] = OrderedDict()
         self._building: dict[str, Future] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.coalesced = 0
+        # Sessions only publish telemetry when the registry was injected
+        # (monkeypatched builders in tests stay single-argument-callable,
+        # and a bare SessionStore() never touches the process default).
+        self._session_registry = registry
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_lookups = self.registry.counter(
+            "repro_store_lookups_total",
+            "Session-store lookups (hits + misses + coalesced)")
+        self._c_hits = self.registry.counter(
+            "repro_store_hits_total", "Lookups answered from the warm LRU")
+        self._c_misses = self.registry.counter(
+            "repro_store_misses_total", "Lookups that claimed a cold build")
+        self._c_evictions = self.registry.counter(
+            "repro_store_evictions_total", "Sessions dropped by LRU pressure")
+        self._c_coalesced = self.registry.counter(
+            "repro_store_coalesced_total",
+            "Lookups that joined an in-flight build (single-flight)")
+        self._g_size = self.registry.gauge(
+            "repro_store_size", "Sessions currently retained")
+        self._g_capacity = self.registry.gauge(
+            "repro_store_capacity", "Session-store LRU capacity")
+        self._g_capacity.set(capacity)
+
+    def _record(self, outcome, extra=None) -> None:
+        """One atomic compound counter update: lookups plus its outcome
+        (and optionally more) move together or not at all."""
+        with self.registry.lock:
+            self._c_lookups.inc()
+            outcome.inc()
+            if extra is not None:
+                extra()
 
     def get(self, spec: ScenarioSpec, *, key: str | None = None) -> StoreEntry:
         """The entry for ``spec`` — warm from the LRU, joined onto an
@@ -102,37 +140,71 @@ class SessionStore:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._record(self._c_hits)
                 return entry
             future = self._building.get(key)
             if future is not None:
                 # Single-flight: join the in-flight build instead of
                 # duplicating it.
-                self.coalesced += 1
+                self._record(self._c_coalesced)
                 owner = False
             else:
                 future = Future()
                 self._building[key] = future
                 owner = True
+                # The miss is counted when the build slot is *claimed*,
+                # not when the build finishes — so lookups always equals
+                # hits+misses+coalesced, even while builds are in flight.
+                self._record(self._c_misses)
         if not owner:
             return future.result()
         try:
-            entry = StoreEntry(build_session(spec))
+            if self._session_registry is None:
+                entry = StoreEntry(build_session(spec))
+            else:
+                entry = StoreEntry(
+                    build_session(spec, registry=self._session_registry))
         except BaseException as exc:
             with self._lock:
                 self._building.pop(key, None)
             future.set_exception(exc)
             raise
         with self._lock:
-            self.misses += 1
+            evicted = 0
             if self.capacity > 0:
                 self._entries[key] = entry
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
-                    self.evictions += 1
+                    evicted += 1
+            size = len(self._entries)
             self._building.pop(key, None)
+            with self.registry.lock:
+                if evicted:
+                    self._c_evictions.inc(evicted)
+                self._g_size.set(size)
         future.set_result(entry)
         return entry
+
+    # -- counters (registry-backed, read as plain ints) ----------------------
+    @property
+    def lookups(self) -> int:
+        return int(self._c_lookups.value)
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value)
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._c_coalesced.value)
 
     # -- inspection / management --------------------------------------------
     def __len__(self) -> int:
@@ -152,19 +224,47 @@ class SessionStore:
         """Drop every stored session (counters keep accumulating)."""
         with self._lock:
             self._entries.clear()
+            with self.registry.lock:
+                self._g_size.set(0)
+
+    def resize(self, capacity: int) -> int:
+        """Change the LRU bound in place (the adaptive controller's
+        capacity knob), evicting LRU-first if shrinking below the current
+        population.  Returns the number of sessions evicted."""
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        with self._lock:
+            self.capacity = capacity
+            evicted = 0
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+            with self.registry.lock:
+                self._g_capacity.set(capacity)
+                if evicted:
+                    self._c_evictions.inc(evicted)
+                self._g_size.set(size)
+        return evicted
 
     def stats(self) -> dict:
-        """Counter snapshot (one consistent read)."""
+        """Counter snapshot — one atomic read under the registry lock, so
+        ``hits + misses + coalesced == lookups`` in every snapshot."""
         with self._lock:
-            return {
-                "capacity": self.capacity,
-                "size": len(self._entries),
-                "building": len(self._building),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "coalesced": self.coalesced,
-            }
+            size = len(self._entries)
+            building = len(self._building)
+            with self.registry.lock:
+                return {
+                    "capacity": self.capacity,
+                    "size": size,
+                    "building": building,
+                    "lookups": int(self._c_lookups.value),
+                    "hits": int(self._c_hits.value),
+                    "misses": int(self._c_misses.value),
+                    "evictions": int(self._c_evictions.value),
+                    "coalesced": int(self._c_coalesced.value),
+                }
 
     def __repr__(self) -> str:
         s = self.stats()

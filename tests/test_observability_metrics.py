@@ -1,0 +1,336 @@
+"""The metrics core: instruments, exposition golden tests, atomicity.
+
+Three contracts are pinned here: the Prometheus text exposition format
+(escaping, label ordering, the ``_bucket``/``_sum``/``_count``
+invariants), the registry's get-or-create registration semantics, and
+the single-lock atomicity story — parallel observers must account for
+exactly what serial observers would, and compound updates taken under
+``registry.lock`` must be indivisible in every snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.observability import (
+    BATCH_OCCUPANCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    format_value,
+    parse_exposition,
+    sample_total,
+    stage_histogram,
+)
+
+
+# -- value formatting ---------------------------------------------------------
+@pytest.mark.parametrize("value, text", [
+    (0.0, "0"), (3.0, "3"), (-2.0, "-2"), (2.5, "2.5"), (0.0005, "0.0005"),
+    (math.inf, "+Inf"), (-math.inf, "-Inf"), (float("nan"), "NaN"),
+])
+def test_format_value(value, text):
+    assert format_value(value) == text
+
+
+# -- instruments --------------------------------------------------------------
+def test_counter_is_monotone():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways_and_keeps_high_water():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(4.0)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value == 3.0
+    gauge.set_max(10.0)
+    gauge.set_max(1.0)
+    assert gauge.value == 10.0
+
+
+def test_histogram_le_bucketing_is_upper_inclusive():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(0.5, 1.0))
+    for value in (0.25, 0.5, 0.75, 1.0, 2.0):
+        hist.observe(value)
+    # 0.25 and exactly-0.5 land in le=0.5; 0.75 and exactly-1.0 in le=1;
+    # 2.0 overflows into +Inf only.
+    assert hist.cumulative_counts() == [2, 4, 5]
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(4.5)
+
+
+def test_histogram_invariants_hold_for_any_observations():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+    for value in (0.0, 1e-6, 0.003, 0.4, 99.0):
+        hist.observe(value)
+    cumulative = hist.cumulative_counts()
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == hist.count  # +Inf bucket == count
+
+
+def test_histogram_rejects_bad_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="strictly increasing"):
+        registry.histogram("bad", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        registry.histogram("bad2", buckets=())
+
+
+# -- families and registration -----------------------------------------------
+def test_labels_must_name_exactly_the_declared_set():
+    registry = MetricsRegistry()
+    family = registry.counter("f_total", labels=("method", "path"))
+    family.labels(method="GET", path="/x").inc()
+    with pytest.raises(ValueError, match="takes labels"):
+        family.labels(method="GET")
+    with pytest.raises(ValueError, match="takes labels"):
+        family.labels(method="GET", path="/x", extra="no")
+
+
+def test_unlabeled_passthrough_and_labeled_guard():
+    registry = MetricsRegistry()
+    plain = registry.counter("plain_total")
+    plain.inc(2)
+    assert plain.value == 2
+    labeled = registry.counter("labeled_total", labels=("k",))
+    with pytest.raises(ValueError, match="labeled by"):
+        labeled.inc()
+
+
+def test_registration_is_get_or_create():
+    registry = MetricsRegistry()
+    first = registry.counter("same_total", "help", labels=("k",))
+    second = registry.counter("same_total", "other help", labels=("k",))
+    assert first is second
+    assert first.labels(k="a") is second.labels(k="a")
+
+
+def test_conflicting_redefinition_raises():
+    registry = MetricsRegistry()
+    registry.counter("x_total", labels=("k",))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x_total", labels=("k",))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.counter("x_total", labels=("other",))
+    registry.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_name_and_label_validation():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("0bad")
+    with pytest.raises(ValueError, match="invalid label name"):
+        registry.counter("ok_total", labels=("bad-label",))
+    with pytest.raises(ValueError, match="invalid label name"):
+        registry.counter("ok2_total", labels=("__reserved",))
+    with pytest.raises(ValueError, match="reserves the 'le' label"):
+        registry.histogram("h", labels=("le",))
+
+
+def test_stage_histogram_is_one_shared_family():
+    registry = MetricsRegistry()
+    assert stage_histogram(registry) is stage_histogram(registry)
+
+
+def test_default_registry_is_process_wide():
+    assert default_registry() is default_registry()
+    assert isinstance(default_registry(), MetricsRegistry)
+
+
+# -- exposition golden tests --------------------------------------------------
+def _demo_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("demo_requests_total", "Requests handled",
+                                labels=("code",))
+    requests.labels(code="200").inc(3)
+    requests.labels(code="404").inc()
+    registry.gauge("demo_temp", "Temp").set(2.5)
+    lat = registry.histogram("demo_lat", "Latency", buckets=(0.5, 1.0))
+    for value in (0.25, 0.5, 2.0):
+        lat.observe(value)
+    return registry
+
+
+GOLDEN = """\
+# HELP demo_lat Latency
+# TYPE demo_lat histogram
+demo_lat_bucket{le="0.5"} 2
+demo_lat_bucket{le="1"} 2
+demo_lat_bucket{le="+Inf"} 3
+demo_lat_sum 2.75
+demo_lat_count 3
+# HELP demo_requests_total Requests handled
+# TYPE demo_requests_total counter
+demo_requests_total{code="200"} 3
+demo_requests_total{code="404"} 1
+# HELP demo_temp Temp
+# TYPE demo_temp gauge
+demo_temp 2.5
+"""
+
+
+def test_render_matches_golden_exposition():
+    assert _demo_registry().render() == GOLDEN
+
+
+def test_render_label_order_follows_declaration_and_children_sort():
+    registry = MetricsRegistry()
+    family = registry.counter("multi_total", labels=("method", "path"))
+    # Children are created out of order but render value-sorted, and the
+    # labels inside the braces follow the declaration order.
+    family.labels(path="/b", method="POST").inc()
+    family.labels(path="/a", method="GET").inc()
+    assert registry.render() == (
+        "# TYPE multi_total counter\n"
+        'multi_total{method="GET",path="/a"} 1\n'
+        'multi_total{method="POST",path="/b"} 1\n')
+
+
+def test_render_escapes_label_values_and_help():
+    registry = MetricsRegistry()
+    family = registry.counter("esc_total", 'line\none "quoted" \\ slash',
+                              labels=("k",))
+    family.labels(k='a"b\\c\nd').inc()
+    text = registry.render()
+    assert '# HELP esc_total line\\none "quoted" \\\\ slash' in text
+    assert 'esc_total{k="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().render() == ""
+    assert MetricsRegistry().snapshot() == {}
+
+
+def test_parse_exposition_round_trips_render():
+    registry = _demo_registry()
+    parsed = parse_exposition(registry.render())
+    assert parsed["types"] == {"demo_lat": "histogram",
+                               "demo_requests_total": "counter",
+                               "demo_temp": "gauge"}
+    assert sample_total(parsed, "demo_requests_total") == 4
+    assert sample_total(parsed, "demo_requests_total", {"code": "200"}) == 3
+    assert sample_total(parsed, "demo_temp") == 2.5
+    assert sample_total(parsed, "demo_lat_count") == 3
+    assert sample_total(parsed, "demo_lat_sum") == 2.75
+    assert sample_total(parsed, "demo_lat_bucket", {"le": "1"}) == 2
+    assert sample_total(parsed, "demo_lat_bucket", {"le": "+Inf"}) == 3
+
+
+def test_parse_exposition_unescapes_label_values():
+    registry = MetricsRegistry()
+    value = 'a"b\\c\nd,e'
+    registry.counter("esc_total", labels=("k",)).labels(k=value).inc()
+    parsed = parse_exposition(registry.render())
+    (labels, count), = parsed["samples"]["esc_total"]
+    assert labels == {"k": value}
+    assert count == 1
+
+
+def test_snapshot_is_json_serializable_with_cumulative_buckets():
+    snapshot = _demo_registry().snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    lat = snapshot["demo_lat"]
+    assert lat["type"] == "histogram"
+    series, = lat["series"]
+    assert series["buckets"] == {"0.5": 2, "1": 2, "+Inf": 3}
+    assert series["count"] == 3
+    assert snapshot["demo_requests_total"]["series"] == [
+        {"labels": {"code": "200"}, "value": 3.0},
+        {"labels": {"code": "404"}, "value": 1.0},
+    ]
+
+
+# -- concurrency --------------------------------------------------------------
+def test_parallel_observes_equal_serial_totals():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total")
+    hist = registry.histogram("hammer_lat", buckets=BATCH_OCCUPANCY_BUCKETS)
+    n_threads, n_iterations = 8, 1000
+
+    def work() -> None:
+        for i in range(n_iterations):
+            counter.inc()
+            hist.observe(float(i % 4))
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    expected = n_threads * n_iterations
+    assert counter.value == expected
+    assert hist.count == expected
+    assert hist.cumulative_counts()[-1] == expected
+    # le=1 holds exactly the 0.0 and 1.0 observations.
+    assert hist.cumulative_counts()[0] == expected // 2
+    assert hist.sum == pytest.approx(n_threads * sum(
+        float(i % 4) for i in range(n_iterations)))
+
+
+def test_compound_updates_are_atomic_with_respect_to_snapshots():
+    registry = MetricsRegistry()
+    left = registry.counter("pair_left_total")
+    right = registry.counter("pair_right_total")
+    stop = threading.Event()
+
+    def writer() -> None:
+        while not stop.is_set():
+            with registry.lock:
+                left.inc()
+                right.inc()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        torn = []
+        for _ in range(300):
+            snapshot = registry.snapshot()
+            a = snapshot["pair_left_total"]["series"][0]["value"]
+            b = snapshot["pair_right_total"]["series"][0]["value"]
+            if a != b:
+                torn.append((a, b))
+        assert torn == []
+    finally:
+        stop.set()
+        thread.join()
+
+
+# -- the null registry --------------------------------------------------------
+def test_null_registry_answers_the_whole_api_with_noops():
+    registry = NullRegistry()
+    counter = registry.counter("c_total", "help", labels=("k",))
+    counter.labels(k="x").inc(5)
+    counter.inc()
+    hist = registry.histogram("h", labels=("stage",))
+    hist.labels(stage="parse").observe(1.0)
+    gauge = registry.gauge("g")
+    gauge.set(3.0)
+    gauge.set_max(9.0)
+    gauge.dec()
+    assert counter.value == 0.0
+    assert hist.sum == 0.0 and hist.count == 0
+    assert registry.snapshot() == {}
+    assert registry.render() == ""
+    assert registry.families() == []
+    with registry.lock:  # usable as a context manager like the real one
+        pass
+    assert isinstance(NULL_REGISTRY, NullRegistry)
