@@ -67,10 +67,25 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional slowdown (default: 0.25 = +25%%)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="fail unless some current case's fullname contains this "
+        "(repeatable) — catches a benchmark file silently not running",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_medians(args.baseline)
     current = load_medians(args.current)
+    for required in args.require:
+        if not any(required in fullname for fullname in current):
+            print(
+                f"error: --require {required!r} matched no case in {args.current}",
+                file=sys.stderr,
+            )
+            return 2
     matched = sorted(set(baseline) & set(current))
     if not matched:
         print(

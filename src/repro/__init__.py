@@ -93,7 +93,7 @@ from repro.service import (
 )
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdaptiveController",

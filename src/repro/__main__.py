@@ -47,6 +47,17 @@ Three modes:
   ``--no-adapt``; ``loadgen`` scrapes the metrics and summarizes
   per-stage latency next to its client-side percentiles.
 
+* **Sharded fleets** (``fleet`` / ``serve --workers N``): the same wire
+  protocol served by a consistent-hash router over N shared-nothing
+  worker processes, with per-shard ``/metrics`` labels, ``/v1/fleet``
+  add/drain admin endpoints and graceful rehash on resize; ``loadgen
+  --keys K --zipf S`` generates the fleet-shaped skewed workload and
+  ``--expect-shards N`` turns the per-shard report into a CI gate::
+
+      python -m repro fleet --port 8123 --workers 4
+      python -m repro loadgen --port 8123 --requests 200 --keys 12 \\
+          --zipf 1.1 --expect-shards 4
+
 * **Telemetry snapshots** (``metrics-dump``): one JSON dump of the
   metrics — scraped from a running service, or accumulated in-process by
   running a sweep spec::
@@ -442,8 +453,23 @@ def serve_command(argv: list[str]) -> int:
                         help="adaptive-controller tick interval in seconds")
     parser.add_argument("--request-log", default=None, metavar="PATH",
                         help="append one JSON line per priced request "
-                             "('-' = stderr)")
+                             "('-' = stderr); with --workers > 1, a "
+                             "directory holding one log per shard")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run a sharded fleet of this many worker "
+                             "processes behind a consistent-hash router "
+                             "(default 1 = single process, this process)")
+    parser.add_argument("--shard", default=None, metavar="ID",
+                        help="shard identity label, surfaced in /v1/healthz "
+                             "and /v1/stats (set by the fleet supervisor)")
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        return _serve_fleet(args)
+    if args.workers < 1:
+        print(f"error: need --workers >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
 
     from repro.observability import AdaptiveController, RequestLogger
 
@@ -453,7 +479,7 @@ def serve_command(argv: list[str]) -> int:
         service = CostSharingService(
             cache_size=args.cache_size, batch_window=args.batch_window,
             max_batch=args.max_batch, queue_limit=args.queue_limit,
-            request_log=request_log)
+            request_log=request_log, shard=args.shard)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -501,6 +527,84 @@ def serve_command(argv: list[str]) -> int:
     return 0
 
 
+def _serve_fleet(args) -> int:
+    """``serve --workers N`` / ``fleet``: boot N shared-nothing worker
+    processes and serve the consistent-hash router over them."""
+    import asyncio
+
+    from repro.service import Fleet, run_server
+
+    try:
+        fleet = Fleet(workers=args.workers, host=args.host,
+                      cache_size=args.cache_size,
+                      batch_window=args.batch_window,
+                      max_batch=args.max_batch, queue_limit=args.queue_limit,
+                      request_log_dir=getattr(args, "request_log", None),
+                      replicas=getattr(args, "replicas", None) or 64)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        router = fleet.start()
+    except (RuntimeError, OSError) as exc:
+        fleet.shutdown()
+        print(f"error: cannot start fleet: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(server) -> None:
+        workers = router.live_workers()
+        print(f"fleet: {len(workers)} workers "
+              f"({', '.join(w.shard for w in workers)})", flush=True)
+        # Same machine-readable ready line as single-process serve.
+        print(f"serving on http://{args.host}:{server.port}", flush=True)
+
+    try:
+        asyncio.run(run_server(router, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        fleet.shutdown()
+    return 0
+
+
+def fleet_command(argv: list[str]) -> int:
+    """The ``fleet`` subcommand: explicit spelling of
+    ``serve --workers N`` with the ring knob exposed."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Serve a sharded worker fleet behind a consistent-hash "
+                    "router (same wire protocol as `serve`, plus /v1/fleet "
+                    "admin endpoints for add/drain).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123,
+                        help="router listen port (0 = ephemeral, printed on "
+                             "startup; workers always bind ephemeral ports)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="initial worker processes (shards w0..wN-1)")
+    parser.add_argument("--cache-size", type=int, default=64,
+                        help="per-worker LRU session store capacity")
+    parser.add_argument("--batch-window", type=float, default=0.005,
+                        help="per-worker micro-batch window in seconds")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--queue-limit", type=int, default=128,
+                        help="per-worker admission limit (429 beyond it)")
+    parser.add_argument("--replicas", type=int, default=64,
+                        help="virtual nodes per shard on the hash ring")
+    parser.add_argument("--request-log", default=None, metavar="DIR",
+                        help="directory for per-shard JSON request logs")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        print(f"error: need --workers >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    return _serve_fleet(args)
+
+
 def loadgen_command(argv: list[str]) -> int:
     """The ``loadgen`` subcommand: deterministic closed-loop load over a
     running service; reports latency percentiles and throughput."""
@@ -534,10 +638,21 @@ def loadgen_command(argv: list[str]) -> int:
     parser.add_argument("--profile-count", type=int, default=2,
                         help="utility profiles per request")
     parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--keys", type=int, default=None,
+                        help="Zipf-skewed workload over this many distinct "
+                             "scenario keys (per-key seeds are SHA-256 "
+                             "derived; --seeds is ignored)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf skew exponent for --keys (0 = uniform)")
     parser.add_argument("--expect-engaged", action="store_true",
                         help="fail unless /v1/stats shows the warm paths "
                              "engaged (cache hits or coalescing, and at "
                              "least one multi-request batch)")
+    parser.add_argument("--expect-shards", type=int, default=None,
+                        metavar="N",
+                        help="fail unless >= N distinct shards answered "
+                             "(X-Repro-Shard) and each one served warm "
+                             "lookups — for fleet smoke tests")
     args = parser.parse_args(argv)
 
     mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
@@ -560,14 +675,15 @@ def loadgen_command(argv: list[str]) -> int:
             concurrency=args.concurrency, n=args.n, alpha=args.alpha,
             side=args.side, seeds=seeds, layouts=layouts,
             mechanisms=mechanisms, profile_count=args.profile_count,
-            timeout=args.timeout)
+            timeout=args.timeout, keys=args.keys, zipf=args.zipf)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     for line in report.lines():
         print(line)
-    failures = report.check(expect_engaged=args.expect_engaged)
+    failures = report.check(expect_engaged=args.expect_engaged,
+                            expect_shards=args.expect_shards)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -653,6 +769,8 @@ def main(argv: list[str]) -> int:
         return dynamic_command(argv[1:])
     if argv and argv[0] == "serve":
         return serve_command(argv[1:])
+    if argv and argv[0] == "fleet":
+        return fleet_command(argv[1:])
     if argv and argv[0] == "loadgen":
         return loadgen_command(argv[1:])
     if argv and argv[0] == "metrics-dump":

@@ -38,7 +38,9 @@ from repro.observability.metrics import (
     NullRegistry,
     default_registry,
     format_value,
+    merge_expositions,
     parse_exposition,
+    relabel_exposition,
     sample_total,
     stage_histogram,
 )
@@ -59,7 +61,9 @@ __all__ = [
     "RequestLogger",
     "default_registry",
     "format_value",
+    "merge_expositions",
     "parse_exposition",
+    "relabel_exposition",
     "sample_total",
     "scenario_hash",
     "stage_histogram",

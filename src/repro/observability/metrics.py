@@ -63,7 +63,9 @@ __all__ = [
     "NullRegistry",
     "default_registry",
     "format_value",
+    "merge_expositions",
     "parse_exposition",
+    "relabel_exposition",
     "sample_total",
     "stage_histogram",
 ]
@@ -586,3 +588,55 @@ def sample_total(parsed: Mapping, name: str,
             continue
         total += value
     return total
+
+
+# -- fleet aggregation -------------------------------------------------------
+def relabel_exposition(text: str, labels: Mapping[str, str]) -> str:
+    """Inject ``labels`` into every sample of an exposition.
+
+    Pure text surgery — sample values, label ordering and escaping are
+    left byte-for-byte as rendered — so the fleet router can prefix each
+    worker's scrape with a ``shard="w0"`` label without re-parsing
+    floats.  The injected labels come first; existing histograms keep
+    their per-``le`` invariants because the new labels split series by
+    shard, never within one.
+    """
+    pairs = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                     for name, value in labels.items())
+    if not pairs:
+        return text
+    out = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        brace, space = line.find("{"), line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            # `name{a="b"} v` — a first space may sit inside a quoted
+            # label value, so the brace position is what decides.
+            out.append(f"{line[:brace + 1]}{pairs},{line[brace + 1:]}")
+        else:
+            name, _, rest = line.partition(" ")
+            out.append(f"{name}{{{pairs}}} {rest}")
+    return "\n".join(out) + "\n"
+
+
+def merge_expositions(parts: Iterable[str]) -> str:
+    """Concatenate expositions, keeping one ``# HELP``/``# TYPE`` header
+    per family (the first wins).  Families whose samples appear in
+    several parts end up interleaved rather than contiguous — fine for
+    :func:`parse_exposition` and the scrapers here, which key on sample
+    names, not block order."""
+    seen: set[tuple[str, str]] = set()
+    out: list[str] = []
+    for text in parts:
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                words = line.split()
+                if len(words) >= 3:
+                    header = (words[1], words[2])
+                    if header in seen:
+                        continue
+                    seen.add(header)
+            out.append(line)
+    return "\n".join(out) + "\n" if out else ""

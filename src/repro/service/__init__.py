@@ -17,7 +17,12 @@ subsystem that serves pricing requests over long-lived warm state.
   in-process client, and the asyncio HTTP/1.1 endpoint with bounded
   queues and 429 backpressure (:mod:`repro.service.server`);
 * the wire protocol — request parsing and payload shapes shared by both
-  transports (:mod:`repro.service.protocol`).
+  transports (:mod:`repro.service.protocol`);
+* :class:`HashRing` / :class:`FleetRouter` / :class:`Fleet` — horizontal
+  sharding: a consistent-hash router that fans the same wire protocol
+  out over N shared-nothing worker processes, with graceful drain and
+  minimal-remap resize (:mod:`repro.service.ring`,
+  :mod:`repro.service.fleet`).
 
 ``python -m repro serve`` runs the endpoint; ``python -m repro loadgen``
 drives it closed-loop and reports latency percentiles.  Every response
@@ -35,6 +40,7 @@ from that telemetry.
 """
 
 from repro.service.batching import MicroBatcher
+from repro.service.fleet import Fleet, FleetRouter, FleetWorker, WorkerClient, spawn_worker
 from repro.service.protocol import (
     ProtocolError,
     RunRequest,
@@ -42,20 +48,36 @@ from repro.service.protocol import (
     parse_run_request,
     run_payload,
 )
-from repro.service.server import CostSharingService, ServiceClient, ServiceServer, run_server
+from repro.service.ring import DEFAULT_REPLICAS, HashRing, ring_hash
+from repro.service.server import (
+    BackgroundServer,
+    CostSharingService,
+    ServiceClient,
+    ServiceServer,
+    run_server,
+)
 from repro.service.state import SessionStore, scenario_key
 
 __all__ = [
+    "BackgroundServer",
     "CostSharingService",
+    "DEFAULT_REPLICAS",
+    "Fleet",
+    "FleetRouter",
+    "FleetWorker",
+    "HashRing",
     "MicroBatcher",
     "ProtocolError",
     "RunRequest",
     "ServiceClient",
     "ServiceServer",
     "SessionStore",
+    "WorkerClient",
     "parse_batch_request",
     "parse_run_request",
+    "ring_hash",
     "run_payload",
     "run_server",
     "scenario_key",
+    "spawn_worker",
 ]

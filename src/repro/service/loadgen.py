@@ -41,10 +41,76 @@ STAGES = ("parse", "queue", "build", "execute", "serialize")
 UTILITY_SCALE = 10.0
 
 
+def zipf_weights(keys: int, exponent: float) -> np.ndarray:
+    """The normalized Zipf popularity vector over ``keys`` ranks:
+    ``weight(k) ~ 1 / (k + 1) ** exponent``.  ``exponent=0`` is uniform;
+    ~1 is the classic web-cache skew where the head keys dominate."""
+    if keys < 1:
+        raise ValueError(f"need keys >= 1, got {keys}")
+    if exponent < 0:
+        raise ValueError(f"need zipf exponent >= 0, got {exponent}")
+    weights = np.array([1.0 / (rank + 1) ** exponent for rank in range(keys)])
+    return weights / weights.sum()
+
+
+def build_keyed_requests(*, requests: int, keys: int, zipf: float, n: int,
+                         alpha: float, side: float, layouts: list[str],
+                         mechanisms: list[str], profile_count: int
+                         ) -> list[dict]:
+    """A Zipf-skewed schedule over ``keys`` distinct scenarios.
+
+    Each key's scenario seed is SHA-256-derived from the workload
+    identity (:func:`~repro.api.spec.seed_from_text` over an explicit
+    text form), and the rank sequence is drawn from a seeded generator
+    via the cumulative-weights inverse — not ``rng.choice`` — so the
+    schedule is byte-identical across runs, platforms and numpy
+    versions.  This is the fleet-shaped workload: distinct keys spread
+    over shards by the ring, while the Zipf head keeps every shard's
+    LRU warm."""
+    if requests < 1:
+        raise ValueError(f"need requests >= 1, got {requests}")
+    if not layouts or not mechanisms:
+        raise ValueError("need at least one layout and one mechanism")
+    identity = f"loadgen|keyed|n:{n}|alpha:{alpha}|side:{side}|keys:{keys}"
+    scenarios = [
+        ScenarioSpec.from_random(
+            n=n, alpha=alpha, side=side,
+            layout=layouts[rank % len(layouts)],
+            seed=seed_from_text(f"{identity}|key:{rank}"))
+        for rank in range(keys)]
+    cumulative = np.cumsum(zipf_weights(keys, zipf))
+    rng = np.random.default_rng(seed_from_text(f"{identity}|zipf:{zipf}|order"))
+    out = []
+    for index in range(requests):
+        rank = min(int(np.searchsorted(cumulative, rng.random(),
+                                       side="right")), keys - 1)
+        scenario = scenarios[rank]
+        mechanism = mechanisms[index % len(mechanisms)]
+        profile_rng = np.random.default_rng(seed_from_text(
+            f"loadgen|{scenario.to_json()}|{mechanism}|request:{index}"))
+        profiles = [{str(a): float(profile_rng.uniform(0.0, UTILITY_SCALE))
+                     for a in scenario.agents()}
+                    for _ in range(profile_count)]
+        out.append({"scenario": scenario.to_dict(), "mechanism": mechanism,
+                    "profiles": profiles})
+    return out
+
+
 def build_requests(*, requests: int, n: int, alpha: float, side: float,
                    seeds: list[int], layouts: list[str], mechanisms: list[str],
-                   profile_count: int) -> list[dict]:
-    """The deterministic request schedule (plain wire dicts)."""
+                   profile_count: int, keys: int | None = None,
+                   zipf: float = 1.1) -> list[dict]:
+    """The deterministic request schedule (plain wire dicts).
+
+    With ``keys`` set the schedule is the Zipf-skewed keyed workload of
+    :func:`build_keyed_requests` (``seeds`` is ignored: per-key seeds
+    are derived); otherwise the original round-robin over layouts x
+    seeds x mechanisms, byte-identical to what it always produced."""
+    if keys is not None:
+        return build_keyed_requests(
+            requests=requests, keys=keys, zipf=zipf, n=n, alpha=alpha,
+            side=side, layouts=layouts, mechanisms=mechanisms,
+            profile_count=profile_count)
     if requests < 1:
         raise ValueError(f"need requests >= 1, got {requests}")
     scenarios = [ScenarioSpec.from_random(n=n, alpha=alpha, seed=seed,
@@ -81,17 +147,28 @@ class LoadReport:
     stats: dict | None                # the server's /v1/stats snapshot
     config: dict = field(default_factory=dict)
     metrics: str | None = None        # the server's /metrics exposition
+    # Latencies grouped by the X-Repro-Shard response header — which
+    # shard answered each request when the target is a fleet router.
+    shard_latencies: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
         return self.requests / self.elapsed if self.elapsed > 0 else float("inf")
 
-    def percentile(self, q: float) -> float:
-        if not self.latencies:
+    @staticmethod
+    def _percentile(samples: list[float], q: float) -> float:
+        if not samples:
             return float("nan")
-        ordered = sorted(self.latencies)
+        ordered = sorted(samples)
         position = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[position]
+
+    def percentile(self, q: float) -> float:
+        return self._percentile(self.latencies, q)
+
+    def observed_shards(self) -> tuple[str, ...]:
+        """Shards that answered at least one request, sorted."""
+        return tuple(sorted(self.shard_latencies))
 
     def lines(self) -> list[str]:
         status = " ".join(f"{code}:{count}"
@@ -118,7 +195,30 @@ class LoadReport:
                                            "coalesced")}, **store},
                     **{**{k: "?" for k in ("batches", "requests",
                                            "max_batch_size")}, **batcher}))
+        out.extend(self.shard_lines())
         out.extend(self.metric_lines())
+        return out
+
+    def shard_lines(self) -> list[str]:
+        """Per-shard client-side p95 and server-side hit rate — the
+        fleet view.  Empty against a single-process server (no
+        ``X-Repro-Shard`` header, no ``"shards"`` stats block)."""
+        if not self.shard_latencies:
+            return []
+        shard_stats = (self.stats or {}).get("shards", {})
+        out = []
+        for shard in self.observed_shards():
+            samples = self.shard_latencies[shard]
+            line = (f"shard {shard}: {len(samples)} requests, "
+                    f"p95 {self._percentile(samples, 0.95) * 1e3:.1f}ms")
+            store = shard_stats.get(shard, {}).get("store")
+            if store:
+                lookups = store.get("lookups", 0)
+                warm = store.get("hits", 0) + store.get("coalesced", 0)
+                rate = warm / lookups * 100 if lookups else 0.0
+                line += (f", hit-rate {rate:.0f}% "
+                         f"({warm}/{lookups} lookups)")
+            out.append(line)
         return out
 
     def metric_lines(self) -> list[str]:
@@ -159,10 +259,28 @@ class LoadReport:
         solo = sample_total(parsed, "repro_batch_occupancy_bucket", {"le": "1"})
         return flushes - solo >= 1
 
-    def check(self, *, expect_engaged: bool = False) -> list[str]:
+    def check(self, *, expect_engaged: bool = False,
+              expect_shards: int | None = None) -> list[str]:
         """CI verdicts: every request answered 200; optionally the warm
-        machinery must have engaged."""
+        machinery must have engaged; against a fleet, optionally at
+        least ``expect_shards`` shards answered and every one of them
+        served warm (hit or coalesced) lookups."""
         failures = []
+        if expect_shards is not None:
+            answered = self.observed_shards()
+            if len(answered) < expect_shards:
+                failures.append(
+                    f"expected >= {expect_shards} shards answering, "
+                    f"saw {list(answered) or 'none'}")
+            shard_stats = (self.stats or {}).get("shards", {})
+            for shard in answered:
+                store = shard_stats.get(shard, {}).get("store")
+                if store is None:
+                    continue  # drained mid-run: no final snapshot to judge
+                if store.get("hits", 0) + store.get("coalesced", 0) < 1:
+                    failures.append(
+                        f"shard {shard} never served a warm lookup "
+                        f"(hits + coalesced == 0)")
         non_200 = {code: count for code, count in self.statuses.items()
                    if code != 200}
         if non_200 or self.errors:
@@ -191,11 +309,12 @@ class LoadReport:
 
 
 def _post_json(connection: http.client.HTTPConnection, path: str,
-               body: bytes) -> tuple[int, dict]:
+               body: bytes) -> tuple[int, dict, str | None]:
     connection.request("POST", path, body=body,
                        headers={"Content-Type": "application/json"})
     response = connection.getresponse()
-    return response.status, json.loads(response.read().decode("utf-8"))
+    payload = json.loads(response.read().decode("utf-8"))
+    return response.status, payload, response.getheader("X-Repro-Shard")
 
 
 def _get_json(connection: http.client.HTTPConnection, path: str) -> tuple[int, dict]:
@@ -213,12 +332,14 @@ def _get_text(connection: http.client.HTTPConnection, path: str) -> tuple[int, s
 def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                 n: int, alpha: float, side: float, seeds: list[int],
                 layouts: list[str], mechanisms: list[str], profile_count: int,
-                timeout: float = 60.0) -> LoadReport:
+                timeout: float = 60.0, keys: int | None = None,
+                zipf: float = 1.1) -> LoadReport:
     """Drive the service closed-loop and return the observed report."""
     schedule = build_requests(requests=requests, n=n, alpha=alpha, side=side,
                               seeds=seeds, layouts=layouts,
                               mechanisms=mechanisms,
-                              profile_count=profile_count)
+                              profile_count=profile_count,
+                              keys=keys, zipf=zipf)
     bodies = [json.dumps(request, sort_keys=True).encode("utf-8")
               for request in schedule]
     concurrency = max(1, min(int(concurrency), len(bodies)))
@@ -228,6 +349,7 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     latencies: list[float] = []
     statuses: dict[int, int] = {}
     errors: list[str] = []
+    shard_latencies: dict[str, list[float]] = {}
     record_lock = threading.Lock()
 
     def worker() -> None:
@@ -242,8 +364,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                     next_index += 1
                 started = time.perf_counter()
                 try:
-                    status, _payload = _post_json(connection, "/v1/run",
-                                                  bodies[index])
+                    status, _payload, shard = _post_json(connection, "/v1/run",
+                                                         bodies[index])
                 except (OSError, http.client.HTTPException):
                     # One reconnect per failure: keep-alive sockets the
                     # server closed between requests look like this.
@@ -251,8 +373,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                     connection = http.client.HTTPConnection(host, port,
                                                             timeout=timeout)
                     try:
-                        status, _payload = _post_json(connection, "/v1/run",
-                                                      bodies[index])
+                        status, _payload, shard = _post_json(
+                            connection, "/v1/run", bodies[index])
                     except (OSError, http.client.HTTPException) as exc2:
                         with record_lock:
                             errors.append(f"request {index}: {exc2}")
@@ -262,6 +384,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                 with record_lock:
                     latencies.append(elapsed)
                     statuses[status] = statuses.get(status, 0) + 1
+                    if shard is not None:
+                        shard_latencies.setdefault(shard, []).append(elapsed)
         finally:
             connection.close()
 
@@ -291,7 +415,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     return LoadReport(
         requests=len(bodies), concurrency=concurrency, elapsed=elapsed,
         latencies=latencies, statuses=statuses, errors=errors, stats=stats,
-        metrics=metrics,
+        metrics=metrics, shard_latencies=shard_latencies,
         config={"host": host, "port": port, "n": n, "alpha": alpha,
                 "side": side, "seeds": seeds, "layouts": layouts,
-                "mechanisms": mechanisms, "profile_count": profile_count})
+                "mechanisms": mechanisms, "profile_count": profile_count,
+                "keys": keys, "zipf": zipf})

@@ -1,0 +1,133 @@
+"""Consistent-hash ring: the fleet's request-to-shard routing function.
+
+The sharded service keeps each scenario's warm session on exactly one
+worker by routing every request on its scenario wire key — the same key
+the LRU :class:`~repro.service.state.SessionStore` uses — through this
+ring.  Consistent hashing is what makes fleet resizes cheap: adding or
+removing one shard remaps only the key ranges adjacent to that shard's
+virtual nodes (an expected ``1/(N+1)`` resp. ``1/N`` fraction of the key
+space), so almost every scenario keeps its warm session through a
+resize.
+
+Determinism is a hard requirement — the router restarts, CI re-runs, and
+two processes must agree on where a key lives — so every hash here is
+SHA-256 (via :func:`ring_hash`), never Python's per-process-salted
+``hash()``.  Routing is a pure function of ``(members, replicas, key)``:
+no randomness, no insertion-order dependence (virtual-node points are
+derived from shard *names*), pinned by golden values in
+``tests/test_service_ring.py`` and checked across interpreter processes
+there.
+
+Each shard contributes ``replicas`` virtual nodes (points on a 64-bit
+circle); a key routes to the shard owning the first point at or after
+the key's own hash, wrapping at the top.  More replicas smooth the load
+split between shards at the cost of a larger (still tiny) routing table;
+64 keeps the max/min shard imbalance under ~2x for small fleets.
+
+The ring is plain data + ``bisect`` — mutations and routing are O(log P)
+with P total points — and is *not* locked: the fleet router mutates it
+only from its own event loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from collections.abc import Iterable
+
+DEFAULT_REPLICAS = 64
+
+
+def ring_hash(text: str) -> int:
+    """A 64-bit point on the ring circle for ``text`` (SHA-256, first 8
+    bytes) — deterministic across processes, platforms and runs, unlike
+    the builtin ``hash()``."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class HashRing:
+    """Consistent-hash routing of string keys onto named shards.
+
+    >>> ring = HashRing(["w0", "w1", "w2"])
+    >>> ring.route("some scenario wire key") in ring.shards()
+    True
+    """
+
+    __slots__ = ("replicas", "_members", "_points")
+
+    def __init__(self, shards: Iterable[str] = (), *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._members: set[str] = set()
+        # Sorted (point, shard) pairs; the shard in the pair breaks the
+        # (astronomically unlikely) point collision deterministically.
+        self._points: list[tuple[int, str]] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership ----------------------------------------------------------
+    def add(self, shard: str) -> None:
+        """Join ``shard``: insert its virtual nodes (error if present)."""
+        shard = str(shard)
+        if shard in self._members:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._members.add(shard)
+        for index in range(self.replicas):
+            insort(self._points, (ring_hash(f"shard|{shard}|vnode:{index}"),
+                                  shard))
+
+    def remove(self, shard: str) -> None:
+        """Leave ``shard``: drop its virtual nodes (error if absent)."""
+        shard = str(shard)
+        if shard not in self._members:
+            raise KeyError(f"shard {shard!r} is not on the ring")
+        self._members.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def shards(self) -> tuple[str, ...]:
+        """Current members, sorted by name."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._members
+
+    # -- routing -------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The shard owning ``key``: the first virtual node clockwise of
+        the key's hash.  Raises :class:`LookupError` on an empty ring."""
+        if not self._points:
+            raise LookupError("cannot route on an empty ring (no shards)")
+        point = ring_hash(f"key|{key}")
+        # bisect on (point, "") lands before any shard pair at the same
+        # point, so a key hashing exactly onto a vnode routes to it.
+        index = bisect_right(self._points, (point, ""))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the circle
+        return self._points[index][1]
+
+    def table(self, keys: Iterable[str]) -> dict[str, str]:
+        """``{key: shard}`` for every key (a remap-audit convenience)."""
+        return {key: self.route(key) for key in keys}
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """``{shard: key count}`` over ``keys`` for every member (zeros
+        included) — what the load-balance tests and ``/v1/fleet`` report."""
+        counts = {shard: 0 for shard in self.shards()}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """A JSON-safe summary for ``/v1/stats`` / ``/v1/fleet``."""
+        return {"replicas": self.replicas, "shards": list(self.shards()),
+                "points": len(self._points)}
+
+    def __repr__(self) -> str:
+        return (f"HashRing(shards={list(self.shards())}, "
+                f"replicas={self.replicas})")

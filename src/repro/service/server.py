@@ -62,7 +62,8 @@ from repro.service.state import SessionStore
 
 HTTP_REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
-    413: "Content Too Large", 429: "Too Many Requests", 500: "Internal Server Error",
+    409: "Conflict", 413: "Content Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 502: "Bad Gateway", 503: "Service Unavailable",
 }
 
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -81,9 +82,15 @@ class CostSharingService:
                  max_batch_requests: int = 64, max_body: int = 8 << 20,
                  retry_after: float = 1.0, executor=None,
                  registry: MetricsRegistry | None = None,
-                 request_log: RequestLogger | None = None) -> None:
+                 request_log: RequestLogger | None = None,
+                 shard: str | None = None) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        # The shard identity a fleet worker serves under (None outside a
+        # fleet).  Surfaced in /v1/healthz and /v1/stats so the router
+        # and CI can verify which worker answered; never in run payloads
+        # (those stay bit-identical to the single-process service).
+        self.shard = shard
         self.registry = registry if registry is not None else MetricsRegistry()
         self.request_log = request_log
         self.store = SessionStore(capacity=cache_size, registry=self.registry)
@@ -247,12 +254,16 @@ class CostSharingService:
     def health_payload(self) -> dict:
         from repro import __version__
 
-        return {"schema": PROTOCOL_SCHEMA, "status": "ok",
-                "version": __version__}
+        payload = {"schema": PROTOCOL_SCHEMA, "status": "ok",
+                   "version": __version__}
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        return payload
 
     def stats_payload(self) -> dict:
         return {
             "schema": PROTOCOL_SCHEMA,
+            **({"shard": self.shard} if self.shard is not None else {}),
             "store": self.store.stats(),
             "batcher": self.batcher.stats(),
             "http": {
@@ -495,3 +506,90 @@ async def run_server(service: CostSharingService, host: str, port: int,
         pass
     finally:
         await server.close()
+
+
+class BackgroundServer:
+    """The HTTP server on its own event-loop thread.
+
+    What synchronous drivers — benchmarks, examples, the fleet tests —
+    use to stand a service (or a duck-typed
+    :class:`~repro.service.fleet.FleetRouter`) behind a real socket
+    without owning an event loop themselves::
+
+        server = BackgroundServer(service)
+        port = server.start()      # bound ephemeral port
+        ...  # drive it over HTTP from any thread
+        server.stop()              # cancels serving, drains, joins
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._task: asyncio.Task | None = None
+
+    def start(self, *, timeout: float = 30.0) -> int:
+        """Serve on a daemon thread; returns the bound port."""
+        import threading
+
+        if self._thread is not None:
+            raise RuntimeError("BackgroundServer already started")
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def main() -> None:
+                server = ServiceServer(self.service, self.host, self.port)
+                try:
+                    await server.start()
+                except BaseException as exc:
+                    failure.append(exc)
+                    started.set()
+                    return
+                self.port = server.port
+                self._task = asyncio.current_task()
+                started.set()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await server.close()
+
+            try:
+                loop.run_until_complete(main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-background-server")
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("background server never came up")
+        if failure:
+            self._thread.join(timeout)
+            self._thread = None
+            raise failure[0]
+        return self.port
+
+    def stop(self, *, timeout: float = 30.0) -> None:
+        """Cancel serving, drain the service, and join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._task is not None:
+            self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -334,3 +334,64 @@ def test_null_registry_answers_the_whole_api_with_noops():
     with registry.lock:  # usable as a context manager like the real one
         pass
     assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+# -- fleet exposition surgery -------------------------------------------------
+def _registry_with_traffic() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_reqs_total", "requests",
+                               labels=("path",))
+    counter.labels(path="/v1/run").inc(3)
+    registry.gauge("repro_up", "liveness").set(1)
+    registry.histogram("repro_lat", "latency",
+                       buckets=(0.1, 1.0)).observe(0.05)
+    return registry
+
+
+def test_relabel_exposition_injects_labels_without_touching_values():
+    from repro.observability import relabel_exposition
+
+    text = _registry_with_traffic().render()
+    relabeled = relabel_exposition(text, {"shard": "w0"})
+    parsed = parse_exposition(relabeled)
+    # Every sample carries the shard label; totals are untouched.
+    assert sample_total(parsed, "repro_reqs_total", {"shard": "w0"}) == 3
+    assert sample_total(parsed, "repro_reqs_total",
+                        {"shard": "w0", "path": "/v1/run"}) == 3
+    assert sample_total(parsed, "repro_up", {"shard": "w0"}) == 1
+    assert sample_total(parsed, "repro_lat_count", {"shard": "w0"}) == 1
+    # Comment lines pass through untouched; no unlabeled samples remain.
+    for line in relabeled.splitlines():
+        if line and not line.startswith("#"):
+            assert 'shard="w0"' in line
+    assert relabel_exposition(text, {}) == text
+
+
+def test_relabel_exposition_survives_spaces_inside_label_values():
+    from repro.observability import relabel_exposition
+
+    registry = MetricsRegistry()
+    registry.counter("c_total", "c", labels=("k",)).labels(
+        k="a value, with spaces").inc(2)
+    relabeled = relabel_exposition(registry.render(), {"shard": "w1"})
+    parsed = parse_exposition(relabeled)
+    assert sample_total(parsed, "c_total",
+                        {"shard": "w1", "k": "a value, with spaces"}) == 2
+
+
+def test_merge_expositions_dedupes_headers_and_keeps_all_samples():
+    from repro.observability import merge_expositions, relabel_exposition
+
+    parts = [relabel_exposition(_registry_with_traffic().render(),
+                                {"shard": shard})
+             for shard in ("w0", "w1", "w2")]
+    merged = merge_expositions(parts)
+    assert merged.count("# HELP repro_reqs_total") == 1
+    assert merged.count("# TYPE repro_reqs_total") == 1
+    parsed = parse_exposition(merged)
+    # Per-shard series survive; the unqualified total sums the fleet.
+    assert sample_total(parsed, "repro_reqs_total") == 9
+    for shard in ("w0", "w1", "w2"):
+        assert sample_total(parsed, "repro_reqs_total",
+                            {"shard": shard}) == 3
+    assert merge_expositions([]) == ""

@@ -1,0 +1,147 @@
+"""Property tests for the consistent-hash ring (repro.service.ring).
+
+The ring is the fleet's routing function, so its contract is tested as
+properties over large key samples rather than examples: totality (every
+key maps to exactly one live shard), minimal disruption (a resize remaps
+only the expected fraction), determinism across interpreter processes
+(golden values + a subprocess probe), and reasonable balance.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.ring import DEFAULT_REPLICAS, HashRing, ring_hash
+
+KEYS_10K = [f"scenario-key-{index}" for index in range(10_000)]
+
+
+def test_every_key_maps_to_exactly_one_live_shard():
+    ring = HashRing(["w0", "w1", "w2"])
+    members = set(ring.shards())
+    for key in KEYS_10K:
+        assert ring.route(key) in members
+        # Routing is a function: the same key, asked again, agrees.
+        assert ring.route(key) == ring.route(key)
+
+
+def test_empty_ring_raises_lookup_error():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.route("anything")
+    ring.add("w0")
+    ring.remove("w0")
+    with pytest.raises(LookupError):
+        ring.route("anything")
+
+
+def test_single_shard_takes_everything():
+    ring = HashRing(["only"])
+    assert all(ring.route(key) == "only" for key in KEYS_10K[:1000])
+
+
+def test_membership_errors_are_loud():
+    ring = HashRing(["w0"])
+    with pytest.raises(ValueError):
+        ring.add("w0")
+    with pytest.raises(KeyError):
+        ring.remove("w9")
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)
+
+
+def test_growing_n_to_n_plus_1_remaps_only_the_new_shards_share():
+    """Adding one shard to N moves an expected 1/(N+1) of keys — and
+    every moved key moves *to* the new shard, never between old ones."""
+    for n in (2, 4):
+        ring = HashRing([f"w{i}" for i in range(n)])
+        before = ring.table(KEYS_10K)
+        ring.add("new")
+        after = ring.table(KEYS_10K)
+        moved = [key for key in KEYS_10K if before[key] != after[key]]
+        assert all(after[key] == "new" for key in moved)
+        expected = len(KEYS_10K) / (n + 1)
+        # Generous 2x window around the expectation: the property under
+        # test is "a constant fraction, not a full reshuffle".
+        assert 0.3 * expected <= len(moved) <= 2.0 * expected
+
+
+def test_shrinking_n_to_n_minus_1_remaps_only_the_lost_shards_keys():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    before = ring.table(KEYS_10K)
+    ring.remove("w2")
+    after = ring.table(KEYS_10K)
+    for key in KEYS_10K:
+        if before[key] != "w2":
+            assert after[key] == before[key]  # survivors keep their keys
+        else:
+            assert after[key] != "w2"
+
+
+def test_add_then_remove_restores_the_original_table():
+    ring = HashRing(["w0", "w1", "w2"])
+    before = ring.table(KEYS_10K[:2000])
+    ring.add("transient")
+    ring.remove("transient")
+    assert ring.table(KEYS_10K[:2000]) == before
+
+
+def test_routing_is_insertion_order_independent():
+    forward = HashRing(["w0", "w1", "w2", "w3"])
+    backward = HashRing(["w3", "w2", "w1", "w0"])
+    sample = KEYS_10K[:2000]
+    assert forward.table(sample) == backward.table(sample)
+
+
+def test_balance_is_within_2x_with_default_replicas():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    spread = ring.spread(KEYS_10K)
+    assert set(spread) == {"w0", "w1", "w2", "w3"}
+    assert sum(spread.values()) == len(KEYS_10K)
+    assert max(spread.values()) <= 2.0 * max(1, min(spread.values()))
+
+
+def test_ring_hash_golden_values_pin_the_hash_function():
+    # Changing the hash (or the vnode/key derivation strings) silently
+    # reshuffles every deployed fleet; these goldens make that loud.
+    assert ring_hash("key|probe") == 0xC9A0B971F97BA668
+    assert ring_hash("shard|w0|vnode:0") == 0x5C91D6CC5E6D95E0
+
+
+def test_golden_routes_are_stable():
+    ring = HashRing(["w0", "w1", "w2"])
+    golden = {"scenario-key-0": "w2", "scenario-key-1": "w2",
+              "scenario-key-2": "w0", "scenario-key-3": "w1",
+              "scenario-key-4": "w1"}
+    assert {key: ring.route(key) for key in golden} == golden
+
+
+def test_routing_agrees_across_interpreter_processes():
+    """The fleet-critical property: a fresh Python process (fresh hash
+    randomization salt) routes an identical table."""
+    sample = KEYS_10K[:500]
+    script = (
+        "import json, sys\n"
+        "from repro.service.ring import HashRing\n"
+        "ring = HashRing(['w0', 'w1', 'w2'])\n"
+        "keys = json.load(sys.stdin)\n"
+        "json.dump(ring.table(keys), sys.stdout)\n")
+    result = subprocess.run(
+        [sys.executable, "-c", script], input=json.dumps(sample),
+        capture_output=True, text=True, check=True)
+    here = HashRing(["w0", "w1", "w2"]).table(sample)
+    assert json.loads(result.stdout) == here
+
+
+def test_describe_and_repr_report_membership():
+    ring = HashRing(["b", "a"], replicas=8)
+    assert ring.describe() == {"replicas": 8, "shards": ["a", "b"],
+                               "points": 16}
+    assert "a" in ring and "missing" not in ring
+    assert len(ring) == 2
+    assert "replicas=8" in repr(ring)
+    assert ring.replicas == 8 and DEFAULT_REPLICAS == 64
