@@ -21,6 +21,13 @@ Layering (each layer only depends on the ones above it):
   :class:`~repro.dynamic.DynamicScenarioSpec` (deterministic
   join/leave/move histories) replayed incrementally by
   :class:`~repro.dynamic.DynamicSession` (the temporal entry path);
+* :mod:`repro.traces` — multi-group trace workloads above
+  :mod:`repro.dynamic`: the frozen JSONL trace format
+  (:class:`~repro.traces.Trace`), the deterministic IGMP-like generator
+  with RSSI handover moves, and
+  :class:`~repro.traces.MultiGroupSession` replaying N concurrent
+  groups over one shared substrate (network/closure/xi built once per
+  distinct geometry, bit-identical to cold per-group replays);
 * :mod:`repro.runner` — declarative sweep grids over scenario layout
   families x mechanisms (x churn epochs), the process-parallel executor,
   and the resumable JSONL result store (the fleet entry path);
@@ -91,9 +98,17 @@ from repro.service import (
     ServiceServer,
     SessionStore,
 )
+from repro.traces import (
+    MultiGroupScenarioSpec,
+    MultiGroupSession,
+    Trace,
+    TraceScenarioSpec,
+    generate_trace,
+    replay_trace,
+)
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdaptiveController",
@@ -115,6 +130,8 @@ __all__ = [
     "MechanismResult",
     "MechanismSpec",
     "MicroBatcher",
+    "MultiGroupScenarioSpec",
+    "MultiGroupSession",
     "MulticastSession",
     "NWSTMechanism",
     "PointSet",
@@ -125,6 +142,8 @@ __all__ = [
     "ServiceServer",
     "SessionStore",
     "SweepSpec",
+    "Trace",
+    "TraceScenarioSpec",
     "UniversalTree",
     "UniversalTreeMCMechanism",
     "UniversalTreeShapleyMechanism",
@@ -132,6 +151,7 @@ __all__ = [
     "WirelessNWSTMechanism",
     "available_mechanisms",
     "default_registry",
+    "generate_trace",
     "layout_points",
     "make_mechanism",
     "register_mechanism",
@@ -139,6 +159,7 @@ __all__ = [
     "result_from_json",
     "result_to_dict",
     "replay_dynamic",
+    "replay_trace",
     "result_to_json",
     "run_sweep",
     "uniform_points",

@@ -58,6 +58,19 @@ Three modes:
       python -m repro loadgen --port 8123 --requests 200 --keys 12 \\
           --zipf 1.1 --expect-shards 4
 
+* **Multi-group traces** (``trace``): generate IGMP-like multi-group
+  handover traces (frozen JSONL format), validate trace files, and
+  replay them through the substrate-sharing
+  :class:`repro.traces.MultiGroupSession`; ``--check`` recomputes every
+  ``(group, epoch)`` cell through independent cold per-group sessions
+  and fails unless the rows are bit-identical.  ``loadgen --trace FILE``
+  replays a trace closed-loop against a running service or fleet and
+  reports per-group cost-share trajectories::
+
+      python -m repro trace generate --out trace.jsonl --n 24 --groups 3
+      python -m repro trace replay trace.jsonl --mechanism jv --check
+      python -m repro loadgen --port 8123 --trace trace.jsonl --expect-groups 3
+
 * **Telemetry snapshots** (``metrics-dump``): one JSON dump of the
   metrics — scraped from a running service, or accumulated in-process by
   running a sweep spec::
@@ -653,6 +666,18 @@ def loadgen_command(argv: list[str]) -> int:
                         help="fail unless >= N distinct shards answered "
                              "(X-Repro-Shard) and each one served warm "
                              "lookups — for fleet smoke tests")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="replay a multi-group trace (JSONL from "
+                             "`trace generate`) instead of the synthetic "
+                             "scenario mix; --requests/--n/--seeds/--layouts/"
+                             "--keys are ignored")
+    parser.add_argument("--trace-repeats", type=int, default=1,
+                        help="price each (group, epoch) cell this many "
+                             "times per mechanism (trace mode only)")
+    parser.add_argument("--expect-groups", type=int, default=None,
+                        metavar="N",
+                        help="fail unless >= N trace groups were priced and "
+                             "every observed group completed at every epoch")
     args = parser.parse_args(argv)
 
     mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
@@ -669,13 +694,27 @@ def loadgen_command(argv: list[str]) -> int:
               file=sys.stderr)
         return 2
 
+    trace = None
+    if args.trace is not None:
+        from repro.traces import Trace, TraceError
+
+        try:
+            trace = Trace.read(args.trace)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TraceError as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 2
+
     try:
         report = run_loadgen(
             host=args.host, port=args.port, requests=args.requests,
             concurrency=args.concurrency, n=args.n, alpha=args.alpha,
             side=args.side, seeds=seeds, layouts=layouts,
             mechanisms=mechanisms, profile_count=args.profile_count,
-            timeout=args.timeout, keys=args.keys, zipf=args.zipf)
+            timeout=args.timeout, keys=args.keys, zipf=args.zipf,
+            trace=trace, trace_repeats=args.trace_repeats)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -683,10 +722,191 @@ def loadgen_command(argv: list[str]) -> int:
     for line in report.lines():
         print(line)
     failures = report.check(expect_engaged=args.expect_engaged,
-                            expect_shards=args.expect_shards)
+                            expect_shards=args.expect_shards,
+                            expect_groups=args.expect_groups)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def trace_command(argv: list[str]) -> int:
+    """The ``trace`` subcommand: generate / validate / replay multi-group
+    handover traces through the substrate-sharing MultiGroupSession."""
+    from repro.api import available_mechanisms
+    from repro.dynamic import trajectory_row
+    from repro.traces import (
+        Trace,
+        TraceError,
+        check_trace_replay,
+        generate_trace,
+        replay_trace,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Multi-group trace workloads: generate an IGMP-like "
+                    "synthetic trace (JSONL), validate a trace file, or "
+                    "replay one through shared-substrate sessions.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    gen = sub.add_parser("generate", help="emit a deterministic synthetic "
+                                          "trace (stdout or --out)")
+    gen.add_argument("--out", default=None, help="write the JSONL here "
+                                                 "(default: stdout)")
+    gen.add_argument("--n", type=int, default=24, help="stations")
+    gen.add_argument("--groups", type=int, default=3, help="IGMP groups")
+    gen.add_argument("--epochs", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--alpha", type=float, default=2.0)
+    gen.add_argument("--side", type=float, default=10.0)
+    gen.add_argument("--aps", type=int, default=4,
+                     help="access points stations park near (handovers "
+                          "re-park at a different one)")
+    gen.add_argument("--member-rate", type=float, default=0.7,
+                     help="initial membership probability per (group, station)")
+    gen.add_argument("--join-rate", type=float, default=0.2)
+    gen.add_argument("--leave-rate", type=float, default=0.2)
+    gen.add_argument("--handover-rate", type=float, default=0.1,
+                     help="per-epoch probability a station hands over "
+                          "(substrate-wide move)")
+
+    val = sub.add_parser("validate", help="parse + semantically validate a "
+                                          "trace file")
+    val.add_argument("file", help="path to a trace JSONL file")
+
+    rep = sub.add_parser("replay", help="replay a trace through a "
+                                        "MultiGroupSession")
+    rep.add_argument("file", help="path to a trace JSONL file")
+    rep.add_argument("--mechanism", default="tree-shapley",
+                     help=f"registry name, one of: {', '.join(available_mechanisms())}")
+    rep.add_argument("--profile-count", type=int, default=3,
+                     help="utility profiles priced per (group, epoch)")
+    rep.add_argument("--check", action="store_true",
+                     help="also recompute every (group, epoch) cell through "
+                          "independent cold per-group sessions and fail "
+                          "unless the rows are bit-identical")
+    rep.add_argument("--audit", action="store_true",
+                     help="audit NPT/VP/cost recovery on every row; exit 1 "
+                          "on any violation")
+    rep.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the full JSON payload instead of tables")
+    rep.add_argument("--out", default=None,
+                     help="write the JSON payload to this path")
+    args = parser.parse_args(argv)
+
+    if args.action == "generate":
+        try:
+            trace = generate_trace(
+                n=args.n, groups=args.groups, epochs=args.epochs,
+                seed=args.seed, alpha=args.alpha, side=args.side,
+                aps=args.aps, member_rate=args.member_rate,
+                join_rate=args.join_rate, leave_rate=args.leave_rate,
+                handover_rate=args.handover_rate)
+        except (ValueError, TraceError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        text = trace.to_jsonl()
+        if args.out:
+            try:
+                pathlib.Path(args.out).write_text(text)
+            except OSError as exc:
+                print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+                return 2
+            counts = trace.event_counts()
+            print(f"trace: {args.out} — {len(trace.groups)} groups x "
+                  f"{trace.epochs} epochs over n={trace.scenario.n_stations}, "
+                  f"{counts['join']} joins, {counts['leave']} leaves, "
+                  f"{counts['move']} handovers")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if args.action == "validate":
+        try:
+            trace = Trace.read(args.file)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TraceError as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+        counts = trace.event_counts()
+        print(f"valid trace: {len(trace.groups)} groups "
+              f"({', '.join(trace.groups)}) x {trace.epochs} epochs over "
+              f"n={trace.scenario.n_stations}; {counts['join']} joins, "
+              f"{counts['leave']} leaves, {counts['move']} handovers")
+        return 0
+
+    # replay
+    if args.mechanism not in available_mechanisms():
+        print(f"unknown mechanism {args.mechanism!r}; "
+              f"available: {list(available_mechanisms())}", file=sys.stderr)
+        return 2
+    try:
+        trace = Trace.read(args.file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    from repro.runner import ProfileSpec
+
+    profile_spec = ProfileSpec(count=args.profile_count)
+    t0 = time.perf_counter()
+    if args.check:
+        outcome = check_trace_replay(trace, args.mechanism, profile_spec,
+                                     audit=args.audit)
+        elapsed = time.perf_counter() - t0
+        if not outcome["identical"]:
+            for group, epoch in outcome["mismatches"]:
+                print(f"CHECK FAILED: group {group} epoch {epoch} diverged "
+                      "from the cold per-group replay", file=sys.stderr)
+            return 1
+        cells = sum(len(rows) for rows in outcome["rows"].values())
+        print(f"check: shared-substrate replay == cold per-group replay "
+              f"over {cells} (group, epoch) cells ({elapsed:.3f}s)",
+              file=sys.stderr if args.as_json else sys.stdout)
+    else:
+        outcome = replay_trace(trace, args.mechanism, profile_spec,
+                               audit=args.audit)
+        elapsed = time.perf_counter() - t0
+
+    counters = outcome["counters"]
+    payload = {
+        "schema": 1,
+        "scenario": trace.to_spec().to_dict(),
+        "mechanism": args.mechanism,
+        "rows": outcome["rows"],
+        "counters": counters,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        try:
+            pathlib.Path(args.out).write_text(text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+    if args.as_json:
+        print(text)
+    else:
+        table = []
+        for group in sorted(outcome["rows"]):
+            for row in outcome["rows"][group]:
+                table.append({"group": group, **trajectory_row(row)})
+        print(format_table(
+            table,
+            title=f"{args.mechanism} over {len(outcome['rows'])} groups x "
+                  f"{trace.epochs} epochs "
+                  f"(substrates built {counters['substrate_sessions_built']}, "
+                  f"shared {counters['substrate_sessions_shared']})"))
+    if args.audit:
+        rows = [row for rows in outcome["rows"].values() for row in rows]
+        return _audit_verdict(
+            rows, lambda row: f"group {row['group']} epoch {row['epoch']}",
+            clean_stream=sys.stderr if args.as_json else None)
+    return 0
 
 
 def metrics_dump_command(argv: list[str]) -> int:
@@ -773,6 +993,8 @@ def main(argv: list[str]) -> int:
         return fleet_command(argv[1:])
     if argv and argv[0] == "loadgen":
         return loadgen_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_command(argv[1:])
     if argv and argv[0] == "metrics-dump":
         return metrics_dump_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)

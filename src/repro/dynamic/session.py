@@ -90,7 +90,8 @@ class DynamicSession:
     """
 
     def __init__(self, spec: DynamicScenarioSpec | Mapping, *,
-                 incremental: bool = True, registry=None) -> None:
+                 incremental: bool = True, registry=None,
+                 session_factory=None) -> None:
         if isinstance(spec, Mapping):
             spec = DynamicScenarioSpec.from_dict(spec)
         if not isinstance(spec, DynamicScenarioSpec):
@@ -99,6 +100,11 @@ class DynamicSession:
         self.spec = spec
         self.incremental = bool(incremental)
         self._registry = registry
+        # session_factory(scenario) -> MulticastSession lets a caller
+        # supply substrate-shared sessions (repro.traces) — sessions are
+        # pure functions of their scenario, so sharing one across callers
+        # changes speed, never row content.
+        self._session_factory = session_factory
         self._session: MulticastSession | None = None
         self._session_epoch: int | None = None
         self._max_epoch: int | None = None  # high-water mark of carried credit
@@ -208,7 +214,10 @@ class DynamicSession:
             return self._session
         if self._session is None or epoch != self._session_epoch or (
                 self._session.scenario != scenario):
-            self._session = MulticastSession(scenario, registry=self._registry)
+            if self._session_factory is not None:
+                self._session = self._session_factory(scenario)
+            else:
+                self._session = MulticastSession(scenario, registry=self._registry)
             self._session_epoch = epoch
             self._result_memo.clear()
             self._result_memo_prev = {}

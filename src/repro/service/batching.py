@@ -207,6 +207,13 @@ class MicroBatcher:
 
     @staticmethod
     def _run_one(entry: StoreEntry, request: RunRequest) -> list:
+        if request.group is not None:
+            # MultiGroupSession: the per-group DynamicSessions mutate
+            # epoch state, so the entry lock serializes here too.
+            with entry.exec_lock:
+                return entry.session.run_epoch(
+                    request.group, request.epoch, request.mechanism,
+                    list(request.profiles))
         if request.is_dynamic:
             # DynamicSession mutates epoch state across calls; its entry
             # lock serializes executions (static sessions need no lock —

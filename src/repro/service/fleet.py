@@ -81,18 +81,27 @@ def scenario_route_key(body: bytes) -> str:
     canonical JSON (``sort_keys``, default separators) — textually equal
     to ``ScenarioSpec.to_json()`` for every client that sends
     ``spec.to_dict()`` wire forms, i.e. the same key the worker's LRU
-    store uses, so warm affinity survives the router hop.  Undecodable
-    bodies route on their digest: still deterministic, and the chosen
-    worker answers the same 400 the single-process service would."""
+    store uses, so warm affinity survives the router hop.  Multi-group
+    requests append their ``group`` (matching
+    :attr:`RunRequest.route_key`), so one trace's groups spread over the
+    fleet while each worker's ``MultiGroupSession`` lazily builds only
+    the groups it is routed.  Undecodable bodies route on their digest:
+    still deterministic, and the chosen worker answers the same 400 the
+    single-process service would."""
     try:
         data = json.loads(body)
     except ValueError:
         data = None
     if isinstance(data, dict) and isinstance(data.get("scenario"), dict):
         try:
-            return json.dumps(data["scenario"], sort_keys=True)
+            key = json.dumps(data["scenario"], sort_keys=True)
         except (TypeError, ValueError):
-            pass
+            key = None
+        if key is not None:
+            group = data.get("group")
+            if isinstance(group, str):
+                return f"{key}|group={group}"
+            return key
     return "opaque|" + hashlib.sha256(body).hexdigest()
 
 
@@ -468,14 +477,15 @@ class FleetRouter:
         The router runs the same ``parse_batch_request`` the worker
         would, so malformed batches get byte-identical 400/413 payloads
         without one worker seeing the whole envelope; valid sub-requests
-        route on their parsed store key (exactly the LRU's key)."""
+        route on their parsed route key (the LRU's store key, plus the
+        group for multi-group requests)."""
         data = parse_body(body)
         requests = parse_batch_request(
             data, max_requests=self.max_batch_requests)
         raw_requests = data["requests"]
         groups: dict[str, list[int]] = {}
         for index, request in enumerate(requests):
-            groups.setdefault(self._live_worker(request.key).shard,
+            groups.setdefault(self._live_worker(request.route_key).shard,
                               []).append(index)
         if len(groups) == 1:
             (shard,) = groups

@@ -40,6 +40,47 @@ STAGES = ("parse", "queue", "build", "execute", "serialize")
 
 UTILITY_SCALE = 10.0
 
+# Bounded deterministic 429 handling: honor the server's Retry-After for
+# at most RETRY_LIMIT attempts per request, never sleeping longer than
+# RETRY_AFTER_CAP per attempt (a misconfigured header must not wedge a
+# closed-loop worker).
+RETRY_LIMIT = 3
+RETRY_AFTER_CAP = 2.0
+
+
+@dataclass(frozen=True)
+class ReportStats:
+    """Summary statistics over one latency sample set, safe on empty
+    samples: percentiles are ``nan``, throughput is ``0.0`` — an all-429
+    or all-transport-error run still renders a well-formed report."""
+
+    count: int
+    elapsed: float
+    samples: tuple
+
+    @classmethod
+    def over(cls, samples, elapsed: float) -> "ReportStats":
+        return cls(count=len(samples), elapsed=float(elapsed),
+                   samples=tuple(sorted(samples)))
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return float("nan")
+        position = min(self.count - 1, max(0, round(q * (self.count - 1))))
+        return self.samples[position]
+
+    @property
+    def max(self) -> float:
+        return self.samples[-1] if self.samples else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second (0.0 when nothing completed or
+        no time elapsed — never a ZeroDivisionError, never inf)."""
+        if self.count == 0 or self.elapsed <= 0:
+            return 0.0
+        return self.count / self.elapsed
+
 
 def zipf_weights(keys: int, exponent: float) -> np.ndarray:
     """The normalized Zipf popularity vector over ``keys`` ranks:
@@ -134,6 +175,54 @@ def build_requests(*, requests: int, n: int, alpha: float, side: float,
     return out
 
 
+def build_trace_requests(trace, *, mechanisms: list[str], profile_count: int,
+                         repeats: int = 1) -> list[dict]:
+    """The closed-loop replay schedule of a multi-group trace: every
+    ``(group, epoch)`` cell visited ``repeats`` times in lockstep order —
+    epoch-major, group-minor — so concurrent groups share each substrate
+    while it is hot on the worker, exactly like
+    :meth:`~repro.traces.session.MultiGroupSession.replay`.
+
+    ``trace`` is a :class:`~repro.traces.format.Trace`, a
+    :class:`~repro.traces.spec.MultiGroupScenarioSpec`, or its wire
+    mapping.  Profile draws are seeded per ``(group, epoch, index)`` from
+    the scenario's wire form, so two replays of one trace file issue
+    byte-identical bodies."""
+    from repro.traces.spec import MultiGroupScenarioSpec
+
+    if hasattr(trace, "to_spec"):
+        spec = trace.to_spec()
+    elif isinstance(trace, MultiGroupScenarioSpec):
+        spec = trace
+    else:
+        spec = MultiGroupScenarioSpec.from_dict(trace)
+    if repeats < 1:
+        raise ValueError(f"need repeats >= 1, got {repeats}")
+    if not mechanisms:
+        raise ValueError("need at least one mechanism")
+    wire = spec.to_dict()
+    identity = spec.to_json()
+    agents = spec.agents()
+    out = []
+    index = 0
+    for _repeat in range(repeats):
+        for epoch in range(spec.n_epochs):
+            for group in spec.group_ids:
+                mechanism = mechanisms[index % len(mechanisms)]
+                rng = np.random.default_rng(seed_from_text(
+                    f"loadgen|trace|{identity}|{group}|epoch:{epoch}"
+                    f"|{mechanism}|request:{index}"))
+                profiles = [
+                    {str(a): float(rng.uniform(0.0, UTILITY_SCALE))
+                     for a in agents}
+                    for _ in range(profile_count)]
+                out.append({"scenario": wire, "mechanism": mechanism,
+                            "profiles": profiles, "epoch": epoch,
+                            "group": group})
+                index += 1
+    return out
+
+
 @dataclass
 class LoadReport:
     """Everything one loadgen run observed."""
@@ -150,21 +239,34 @@ class LoadReport:
     # Latencies grouped by the X-Repro-Shard response header — which
     # shard answered each request when the target is a fleet router.
     shard_latencies: dict[str, list[float]] = field(default_factory=dict)
+    # 429 responses retried after honoring Retry-After (each retry is an
+    # extra attempt, not an extra scheduled request).
+    retries: int = 0
+    # Trace replay: per-group, per-epoch cost-share aggregates keyed
+    # {group: {epoch: {"count", "cost", "charged", "receivers"}}} (sums;
+    # group_lines() renders means).
+    group_rows: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        """Requests that got an HTTP response (any status)."""
+        return len(self.latencies)
+
+    def stats_over(self, samples=None) -> ReportStats:
+        return ReportStats.over(self.latencies if samples is None else samples,
+                                self.elapsed)
 
     @property
     def throughput(self) -> float:
-        return self.requests / self.elapsed if self.elapsed > 0 else float("inf")
+        """Completed requests per second (0.0 when nothing completed)."""
+        return self.stats_over().throughput
 
     @staticmethod
     def _percentile(samples: list[float], q: float) -> float:
-        if not samples:
-            return float("nan")
-        ordered = sorted(samples)
-        position = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[position]
+        return ReportStats.over(samples, 0.0).percentile(q)
 
     def percentile(self, q: float) -> float:
-        return self._percentile(self.latencies, q)
+        return self.stats_over().percentile(q)
 
     def observed_shards(self) -> tuple[str, ...]:
         """Shards that answered at least one request, sorted."""
@@ -173,13 +275,15 @@ class LoadReport:
     def lines(self) -> list[str]:
         status = " ".join(f"{code}:{count}"
                           for code, count in sorted(self.statuses.items()))
+        stats = self.stats_over()
         out = [
             f"loadgen: {self.requests} requests, concurrency "
             f"{self.concurrency}, {self.elapsed:.2f}s, "
-            f"{self.throughput:.1f} req/s",
-            f"latency: p50 {self.percentile(0.50) * 1e3:.1f}ms  "
-            f"p95 {self.percentile(0.95) * 1e3:.1f}ms  "
-            f"max {max(self.latencies) * 1e3:.1f}ms" if self.latencies
+            f"{stats.throughput:.1f} req/s"
+            + (f", {self.retries} retries" if self.retries else ""),
+            f"latency: p50 {stats.percentile(0.50) * 1e3:.1f}ms  "
+            f"p95 {stats.percentile(0.95) * 1e3:.1f}ms  "
+            f"max {stats.max * 1e3:.1f}ms" if self.latencies
             else "latency: no samples",
             f"status: {status or 'none'}",
         ]
@@ -196,7 +300,29 @@ class LoadReport:
                     **{**{k: "?" for k in ("batches", "requests",
                                            "max_batch_size")}, **batcher}))
         out.extend(self.shard_lines())
+        out.extend(self.group_lines())
         out.extend(self.metric_lines())
+        return out
+
+    def group_lines(self) -> list[str]:
+        """Per-group cost-share trajectories — the trace-replay view.
+        Empty unless the run replayed a trace."""
+        out = []
+        for group in sorted(self.group_rows):
+            by_epoch = self.group_rows[group]
+            cells = []
+            for epoch in sorted(by_epoch):
+                cell = by_epoch[epoch]
+                count = cell.get("count", 0)
+                if not count:
+                    continue
+                cells.append(
+                    f"e{epoch} cost {cell['cost'] / count:.2f} "
+                    f"charged {cell['charged'] / count:.1f}")
+            priced = sum(1 for cell in by_epoch.values()
+                         if cell.get("count", 0))
+            out.append(f"group {group}: {priced}/{len(by_epoch)} epochs "
+                       "priced; " + (" | ".join(cells) or "no rows"))
         return out
 
     def shard_lines(self) -> list[str]:
@@ -260,12 +386,34 @@ class LoadReport:
         return flushes - solo >= 1
 
     def check(self, *, expect_engaged: bool = False,
-              expect_shards: int | None = None) -> list[str]:
+              expect_shards: int | None = None,
+              expect_groups: int | None = None) -> list[str]:
         """CI verdicts: every request answered 200; optionally the warm
         machinery must have engaged; against a fleet, optionally at
         least ``expect_shards`` shards answered and every one of them
-        served warm (hit or coalesced) lookups."""
+        served warm (hit or coalesced) lookups; on a trace replay,
+        optionally at least ``expect_groups`` groups priced with every
+        observed group priced at every epoch."""
         failures = []
+        if self.completed == 0:
+            failures.append(
+                f"no requests completed ({self.requests} attempted; "
+                f"statuses {dict(sorted(self.statuses.items()))})")
+        if expect_groups is not None:
+            priced = {group for group, by_epoch in self.group_rows.items()
+                      if any(cell.get("count", 0)
+                             for cell in by_epoch.values())}
+            if len(priced) < expect_groups:
+                failures.append(
+                    f"expected >= {expect_groups} groups priced, "
+                    f"saw {sorted(priced) or 'none'}")
+            for group in sorted(self.group_rows):
+                unpriced = [epoch for epoch, cell
+                            in sorted(self.group_rows[group].items())
+                            if not cell.get("count", 0)]
+                if unpriced:
+                    failures.append(
+                        f"group {group} has unpriced epochs {unpriced}")
         if expect_shards is not None:
             answered = self.observed_shards()
             if len(answered) < expect_shards:
@@ -309,12 +457,23 @@ class LoadReport:
 
 
 def _post_json(connection: http.client.HTTPConnection, path: str,
-               body: bytes) -> tuple[int, dict, str | None]:
+               body: bytes) -> tuple[int, dict, str | None, str | None]:
     connection.request("POST", path, body=body,
                        headers={"Content-Type": "application/json"})
     response = connection.getresponse()
     payload = json.loads(response.read().decode("utf-8"))
-    return response.status, payload, response.getheader("X-Repro-Shard")
+    return (response.status, payload, response.getheader("X-Repro-Shard"),
+            response.getheader("Retry-After"))
+
+
+def _retry_delay(retry_after: str | None) -> float:
+    """The bounded sleep a 429's Retry-After asks for (deterministic:
+    the server's own value, clamped to [0, RETRY_AFTER_CAP])."""
+    try:
+        delay = float(retry_after) if retry_after is not None else 0.05
+    except ValueError:
+        delay = 0.05
+    return min(max(delay, 0.0), RETRY_AFTER_CAP)
 
 
 def _get_json(connection: http.client.HTTPConnection, path: str) -> tuple[int, dict]:
@@ -333,16 +492,38 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                 n: int, alpha: float, side: float, seeds: list[int],
                 layouts: list[str], mechanisms: list[str], profile_count: int,
                 timeout: float = 60.0, keys: int | None = None,
-                zipf: float = 1.1) -> LoadReport:
-    """Drive the service closed-loop and return the observed report."""
-    schedule = build_requests(requests=requests, n=n, alpha=alpha, side=side,
-                              seeds=seeds, layouts=layouts,
-                              mechanisms=mechanisms,
-                              profile_count=profile_count,
-                              keys=keys, zipf=zipf)
+                zipf: float = 1.1, trace=None, trace_repeats: int = 1,
+                retry_limit: int = RETRY_LIMIT) -> LoadReport:
+    """Drive the service closed-loop and return the observed report.
+
+    With ``trace`` set (a :class:`~repro.traces.format.Trace`, multi-group
+    spec, or its wire mapping) the schedule is the trace's lockstep
+    ``(group, epoch)`` replay — ``requests``/``n``/``seeds``/``layouts``/
+    ``keys`` are ignored — and the report accumulates per-group
+    cost-share trajectories from the response summaries.
+
+    429 responses are retried up to ``retry_limit`` times per request,
+    honoring the server's ``Retry-After`` (bounded); the recorded latency
+    is the final attempt's, and every retry is counted in the report."""
+    trace_cells: dict[str, dict[int, dict]] = {}
+    if trace is not None:
+        schedule = build_trace_requests(trace, mechanisms=mechanisms,
+                                        profile_count=profile_count,
+                                        repeats=trace_repeats)
+        for request in schedule:
+            trace_cells.setdefault(request["group"], {}).setdefault(
+                request["epoch"],
+                {"count": 0, "cost": 0.0, "charged": 0.0, "receivers": 0.0})
+    else:
+        schedule = build_requests(requests=requests, n=n, alpha=alpha,
+                                  side=side, seeds=seeds, layouts=layouts,
+                                  mechanisms=mechanisms,
+                                  profile_count=profile_count,
+                                  keys=keys, zipf=zipf)
     bodies = [json.dumps(request, sort_keys=True).encode("utf-8")
               for request in schedule]
     concurrency = max(1, min(int(concurrency), len(bodies)))
+    retry_limit = max(0, int(retry_limit))
 
     next_index = 0
     index_lock = threading.Lock()
@@ -350,11 +531,38 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     statuses: dict[int, int] = {}
     errors: list[str] = []
     shard_latencies: dict[str, list[float]] = {}
+    counts = {"retries": 0}
     record_lock = threading.Lock()
+
+    def record_trace_row(payload: dict) -> None:
+        """Attribute one 200 payload to its (group, epoch) cell via the
+        server's echoed resolution (the protocol stamps both)."""
+        group, epoch = payload.get("group"), payload.get("epoch")
+        summary = payload.get("summary") or {}
+        cell = trace_cells.get(group, {}).get(epoch)
+        if cell is None:
+            return
+        cell["count"] += 1
+        cell["cost"] += float(summary.get("mean_cost", 0.0))
+        cell["charged"] += float(summary.get("mean_charged", 0.0))
+        cell["receivers"] += float(summary.get("mean_receivers", 0.0))
 
     def worker() -> None:
         nonlocal next_index
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+        def post_once(body: bytes):
+            nonlocal connection
+            try:
+                return _post_json(connection, "/v1/run", body)
+            except (OSError, http.client.HTTPException):
+                # One reconnect per failure: keep-alive sockets the
+                # server closed between requests look like this.
+                connection.close()
+                connection = http.client.HTTPConnection(host, port,
+                                                        timeout=timeout)
+                return _post_json(connection, "/v1/run", body)
+
         try:
             while True:
                 with index_lock:
@@ -362,30 +570,35 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                         return
                     index = next_index
                     next_index += 1
-                started = time.perf_counter()
-                try:
-                    status, _payload, shard = _post_json(connection, "/v1/run",
-                                                         bodies[index])
-                except (OSError, http.client.HTTPException):
-                    # One reconnect per failure: keep-alive sockets the
-                    # server closed between requests look like this.
-                    connection.close()
-                    connection = http.client.HTTPConnection(host, port,
-                                                            timeout=timeout)
+                attempts = 0
+                while True:
+                    started = time.perf_counter()
                     try:
-                        status, _payload, shard = _post_json(
-                            connection, "/v1/run", bodies[index])
-                    except (OSError, http.client.HTTPException) as exc2:
+                        status, payload, shard, retry_after = post_once(
+                            bodies[index])
+                    except (OSError, http.client.HTTPException) as exc:
                         with record_lock:
-                            errors.append(f"request {index}: {exc2}")
+                            errors.append(f"request {index}: {exc}")
                             statuses[0] = statuses.get(0, 0) + 1
+                        break
+                    if status == 429 and attempts < retry_limit:
+                        # Backpressure, not failure: honor Retry-After
+                        # (bounded) and try again.
+                        attempts += 1
+                        with record_lock:
+                            counts["retries"] += 1
+                        time.sleep(_retry_delay(retry_after))
                         continue
-                elapsed = time.perf_counter() - started
-                with record_lock:
-                    latencies.append(elapsed)
-                    statuses[status] = statuses.get(status, 0) + 1
-                    if shard is not None:
-                        shard_latencies.setdefault(shard, []).append(elapsed)
+                    elapsed = time.perf_counter() - started
+                    with record_lock:
+                        latencies.append(elapsed)
+                        statuses[status] = statuses.get(status, 0) + 1
+                        if shard is not None:
+                            shard_latencies.setdefault(shard,
+                                                       []).append(elapsed)
+                        if trace_cells and status == 200:
+                            record_trace_row(payload)
+                    break
         finally:
             connection.close()
 
@@ -416,7 +629,10 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
         requests=len(bodies), concurrency=concurrency, elapsed=elapsed,
         latencies=latencies, statuses=statuses, errors=errors, stats=stats,
         metrics=metrics, shard_latencies=shard_latencies,
+        retries=counts["retries"], group_rows=trace_cells,
         config={"host": host, "port": port, "n": n, "alpha": alpha,
                 "side": side, "seeds": seeds, "layouts": layouts,
                 "mechanisms": mechanisms, "profile_count": profile_count,
-                "keys": keys, "zipf": zipf})
+                "keys": keys, "zipf": zipf,
+                "trace_repeats": trace_repeats if trace is not None else None,
+                "retry_limit": retry_limit})

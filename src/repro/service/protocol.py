@@ -7,11 +7,13 @@ payloads because they call the same functions here.
 
 A run request is a JSON object::
 
-    {"scenario":  {...ScenarioSpec wire form...},   # may embed "churn"
+    {"scenario":  {...ScenarioSpec wire form...},   # may embed "churn",
+                                  # "events" (trace) or "groups" (multi-group)
      "mechanism": "jv" | {"name": "jv", "params": {...}},
      "params":    {...},          # only with the string mechanism form
      "profiles":  {"1": 4.0} | [{"1": 4.0}, ...],
-     "epoch":     0}              # churn scenarios only
+     "epoch":     0,              # churn/trace scenarios only
+     "group":     "g0"}           # multi-group scenarios only (required)
 
 and its response reuses :func:`repro.api.serialize.result_to_dict` — the
 exact shape ``python -m repro run --json`` prints, so results round-trip
@@ -34,10 +36,11 @@ from repro.api.serialize import result_to_dict, summarize_results
 from repro.api.spec import MechanismSpec, ScenarioSpec
 from repro.dynamic.spec import DynamicScenarioSpec
 from repro.service.state import scenario_key
+from repro.traces.spec import MultiGroupScenarioSpec, TraceScenarioSpec
 
 PROTOCOL_SCHEMA = 1
 
-RUN_FIELDS = ("scenario", "mechanism", "params", "profiles", "epoch")
+RUN_FIELDS = ("scenario", "mechanism", "params", "profiles", "epoch", "group")
 BATCH_FIELDS = ("requests",)
 
 
@@ -59,10 +62,20 @@ class RunRequest:
     mechanism: MechanismSpec
     profiles: tuple   # tuple of {station: utility} dicts
     epoch: int | None  # set exactly when the scenario churns
+    group: str | None = None  # set exactly on multi-group scenarios
 
     @property
     def is_dynamic(self) -> bool:
         return self.epoch is not None
+
+    @property
+    def route_key(self) -> str:
+        """The fleet routing key: the store key, plus the group so the
+        groups of one multi-group scenario spread across shards (each
+        worker lazily builds only the groups it is routed)."""
+        if self.group is None:
+            return self.key
+        return f"{self.key}|group={self.group}"
 
 
 def parse_body(raw: bytes | str) -> object:
@@ -88,6 +101,10 @@ def _require_object(data: object, what: str) -> Mapping:
 def _parse_scenario(raw: object) -> ScenarioSpec:
     spec_dict = _require_object(raw, "'scenario'")
     try:
+        if "groups" in spec_dict:
+            return MultiGroupScenarioSpec.from_dict(spec_dict)
+        if "events" in spec_dict:
+            return TraceScenarioSpec.from_dict(spec_dict)
         if "churn" in spec_dict:
             return DynamicScenarioSpec.from_dict(spec_dict)
         return ScenarioSpec.from_dict(spec_dict)
@@ -147,6 +164,18 @@ def _parse_profiles(raw: object) -> tuple:
     return tuple(profiles)
 
 
+def _validate_epoch(epoch: object, n_epochs: int) -> int:
+    """Resolve a request's epoch (missing -> 0) and range-check it."""
+    if epoch is None:
+        epoch = 0
+    if not isinstance(epoch, int) or isinstance(epoch, bool):
+        raise ProtocolError(f"'epoch' must be an integer, got {epoch!r}")
+    if not 0 <= epoch < n_epochs:
+        raise ProtocolError(
+            f"epoch {epoch} out of range for a {n_epochs}-epoch scenario")
+    return epoch
+
+
 def parse_run_request(data: object) -> RunRequest:
     """Validate one run-request object into a :class:`RunRequest`."""
     data = _require_object(data, "request body")
@@ -163,20 +192,32 @@ def parse_run_request(data: object) -> RunRequest:
     profiles = _parse_profiles(data["profiles"])
 
     epoch = data.get("epoch")
-    if isinstance(scenario, DynamicScenarioSpec):
-        if epoch is None:
-            epoch = 0
-        if not isinstance(epoch, int) or isinstance(epoch, bool):
-            raise ProtocolError(f"'epoch' must be an integer, got {epoch!r}")
-        if not 0 <= epoch < scenario.n_epochs:
+    group = data.get("group")
+    if isinstance(scenario, MultiGroupScenarioSpec):
+        if group is None:
             raise ProtocolError(
-                f"epoch {epoch} out of range for a {scenario.n_epochs}-epoch scenario")
+                "multi-group scenarios require 'group' naming which group "
+                f"to price (groups: {list(scenario.group_ids)})")
+        if not isinstance(group, str):
+            raise ProtocolError(f"'group' must be a string, got {group!r}")
+        if group not in scenario.group_ids:
+            raise ProtocolError(
+                f"unknown group {group!r} "
+                f"(groups: {list(scenario.group_ids)})")
+        epoch = _validate_epoch(epoch, scenario.n_epochs)
+    elif group is not None:
+        raise ProtocolError(
+            "'group' only applies to multi-group scenarios "
+            "(the spec has no 'groups')")
+    elif isinstance(scenario, DynamicScenarioSpec):
+        epoch = _validate_epoch(epoch, scenario.n_epochs)
     elif epoch is not None:
         raise ProtocolError(
             "'epoch' only applies to churn scenarios (the spec has no 'churn')")
 
     return RunRequest(scenario=scenario, key=scenario_key(scenario),
-                      mechanism=mechanism, profiles=profiles, epoch=epoch)
+                      mechanism=mechanism, profiles=profiles, epoch=epoch,
+                      group=group)
 
 
 def parse_batch_request(data: object, *, max_requests: int) -> list[RunRequest]:
@@ -217,8 +258,13 @@ def run_payload(request: RunRequest, results: Sequence) -> dict:
         "results": [result_to_dict(r) for r in results],
         "summary": summarize_results(results),
     }
+    # Echo the *resolved* epoch (a missing wire epoch resolves to 0) and
+    # group, so trace replays can attribute every row to its (group,
+    # epoch) cell without re-deriving the server's resolution rules.
     if request.epoch is not None:
         payload["epoch"] = request.epoch
+    if request.group is not None:
+        payload["group"] = request.group
     return payload
 
 

@@ -242,6 +242,7 @@ class CostSharingService:
             mechanism=request.mechanism.name,
             profiles=len(request.profiles),
             **({"epoch": request.epoch} if request.is_dynamic else {}),
+            **({"group": request.group} if request.group is not None else {}),
             status=status,
             stages_ms={name: round(seconds * 1e3, 3)
                        for name, seconds in stages.items()},
@@ -320,7 +321,8 @@ class ServiceClient:
         return status, out
 
     async def run(self, scenario, mechanism, profiles, *, params: dict | None = None,
-                  epoch: int | None = None) -> tuple[int, dict]:
+                  epoch: int | None = None,
+                  group: str | None = None) -> tuple[int, dict]:
         """POST /v1/run.  ``scenario`` may be a spec object or its wire
         dict; ``mechanism`` a name or a ``{"name", "params"}`` dict."""
         payload: dict = {
@@ -334,6 +336,8 @@ class ServiceClient:
             payload["params"] = params
         if epoch is not None:
             payload["epoch"] = epoch
+        if group is not None:
+            payload["group"] = group
         return await self.request("POST", "/v1/run", payload)
 
     async def batch(self, requests: list[dict]) -> tuple[int, dict]:

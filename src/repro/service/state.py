@@ -47,20 +47,25 @@ from repro.api.spec import ScenarioSpec
 from repro.dynamic.session import DynamicSession
 from repro.dynamic.spec import DynamicScenarioSpec
 from repro.observability import MetricsRegistry
+from repro.traces.session import MultiGroupSession
+from repro.traces.spec import MultiGroupScenarioSpec
 
 
 def scenario_key(spec: ScenarioSpec) -> str:
     """The store key of a scenario: its canonical wire form.  Dynamic
-    scenarios embed their churn model, so a static spec and a churn spec
-    over the same layout never collide."""
+    scenarios embed their churn model (multi-group ones their group and
+    move histories), so specs over the same layout never collide."""
     return spec.to_json()
 
 
 def build_session(spec: ScenarioSpec, *, registry: MetricsRegistry | None = None):
-    """The session type a scenario warrants: churn scenarios get the
+    """The session type a scenario warrants: multi-group scenarios get the
+    substrate-sharing :class:`MultiGroupSession`, churn scenarios the
     incremental :class:`DynamicSession`, static ones the caching
     :class:`MulticastSession`.  With a ``registry`` the session publishes
     its artifact-build timings and cache telemetry into it."""
+    if isinstance(spec, MultiGroupScenarioSpec):
+        return MultiGroupSession(spec, registry=registry)
     if isinstance(spec, DynamicScenarioSpec):
         return DynamicSession(spec, registry=registry)
     return MulticastSession(spec, registry=registry)
@@ -70,7 +75,8 @@ class StoreEntry:
     """One stored session plus its execution lock.
 
     :class:`MulticastSession` is internally thread-safe, but
-    :class:`DynamicSession` mutates epoch state across calls —
+    :class:`DynamicSession` (and the per-group sessions inside a
+    :class:`MultiGroupSession`) mutate epoch state across calls —
     ``exec_lock`` serializes executions on one entry where the caller
     needs that (the micro-batcher takes it for dynamic sessions only).
     """
@@ -83,7 +89,7 @@ class StoreEntry:
 
     @property
     def is_dynamic(self) -> bool:
-        return isinstance(self.session, DynamicSession)
+        return isinstance(self.session, (DynamicSession, MultiGroupSession))
 
 
 class SessionStore:

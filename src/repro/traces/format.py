@@ -1,0 +1,265 @@
+"""The frozen JSONL trace format: IGMP-style events over one substrate.
+
+A *trace* is a substrate scenario plus a time-ordered event stream —
+``{"t": epoch, "op": "join"|"leave"|"move", "agent": station,
+"group": id, "position": [...]}`` — one JSON object per line, preceded
+by a single header line naming the format version, the substrate
+scenario, the epoch horizon and the group ids:
+
+    {"epochs": 4, "format": "repro-trace", "groups": ["g0", ...],
+     "scenario": {...}, "version": 1}
+    {"agent": 3, "group": "g0", "op": "leave", "t": 0}
+    {"agent": 5, "op": "move", "position": [1.5, 2.0], "t": 1}
+    ...
+
+Semantics mirror the IGMP view of wireless multicast: ``join``/``leave``
+change one group's membership (the event carries ``group``); ``move`` is
+a handover — the *station* changes position, so it carries no group and
+affects every group's geometry at once.  Epoch 0 is the base state (all
+stations in all groups, base layout); its ``leave`` events carve each
+group's initial membership, so membership never needs a separate wire
+shape.  Moves at epoch 0 are invalid — the base layout *is* epoch 0.
+
+Serialization is canonical: events sort by ``(t, op-order, group,
+agent)`` with join < leave < move, objects are dumped with sorted keys,
+so ``Trace.from_jsonl(trace.to_jsonl()) == trace`` and byte-equal files
+mean equal traces.  :meth:`Trace.to_spec` renders the whole trace as a
+:class:`~repro.traces.spec.MultiGroupScenarioSpec` — the wire form the
+service layer prices — and construction validates through it, so an
+invalid stream (double joins, unknown agents, epoch-0 moves) never
+round-trips quietly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api.spec import ScenarioSpec
+from repro.traces.spec import MultiGroupScenarioSpec
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+OPS = ("join", "leave", "move")
+_OP_ORDER = {op: index for index, op in enumerate(OPS)}
+
+
+class TraceError(ValueError):
+    """A malformed trace stream (header, event shape, or semantics)."""
+
+
+@dataclass(frozen=True, order=False)
+class TraceEvent:
+    """One line of a trace stream."""
+
+    t: int
+    op: str
+    agent: int
+    group: str | None = None
+    position: tuple | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "t", int(self.t))
+        object.__setattr__(self, "agent", int(self.agent))
+        if self.t < 0:
+            raise TraceError(f"event t must be >= 0, got {self.t}")
+        if self.op not in OPS:
+            raise TraceError(f"unknown op {self.op!r} (expected one of {OPS})")
+        if self.group is not None:
+            object.__setattr__(self, "group", str(self.group))
+        if self.position is not None:
+            object.__setattr__(
+                self, "position", tuple(float(x) for x in self.position))
+        if self.op == "move":
+            if self.group is not None:
+                raise TraceError(
+                    "move events are substrate-wide handovers and carry no "
+                    f"group (got group={self.group!r})")
+            if self.position is None:
+                raise TraceError("move events need a position")
+            if self.t == 0:
+                raise TraceError(
+                    "moves at t=0 are invalid: the base layout is epoch 0")
+        else:
+            if self.group is None:
+                raise TraceError(f"{self.op} events need a group")
+            if self.position is not None:
+                raise TraceError(f"{self.op} events carry no position")
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.t, _OP_ORDER[self.op], self.group or "", self.agent)
+
+    def to_dict(self) -> dict:
+        out = {"t": self.t, "op": self.op, "agent": self.agent}
+        if self.group is not None:
+            out["group"] = self.group
+        if self.position is not None:
+            out["position"] = list(self.position)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceEvent":
+        if not isinstance(data, Mapping):
+            raise TraceError(f"event must be an object, got {type(data).__name__}")
+        stray = sorted(set(data) - {"t", "op", "agent", "group", "position"})
+        if stray:
+            raise TraceError(f"unknown event fields {stray}")
+        for name in ("t", "op", "agent"):
+            if name not in data:
+                raise TraceError(f"event is missing {name!r}")
+        return cls(t=data["t"], op=data["op"], agent=data["agent"],
+                   group=data.get("group"), position=data.get("position"))
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A validated trace: substrate scenario + canonical event stream.
+
+    ``scenario`` is the static substrate (a plain :class:`ScenarioSpec`;
+    dynamic subclasses are rejected — the trace *is* the dynamics),
+    ``epochs`` the horizon, ``groups`` the sorted group ids, ``events``
+    the canonically-sorted event tuple.  Construction validates the
+    stream end to end by rendering :meth:`to_spec` (cached), so every
+    `Trace` in hand is replayable.
+    """
+
+    scenario: ScenarioSpec
+    epochs: int
+    groups: tuple
+    events: tuple
+
+    def __post_init__(self) -> None:
+        scenario = self.scenario
+        if isinstance(scenario, Mapping):
+            scenario = ScenarioSpec.from_dict(scenario)
+        if type(scenario) is not ScenarioSpec:
+            raise TraceError(
+                "trace substrate must be a static ScenarioSpec, got "
+                f"{type(scenario).__name__} (the trace carries the dynamics)")
+        object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "epochs", int(self.epochs))
+        if self.epochs < 1:
+            raise TraceError(f"epochs must be >= 1, got {self.epochs}")
+        groups = tuple(str(g) for g in self.groups)
+        if not groups:
+            raise TraceError("a trace needs at least one group")
+        if len(set(groups)) != len(groups):
+            raise TraceError("group ids must be unique")
+        object.__setattr__(self, "groups", tuple(sorted(groups)))
+        events = tuple(e if isinstance(e, TraceEvent) else TraceEvent.from_dict(e)
+                       for e in self.events)
+        for event in events:
+            if event.t >= self.epochs:
+                raise TraceError(
+                    f"event at t={event.t} exceeds the {self.epochs}-epoch "
+                    "horizon")
+            if event.group is not None and event.group not in self.groups:
+                raise TraceError(
+                    f"event group {event.group!r} is not declared in the "
+                    f"header (groups: {list(self.groups)})")
+        object.__setattr__(self, "events",
+                           tuple(sorted(events, key=lambda e: e.sort_key)))
+        object.__setattr__(self, "_spec", None)
+        self.to_spec()  # full semantic validation (membership, geometry)
+
+    # -- views ---------------------------------------------------------------
+    def group_events(self, group: str) -> tuple:
+        """The membership events of one group, per epoch."""
+        out = [[] for _ in range(self.epochs)]
+        for event in self.events:
+            if event.group == group:
+                out[event.t].append(event)
+        return tuple(tuple(epoch) for epoch in out)
+
+    def move_events(self) -> tuple:
+        """The substrate-wide handover events, per epoch."""
+        out = [[] for _ in range(self.epochs)]
+        for event in self.events:
+            if event.op == "move":
+                out[event.t].append(event)
+        return tuple(tuple(epoch) for epoch in out)
+
+    def event_counts(self) -> dict:
+        counts = {op: 0 for op in OPS}
+        for event in self.events:
+            counts[event.op] += 1
+        return counts
+
+    def to_spec(self) -> MultiGroupScenarioSpec:
+        """The whole trace as the multi-group wire scenario (cached)."""
+        if self._spec is not None:
+            return self._spec
+        base = self.scenario.to_dict()
+        try:
+            spec = MultiGroupScenarioSpec(
+                **base,
+                groups={
+                    gid: [[{"kind": e.op, "agent": e.agent} for e in epoch]
+                          for epoch in self.group_events(gid)]
+                    for gid in self.groups},
+                moves=[[{"kind": "move", "agent": e.agent,
+                         "position": list(e.position)} for e in epoch]
+                       for epoch in self.move_events()],
+                epochs=self.epochs)
+        except ValueError as exc:
+            raise TraceError(f"invalid trace semantics: {exc}") from exc
+        object.__setattr__(self, "_spec", spec)
+        return spec
+
+    # -- JSONL ---------------------------------------------------------------
+    def header(self) -> dict:
+        return {"format": FORMAT_NAME, "version": FORMAT_VERSION,
+                "scenario": self.scenario.to_dict(), "epochs": self.epochs,
+                "groups": list(self.groups)}
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(event.to_dict(), sort_keys=True)
+                     for event in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceError("empty trace stream")
+        try:
+            parsed = [json.loads(line) for line in lines]
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"trace line is not JSON: {exc}") from exc
+        header = parsed[0]
+        if not isinstance(header, Mapping):
+            raise TraceError("trace header must be a JSON object")
+        if header.get("format") != FORMAT_NAME:
+            raise TraceError(
+                f"not a {FORMAT_NAME} stream (format={header.get('format')!r})")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace version {header.get('version')!r} "
+                f"(this reader speaks version {FORMAT_VERSION})")
+        missing = sorted({"scenario", "epochs", "groups"} - set(header))
+        if missing:
+            raise TraceError(f"trace header is missing {missing}")
+        groups = header["groups"]
+        if not isinstance(groups, Sequence) or isinstance(groups, (str, bytes)):
+            raise TraceError("trace header groups must be a list")
+        try:
+            scenario = ScenarioSpec.from_dict(header["scenario"])
+        except (TypeError, ValueError) as exc:
+            raise TraceError(f"invalid trace scenario: {exc}") from exc
+        return cls(scenario=scenario, epochs=header["epochs"],
+                   groups=tuple(groups),
+                   events=tuple(TraceEvent.from_dict(line)
+                                for line in parsed[1:]))
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def read(cls, path) -> "Trace":
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,135 @@
+"""Deterministic IGMP-like synthetic trace generator.
+
+Models the empower-runtime multicast world: ``aps`` access points on a
+``side × side`` field, ``n`` stations each parked near one AP, ``groups``
+IGMP groups each station may subscribe to.  Epoch 0 carves each group's
+initial membership (every station is a member with probability
+``member_rate``); each later epoch draws per-group joins/leaves and
+substrate-wide RSSI handovers — a handed-over station re-parks near a
+*different* AP, which moves it for every group at once.
+
+Everything is a pure function of the keyword arguments: every rng is
+seeded by :func:`~repro.api.spec.seed_from_text` over an identity string
+naming the full parameterisation plus the stream being drawn, agents are
+visited in sorted order, and groups in id order — the same arguments
+always produce the byte-identical trace file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.spec import ScenarioSpec, seed_from_text
+from repro.traces.format import Trace, TraceEvent
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _park(rng: np.random.Generator, ap: np.ndarray, side: float,
+          jitter: float) -> tuple:
+    """A position near ``ap``: gaussian jitter, clipped to the field."""
+    position = np.clip(ap + rng.normal(0.0, jitter, size=ap.shape), 0.0, side)
+    return tuple(float(x) for x in position)
+
+
+def generate_trace(*, n: int, groups: int = 3, epochs: int = 4, seed: int = 0,
+                   alpha: float = 2.0, side: float = 10.0, aps: int = 4,
+                   member_rate: float = 0.7, join_rate: float = 0.2,
+                   leave_rate: float = 0.2, handover_rate: float = 0.1,
+                   source: int = 0, tree: str = "spt") -> Trace:
+    """Generate a validated multi-group handover trace.
+
+    The substrate is a ``kind='points'`` scenario (explicit AP-clustered
+    layout), so the trace file is self-contained: no layout family or
+    seed needs to survive beside it.
+    """
+    n = int(n)
+    groups = int(groups)
+    epochs = int(epochs)
+    aps = int(aps)
+    if n < 2:
+        raise ValueError(f"n must be >= 2 (a source and an agent), got {n}")
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if aps < 1:
+        raise ValueError(f"aps must be >= 1, got {aps}")
+    member_rate = _check_rate("member_rate", member_rate)
+    join_rate = _check_rate("join_rate", join_rate)
+    leave_rate = _check_rate("leave_rate", leave_rate)
+    handover_rate = _check_rate("handover_rate", handover_rate)
+    side = float(side)
+    if side <= 0:
+        raise ValueError(f"side must be > 0, got {side}")
+
+    identity = (f"trace|n:{n}|groups:{groups}|epochs:{epochs}|seed:{int(seed)}"
+                f"|alpha:{float(alpha):g}|side:{side:g}|aps:{aps}"
+                f"|member:{member_rate:g}|join:{join_rate:g}"
+                f"|leave:{leave_rate:g}|handover:{handover_rate:g}"
+                f"|source:{int(source)}|tree:{tree}")
+    jitter = side / (2.0 * max(aps, 2))
+
+    # -- substrate layout: APs, then stations parked near one ----------------
+    rng = np.random.default_rng(seed_from_text(f"{identity}|layout"))
+    ap_positions = rng.uniform(0.0, side, size=(aps, 2))
+    home_ap = rng.integers(0, aps, size=n)
+    points = tuple(_park(rng, ap_positions[home_ap[station]], side, jitter)
+                   for station in range(n))
+    scenario = ScenarioSpec(kind="points", points=points, alpha=float(alpha),
+                            source=int(source), tree=tree)
+    agents = scenario.agents()
+    group_ids = tuple(f"g{index}" for index in range(groups))
+
+    events: list[TraceEvent] = []
+
+    # -- epoch 0: carve each group's initial membership ----------------------
+    active: dict[str, set[int]] = {}
+    for gid in group_ids:
+        rng = np.random.default_rng(seed_from_text(f"{identity}|member|{gid}"))
+        members = {a for a in agents if rng.uniform() < member_rate}
+        if not members:
+            # An empty group prices nothing forever; keep one seeded member.
+            members = {agents[int(rng.integers(0, len(agents)))]}
+        active[gid] = members
+        events.extend(TraceEvent(t=0, op="leave", agent=agent, group=gid)
+                      for agent in sorted(set(agents) - members))
+
+    # -- later epochs: per-group churn + substrate handovers -----------------
+    current_ap = {station: int(home_ap[station]) for station in range(n)}
+    for t in range(1, epochs):
+        for gid in group_ids:
+            rng = np.random.default_rng(
+                seed_from_text(f"{identity}|churn|{gid}|t:{t}"))
+            for agent in agents:
+                if agent in active[gid]:
+                    if rng.uniform() < leave_rate:
+                        active[gid].discard(agent)
+                        events.append(TraceEvent(t=t, op="leave", agent=agent,
+                                                 group=gid))
+                elif rng.uniform() < join_rate:
+                    active[gid].add(agent)
+                    events.append(TraceEvent(t=t, op="join", agent=agent,
+                                             group=gid))
+        if aps < 2:
+            continue  # nowhere to hand over to
+        rng = np.random.default_rng(
+            seed_from_text(f"{identity}|handover|t:{t}"))
+        for agent in agents:
+            if rng.uniform() >= handover_rate:
+                continue
+            # RSSI handover: re-park near a different AP.
+            offset = int(rng.integers(1, aps))
+            target = (current_ap[agent] + offset) % aps
+            current_ap[agent] = target
+            events.append(TraceEvent(
+                t=t, op="move", agent=agent,
+                position=_park(rng, ap_positions[target], side, jitter)))
+
+    return Trace(scenario=scenario, epochs=epochs, groups=group_ids,
+                 events=tuple(events))

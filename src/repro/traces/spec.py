@@ -1,0 +1,361 @@
+"""Explicit-event dynamic scenarios: one group's trace, and many groups'.
+
+The seed-derived churn of :mod:`repro.dynamic.spec` fabricates its event
+history from rates; a *trace* states it.  Two specs bridge the gap:
+
+* :class:`TraceScenarioSpec` — a :class:`~repro.dynamic.spec.DynamicScenarioSpec`
+  whose per-epoch events are **explicit** (carried on the wire) instead of
+  derived from a churn seed.  Everything downstream — epoch states,
+  materialization, :class:`~repro.dynamic.session.DynamicSession` replay —
+  works unchanged, because only :meth:`epoch_states` is overridden.
+* :class:`MultiGroupScenarioSpec` — a :class:`~repro.api.spec.ScenarioSpec`
+  plus **N concurrent groups** over one substrate: per-group join/leave
+  histories and substrate-wide move events (an RSSI handover moves the
+  *station*, so every group sees the same geometry at every epoch).
+  :meth:`group_spec` renders any group as a `TraceScenarioSpec`, so the
+  multi-group wire form materializes per group exactly like a dynamic
+  scenario would — the compatibility the cold-replay check relies on.
+
+Both specs stay frozen, JSON-round-trippable descriptions; all event
+lists are normalized to tuples of :class:`~repro.dynamic.spec.EpochEvent`
+at construction.  Epoch 0 is the base state (all agents active) with the
+epoch-0 membership events applied — how a trace carves out each group's
+initial members (``leave`` at ``t=0``) without a special wire shape.
+Moves at epoch 0 are rejected: the base layout *is* epoch 0's geometry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields
+
+from repro.api.spec import ScenarioSpec
+from repro.dynamic.spec import ChurnSpec, DynamicScenarioSpec, EpochEvent, EpochState
+
+MEMBERSHIP_KINDS = ("join", "leave")
+
+
+def _as_event(raw, *, where: str) -> EpochEvent:
+    if isinstance(raw, EpochEvent):
+        return raw
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"{where}: event must be a mapping or EpochEvent, "
+                         f"got {type(raw).__name__}")
+    stray = sorted(set(raw) - {"kind", "agent", "position"})
+    if stray:
+        raise ValueError(f"{where}: unknown event fields {stray}")
+    kind = raw.get("kind")
+    if kind not in ("join", "leave", "move"):
+        raise ValueError(f"{where}: unknown event kind {kind!r}")
+    position = raw.get("position")
+    if position is not None:
+        position = tuple(float(x) for x in position)
+    return EpochEvent(kind=str(kind), agent=int(raw["agent"]), position=position)
+
+
+def _as_epoch_events(raw, *, what: str) -> tuple:
+    """Normalize a per-epoch event list-of-lists into nested tuples."""
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise ValueError(f"{what} must be a list of per-epoch event lists, "
+                         f"got {type(raw).__name__}")
+    out = []
+    for epoch, events in enumerate(raw):
+        if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+            raise ValueError(f"{what}[{epoch}] must be a list of events")
+        out.append(tuple(_as_event(e, where=f"{what}[{epoch}]")
+                         for e in events))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class TraceScenarioSpec(DynamicScenarioSpec):
+    """A dynamic scenario whose epoch history is stated, not derived.
+
+    ``events[e]`` is epoch ``e``'s event delta (membership events first,
+    then moves — the order they are applied in).  ``events[0]`` may carry
+    membership events (initial-member carving) but never moves.  ``group``
+    optionally names which trace group this spec renders (informational:
+    it rides the wire form, so two groups of one trace never collide in a
+    session store, but it changes no geometry or membership semantics).
+
+    ``churn`` is inert here — it only carries the epoch count (all rates
+    must be zero); omit it and it is derived as ``ChurnSpec(epochs=len(events))``.
+    """
+
+    group: str | None = None
+    events: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.events is None:
+            raise ValueError("TraceScenarioSpec requires explicit events "
+                             "(use DynamicScenarioSpec for seed-derived churn)")
+        events = _as_epoch_events(self.events, what="events")
+        if not events:
+            raise ValueError("events must cover at least one epoch")
+        object.__setattr__(self, "events", events)
+        if self.group is not None:
+            object.__setattr__(self, "group", str(self.group))
+        if self.churn is None:
+            object.__setattr__(self, "churn", ChurnSpec(epochs=len(events)))
+        super().__post_init__()
+        churn = self.churn
+        if (churn.join_rate, churn.leave_rate, churn.move_rate) != (0.0, 0.0, 0.0):
+            raise ValueError(
+                "trace scenarios carry explicit events; churn rates must be 0 "
+                f"(got join={churn.join_rate}, leave={churn.leave_rate}, "
+                f"move={churn.move_rate})")
+        if churn.epochs != len(events):
+            raise ValueError(
+                f"churn.epochs={churn.epochs} contradicts {len(events)} "
+                "epochs of events")
+        self._validate_events()
+
+    def _validate_events(self) -> None:
+        agents = set(self.agents())
+        active = set(agents)
+        dim = self.dim
+        for epoch, epoch_events in enumerate(self.events):
+            seen_membership: set[int] = set()
+            seen_moves: set[int] = set()
+            past_membership = False
+            for event in epoch_events:
+                where = f"events[{epoch}]"
+                if event.agent not in agents:
+                    raise ValueError(
+                        f"{where}: agent {event.agent} is not a priceable "
+                        f"agent of this scenario")
+                if event.kind == "move":
+                    past_membership = True
+                    if epoch == 0:
+                        raise ValueError(
+                            "events[0] cannot move stations: the base layout "
+                            "is epoch 0's geometry")
+                    if self.kind == "matrix":
+                        raise ValueError(
+                            "matrix scenarios have no geometry: move events "
+                            "are not allowed")
+                    if event.position is None:
+                        raise ValueError(f"{where}: move events need a position")
+                    if dim is not None and len(event.position) != dim:
+                        raise ValueError(
+                            f"{where}: move position has {len(event.position)} "
+                            f"coordinates, scenario is {dim}-dimensional")
+                    if event.agent in seen_moves:
+                        raise ValueError(
+                            f"{where}: agent {event.agent} moves twice")
+                    seen_moves.add(event.agent)
+                    continue
+                if past_membership:
+                    raise ValueError(
+                        f"{where}: membership events must precede moves")
+                if event.position is not None:
+                    raise ValueError(
+                        f"{where}: {event.kind} events carry no position")
+                if event.agent in seen_membership:
+                    raise ValueError(
+                        f"{where}: agent {event.agent} has two membership "
+                        "events in one epoch")
+                seen_membership.add(event.agent)
+                if event.kind == "join":
+                    if event.agent in active:
+                        raise ValueError(
+                            f"{where}: agent {event.agent} joins but is "
+                            "already active")
+                    active.add(event.agent)
+                else:
+                    if event.agent not in active:
+                        raise ValueError(
+                            f"{where}: agent {event.agent} leaves but is "
+                            "not active")
+                    active.discard(event.agent)
+
+    # -- wire format ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        # fields(self) iteration in the base emits the raw tuples; replace
+        # them with their JSON-clean wire shape.
+        out["events"] = [[event.to_dict() for event in epoch_events]
+                         for epoch_events in self.events]
+        if self.group is None:
+            out.pop("group", None)
+        return out
+
+    def base_scenario(self) -> ScenarioSpec:
+        data = ScenarioSpec.to_dict(self)
+        for name in ("churn", "group", "events"):
+            data.pop(name, None)
+        return ScenarioSpec.from_dict(data)
+
+    # -- explicit epoch history ----------------------------------------------
+    def epoch_states(self) -> tuple:
+        """Every epoch's :class:`EpochState`, derived once from the
+        explicit event lists (validated at construction, so application
+        here cannot fail)."""
+        if self._states is not None:
+            return self._states
+        active = set(self.agents())
+        points = self._base_points()
+        states = []
+        for epoch, epoch_events in enumerate(self.events):
+            moved = False
+            mutable = None
+            for event in epoch_events:
+                if event.kind == "join":
+                    active.add(event.agent)
+                elif event.kind == "leave":
+                    active.discard(event.agent)
+                else:
+                    if mutable is None:
+                        mutable = [list(row) for row in points]
+                    mutable[event.agent] = list(event.position)
+                    moved = True
+            if moved:
+                points = tuple(tuple(float(x) for x in row) for row in mutable)
+            states.append(EpochState(epoch=epoch, active=tuple(sorted(active)),
+                                     points=points, events=tuple(epoch_events)))
+        object.__setattr__(self, "_states", tuple(states))
+        return self._states
+
+
+@dataclass(frozen=True)
+class MultiGroupScenarioSpec(ScenarioSpec):
+    """One substrate, N concurrent multicast groups.
+
+    ``groups`` maps each group id to its per-epoch **membership** event
+    lists (join/leave only); ``moves`` is the substrate-wide per-epoch
+    move list every group shares (RSSI handovers move stations, not
+    memberships).  All groups and ``moves`` must span the same number of
+    epochs; ``epochs`` may restate it on the wire (validated) or be
+    omitted (derived).
+
+    ``group_spec(gid)`` renders one group as a :class:`TraceScenarioSpec`
+    — membership events first, then the epoch's moves — which is exactly
+    the spec a cold per-group :class:`~repro.dynamic.session.DynamicSession`
+    replays; :class:`~repro.traces.session.MultiGroupSession` must (and
+    does) reproduce those rows bit-for-bit while sharing substrate
+    artifacts across groups.
+    """
+
+    groups: tuple | None = None
+    moves: tuple | None = None
+    epochs: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.receivers is not None:
+            raise ValueError(
+                "multi-group scenarios model membership through group "
+                "events; the static receivers field is not supported")
+        raw_groups = self.groups
+        if isinstance(raw_groups, Mapping):
+            raw_groups = tuple(sorted(raw_groups.items()))
+        if not isinstance(raw_groups, Sequence) or not raw_groups:
+            raise ValueError("groups must be a non-empty {group: epoch event "
+                             "lists} mapping")
+        normalized = []
+        for item in raw_groups:
+            if not isinstance(item, Sequence) or len(item) != 2:
+                raise ValueError("groups must map group ids to per-epoch "
+                                 "event lists")
+            gid, events = item
+            gid = str(gid)
+            events = _as_epoch_events(events, what=f"groups[{gid!r}]")
+            for epoch, epoch_events in enumerate(events):
+                for event in epoch_events:
+                    if event.kind not in MEMBERSHIP_KINDS:
+                        raise ValueError(
+                            f"groups[{gid!r}][{epoch}]: group event lists "
+                            f"carry membership only, got {event.kind!r} "
+                            "(moves are substrate-wide: use 'moves')")
+            normalized.append((gid, events))
+        normalized.sort()
+        if len({gid for gid, _ in normalized}) != len(normalized):
+            raise ValueError("group ids must be unique")
+        lengths = {len(events) for _, events in normalized}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"every group must span the same number of epochs, got "
+                f"lengths {sorted(lengths)}")
+        (n_epochs,) = lengths
+        if n_epochs < 1:
+            raise ValueError("groups must cover at least one epoch")
+
+        moves = self.moves
+        if moves is None:
+            moves = tuple(() for _ in range(n_epochs))
+        else:
+            moves = _as_epoch_events(moves, what="moves")
+            if len(moves) != n_epochs:
+                raise ValueError(
+                    f"moves spans {len(moves)} epochs, groups span {n_epochs}")
+            for epoch, epoch_events in enumerate(moves):
+                for event in epoch_events:
+                    if event.kind != "move":
+                        raise ValueError(
+                            f"moves[{epoch}]: only move events belong here, "
+                            f"got {event.kind!r}")
+        if self.epochs is not None and int(self.epochs) != n_epochs:
+            raise ValueError(
+                f"epochs={self.epochs} contradicts {n_epochs} epochs of "
+                "group events")
+        object.__setattr__(self, "groups", tuple(normalized))
+        object.__setattr__(self, "moves", moves)
+        object.__setattr__(self, "epochs", n_epochs)
+        object.__setattr__(self, "_group_specs", {})
+        # Validate every group eagerly (membership consistency, move
+        # positions, matrix rules) by rendering its TraceScenarioSpec —
+        # the renders are cached, so this costs nothing extra later.
+        for gid in self.group_ids:
+            self.group_spec(gid)
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def group_ids(self) -> tuple:
+        return tuple(gid for gid, _ in self.groups)
+
+    @property
+    def n_epochs(self) -> int:
+        return self.epochs
+
+    def group_events(self, group: str) -> tuple:
+        for gid, events in self.groups:
+            if gid == group:
+                return events
+        raise KeyError(f"unknown group {group!r} "
+                       f"(groups: {list(self.group_ids)})")
+
+    def group_spec(self, group: str) -> TraceScenarioSpec:
+        """One group rendered as a standalone trace scenario (cached):
+        its membership events merged with the shared substrate moves."""
+        found = self._group_specs.get(group)
+        if found is not None:
+            return found
+        membership = self.group_events(group)
+        merged = tuple(tuple(membership[epoch]) + tuple(self.moves[epoch])
+                       for epoch in range(self.epochs))
+        base = ScenarioSpec.to_dict(self)
+        for name in ("groups", "moves", "epochs"):
+            base.pop(name, None)
+        spec = TraceScenarioSpec(**base, group=group, events=merged)
+        self._group_specs[group] = spec
+        return spec
+
+    # -- wire format ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["groups"] = {
+            gid: [[event.to_dict() for event in epoch_events]
+                  for epoch_events in events]
+            for gid, events in self.groups}
+        out["moves"] = [[event.to_dict() for event in epoch_events]
+                        for epoch_events in self.moves]
+        out["epochs"] = self.epochs
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MultiGroupScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        stray = sorted(set(data) - known)
+        if stray:
+            raise ValueError(f"unknown MultiGroupScenarioSpec fields: {stray}")
+        return cls(**dict(data))

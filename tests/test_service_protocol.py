@@ -1,0 +1,125 @@
+"""The wire protocol's parsing and payload contracts, pinned.
+
+These are compatibility guarantees clients build on: the resolved epoch
+and group are echoed in every run payload (a missing wire epoch resolves
+to 0 — trace replays attribute rows by the echo, never by re-deriving
+the server's resolution rules), scenario dispatch picks the right spec
+class from the embedded fields, and multi-group requests validate their
+``group`` up front with a 400, not a 500."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import MulticastSession, ScenarioSpec
+from repro.dynamic import ChurnSpec, DynamicScenarioSpec
+from repro.service.fleet import scenario_route_key
+from repro.service.protocol import (
+    ProtocolError,
+    parse_run_request,
+    run_payload,
+)
+from repro.traces import generate_trace
+from repro.traces.spec import MultiGroupScenarioSpec, TraceScenarioSpec
+
+STATIC = ScenarioSpec(kind="random", n=6, alpha=2.0, seed=0)
+DYNAMIC = DynamicScenarioSpec(kind="random", n=6, alpha=2.0, seed=0,
+                              churn=ChurnSpec(epochs=3, seed=1,
+                                              join_rate=0.3, leave_rate=0.3))
+MULTI = generate_trace(n=6, groups=2, epochs=3, seed=0).to_spec()
+
+PROFILE = {str(a): 2.0 for a in STATIC.agents()}
+
+
+def body(scenario, **extra) -> dict:
+    return {"scenario": scenario.to_dict(), "mechanism": "tree-shapley",
+            "profiles": [PROFILE], **extra}
+
+
+class TestScenarioDispatch:
+    def test_embedded_fields_pick_the_spec_class(self):
+        assert type(parse_run_request(body(STATIC)).scenario) is ScenarioSpec
+        assert isinstance(parse_run_request(
+            body(DYNAMIC, epoch=0)).scenario, DynamicScenarioSpec)
+        assert isinstance(parse_run_request(
+            body(MULTI, group="g0")).scenario, MultiGroupScenarioSpec)
+        assert isinstance(parse_run_request(
+            body(MULTI.group_spec("g0"), epoch=0)).scenario,
+            TraceScenarioSpec)
+
+
+class TestGroupValidation:
+    def test_multigroup_requires_a_group(self):
+        with pytest.raises(ProtocolError, match="require 'group'") as err:
+            parse_run_request(body(MULTI))
+        assert err.value.status == 400
+        assert "g0" in err.value.message  # the 400 lists the options
+
+    def test_unknown_or_nonstring_group_is_a_400(self):
+        with pytest.raises(ProtocolError, match="unknown group"):
+            parse_run_request(body(MULTI, group="g9"))
+        with pytest.raises(ProtocolError, match="must be a string"):
+            parse_run_request(body(MULTI, group=0))
+
+    def test_group_on_non_multigroup_scenarios_is_a_400(self):
+        with pytest.raises(ProtocolError, match="only applies to multi-group"):
+            parse_run_request(body(STATIC, group="g0"))
+        with pytest.raises(ProtocolError, match="only applies to multi-group"):
+            parse_run_request(body(DYNAMIC, group="g0", epoch=0))
+
+    def test_epoch_resolves_and_range_checks_on_multigroup(self):
+        assert parse_run_request(body(MULTI, group="g0")).epoch == 0
+        assert parse_run_request(body(MULTI, group="g0", epoch=2)).epoch == 2
+        with pytest.raises(ProtocolError, match="out of range"):
+            parse_run_request(body(MULTI, group="g0", epoch=3))
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            parse_run_request(body(MULTI, group="g0", epoch=True))
+
+
+class TestEchoes:
+    def run_results(self):
+        session = MulticastSession(STATIC)
+        return session.run_batch("tree-shapley",
+                                 [{int(a): v for a, v in PROFILE.items()}])
+
+    def test_static_payload_carries_no_epoch_or_group(self):
+        request = parse_run_request(body(STATIC))
+        payload = run_payload(request, self.run_results())
+        assert "epoch" not in payload and "group" not in payload
+
+    def test_dynamic_payload_echoes_the_resolved_epoch(self):
+        # The wire body omitted "epoch"; the echo is the *resolved* 0.
+        request = parse_run_request(body(DYNAMIC))
+        payload = run_payload(request, self.run_results())
+        assert payload["epoch"] == 0
+        request = parse_run_request(body(DYNAMIC, epoch=2))
+        assert run_payload(request, self.run_results())["epoch"] == 2
+
+    def test_multigroup_payload_echoes_group_and_resolved_epoch(self):
+        request = parse_run_request(body(MULTI, group="g1"))
+        payload = run_payload(request, self.run_results())
+        assert payload["group"] == "g1"
+        assert payload["epoch"] == 0
+
+
+class TestRouteKey:
+    def test_group_extends_the_store_key(self):
+        plain = parse_run_request(body(STATIC))
+        assert plain.route_key == plain.key
+        grouped = parse_run_request(body(MULTI, group="g1"))
+        assert grouped.route_key == f"{grouped.key}|group=g1"
+        other = parse_run_request(body(MULTI, group="g0"))
+        assert grouped.key == other.key          # one store entry...
+        assert grouped.route_key != other.route_key  # ...two fleet routes
+
+    def test_fleet_router_derives_the_same_key_without_parsing(self):
+        # The router must agree with RunRequest.route_key byte-for-byte,
+        # otherwise a group would pin to the wrong shard's warm session.
+        request = parse_run_request(body(MULTI, group="g1"))
+        raw = json.dumps(body(MULTI, group="g1")).encode("utf-8")
+        assert scenario_route_key(raw) == request.route_key
+        plain = parse_run_request(body(STATIC))
+        assert scenario_route_key(
+            json.dumps(body(STATIC)).encode("utf-8")) == plain.key

@@ -1,0 +1,190 @@
+"""The frozen JSONL trace format: canonical serialization, validation,
+and the deterministic synthetic generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.traces import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    Trace,
+    TraceError,
+    TraceEvent,
+    generate_trace,
+)
+
+POINTS = ((0.0, 0.0), (1.0, 0.0), (2.0, 1.0), (0.5, 2.0), (3.0, 3.0))
+
+
+def substrate(**overrides) -> ScenarioSpec:
+    return ScenarioSpec(kind="points", points=POINTS, alpha=2.0, **overrides)
+
+
+def small_trace() -> Trace:
+    return Trace(
+        scenario=substrate(),
+        epochs=3,
+        groups=("g0", "g1"),
+        events=(
+            TraceEvent(t=0, op="leave", agent=3, group="g0"),
+            TraceEvent(t=1, op="leave", agent=1, group="g1"),
+            TraceEvent(t=1, op="join", agent=3, group="g0"),
+            TraceEvent(t=2, op="move", agent=2, position=(2.5, 2.5)),
+        ),
+    )
+
+
+class TestTraceEvent:
+    def test_membership_needs_group_and_no_position(self):
+        with pytest.raises(TraceError, match="need a group"):
+            TraceEvent(t=0, op="join", agent=1)
+        with pytest.raises(TraceError, match="carry no position"):
+            TraceEvent(t=0, op="leave", agent=1, group="g0",
+                       position=(1.0, 2.0))
+
+    def test_move_is_groupless_positioned_and_never_at_epoch_zero(self):
+        with pytest.raises(TraceError, match="carry no"):
+            TraceEvent(t=1, op="move", agent=1, group="g0",
+                       position=(1.0, 2.0))
+        with pytest.raises(TraceError, match="need a position"):
+            TraceEvent(t=1, op="move", agent=1)
+        with pytest.raises(TraceError, match="base layout"):
+            TraceEvent(t=0, op="move", agent=1, position=(1.0, 2.0))
+
+    def test_unknown_op_and_stray_fields_rejected(self):
+        with pytest.raises(TraceError, match="unknown op"):
+            TraceEvent(t=0, op="rejoin", agent=1, group="g0")
+        with pytest.raises(TraceError, match="unknown event fields"):
+            TraceEvent.from_dict({"t": 0, "op": "join", "agent": 1,
+                                  "group": "g0", "speed": 3})
+
+    def test_wire_round_trip(self):
+        event = TraceEvent(t=2, op="move", agent=4, position=(1.5, 2.5))
+        assert TraceEvent.from_dict(event.to_dict()) == event
+        assert TraceEvent.from_dict(
+            json.loads(json.dumps(event.to_dict()))) == event
+
+
+class TestTrace:
+    def test_jsonl_round_trip_is_byte_identical(self):
+        trace = small_trace()
+        text = trace.to_jsonl()
+        again = Trace.from_jsonl(text)
+        assert again == trace
+        assert again.to_jsonl() == text
+
+    def test_events_sort_canonically_regardless_of_input_order(self):
+        trace = small_trace()
+        shuffled = Trace(scenario=trace.scenario, epochs=trace.epochs,
+                         groups=("g1", "g0"),
+                         events=tuple(reversed(trace.events)))
+        assert shuffled == trace
+        assert shuffled.to_jsonl() == trace.to_jsonl()
+
+    def test_header_names_format_and_version(self):
+        header = small_trace().header()
+        assert header["format"] == FORMAT_NAME
+        assert header["version"] == FORMAT_VERSION
+        assert header["groups"] == ["g0", "g1"]
+
+    def test_write_read_round_trip(self, tmp_path):
+        trace = small_trace()
+        path = trace.write(tmp_path / "t.jsonl")
+        assert Trace.read(path) == trace
+
+    def test_rejects_foreign_headers(self):
+        with pytest.raises(TraceError, match="not a repro-trace"):
+            Trace.from_jsonl('{"format": "pcap", "version": 1}\n')
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            Trace.from_jsonl(json.dumps(
+                {**small_trace().header(), "version": 99}) + "\n")
+        with pytest.raises(TraceError, match="missing"):
+            Trace.from_jsonl('{"format": "repro-trace", "version": 1}\n')
+        with pytest.raises(TraceError, match="empty"):
+            Trace.from_jsonl("\n\n")
+
+    def test_rejects_dynamic_substrates(self):
+        from repro.dynamic import ChurnSpec, DynamicScenarioSpec
+
+        spec = DynamicScenarioSpec(kind="random", n=5, alpha=2.0, seed=0,
+                                   churn=ChurnSpec(epochs=2))
+        with pytest.raises(TraceError, match="static ScenarioSpec"):
+            Trace(scenario=spec, epochs=2, groups=("g0",), events=())
+
+    def test_rejects_out_of_range_events(self):
+        with pytest.raises(TraceError, match="horizon"):
+            Trace(scenario=substrate(), epochs=2, groups=("g0",),
+                  events=(TraceEvent(t=2, op="join", agent=1, group="g0"),))
+        with pytest.raises(TraceError, match="not declared"):
+            Trace(scenario=substrate(), epochs=2, groups=("g0",),
+                  events=(TraceEvent(t=1, op="leave", agent=1, group="g9"),))
+
+    def test_rejects_inconsistent_membership(self):
+        # Agent 1 is active at epoch 0 (base state), so a second join is
+        # inconsistent — semantics validate through to_spec().
+        with pytest.raises(TraceError, match="already active"):
+            Trace(scenario=substrate(), epochs=2, groups=("g0",),
+                  events=(TraceEvent(t=1, op="join", agent=1, group="g0"),))
+
+    def test_group_and_move_views(self):
+        trace = small_trace()
+        g0 = trace.group_events("g0")
+        assert [len(epoch) for epoch in g0] == [1, 1, 0]
+        moves = trace.move_events()
+        assert [len(epoch) for epoch in moves] == [0, 0, 1]
+        assert trace.event_counts() == {"join": 1, "leave": 2, "move": 1}
+
+    def test_to_spec_renders_every_group(self):
+        spec = small_trace().to_spec()
+        assert spec.group_ids == ("g0", "g1")
+        assert spec.n_epochs == 3
+        # g0's epoch-0 leave carves agent 3 out of the initial members.
+        states = spec.group_spec("g0").epoch_states()
+        assert 3 not in states[0].active
+        assert 3 in states[1].active  # and the epoch-1 join restores it
+        # The move reaches both groups' geometry at epoch 2.
+        for gid in spec.group_ids:
+            points = spec.group_spec(gid).epoch_states()[2].points
+            assert points[2] == (2.5, 2.5)
+
+
+class TestGenerateTrace:
+    def test_same_arguments_same_bytes(self):
+        first = generate_trace(n=12, groups=2, epochs=3, seed=7)
+        second = generate_trace(n=12, groups=2, epochs=3, seed=7)
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_different_seeds_differ(self):
+        assert (generate_trace(n=12, groups=2, epochs=3, seed=0).to_jsonl()
+                != generate_trace(n=12, groups=2, epochs=3, seed=1).to_jsonl())
+
+    def test_substrate_is_self_contained_points(self):
+        trace = generate_trace(n=10, groups=2, epochs=2, seed=3)
+        assert trace.scenario.kind == "points"
+        assert len(trace.scenario.points) == 10
+        assert trace.groups == ("g0", "g1")
+
+    def test_every_group_keeps_at_least_one_member(self):
+        # member_rate=0 would carve everyone out; the generator seeds one.
+        trace = generate_trace(n=6, groups=3, epochs=2, seed=0,
+                               member_rate=0.0)
+        spec = trace.to_spec()
+        for gid in spec.group_ids:
+            assert spec.group_spec(gid).epoch_states()[0].active
+
+    def test_single_ap_generates_no_handover(self):
+        trace = generate_trace(n=8, groups=1, epochs=4, seed=2, aps=1,
+                               handover_rate=1.0)
+        assert trace.event_counts()["move"] == 0
+
+    def test_rate_and_size_validation(self):
+        with pytest.raises(ValueError, match="member_rate"):
+            generate_trace(n=8, member_rate=1.5)
+        with pytest.raises(ValueError, match="n must be"):
+            generate_trace(n=1)
+        with pytest.raises(ValueError, match="groups must be"):
+            generate_trace(n=8, groups=0)
