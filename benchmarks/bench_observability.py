@@ -11,6 +11,12 @@ every instrument a no-op.  The gate: instrumentation may cost at most
 for timer noise on sub-second runs), and responses must stay
 bit-identical — telemetry watches the pipeline, it never feeds back.
 
+The same gate covers request tracing: the fully-traced service (a
+:class:`~repro.observability.SpanRecorder` narrating every request's
+span family into a memory ring) may cost at most 5% over the untraced
+default, with responses again bit-identical — spans watch, they never
+feed back.
+
 Recorded under the ``EXP-S1 observability`` group so the timing merges
 into ``benchmarks/out/BENCH_S1.json`` and is gated by
 ``benchmarks/check_regression.py`` in CI.
@@ -24,7 +30,7 @@ import numpy as np
 import pytest
 
 from repro.api import ScenarioSpec
-from repro.observability import MetricsRegistry, NullRegistry
+from repro.observability import MetricsRegistry, NullRegistry, SpanRecorder
 from repro.service import CostSharingService, ServiceClient
 
 from conftest import record
@@ -49,13 +55,15 @@ def _workload():
     return spec, requests
 
 
-def _serve(spec, requests, registry):
+def _serve(spec, requests, registry, spans=None):
     """The warm service loop of ``bench_service.py``, with the registry
-    injected: same LRU reuse, same flush windows, same thread pool."""
+    (and optionally a span recorder) injected: same LRU reuse, same
+    flush windows, same thread pool."""
 
     async def go():
         service = CostSharingService(cache_size=8, batch_window=0.002,
-                                     max_batch=N_REQUESTS, registry=registry)
+                                     max_batch=N_REQUESTS, registry=registry,
+                                     spans=spans)
         client = ServiceClient(service)
         responses = await asyncio.gather(*(
             client.run(spec, mechanism, profiles)
@@ -111,4 +119,43 @@ def test_observability_overhead_within_five_percent(benchmark):
     assert instrumented_s <= null_s * MAX_OVERHEAD + ABS_SLACK_S, (
         f"instrumentation costs {overhead:.3f}x the null-registry baseline "
         f"({instrumented_s:.3f}s vs {null_s:.3f}s; gate {MAX_OVERHEAD}x "
+        f"+ {ABS_SLACK_S}s)")
+
+
+@pytest.mark.benchmark(group="EXP-S1 observability tracing")
+def test_tracing_overhead_within_five_percent(benchmark):
+    spec, requests = _workload()
+
+    def traced():
+        # Memory-ring recorder: what `/v1/stats` exemplars run on.  The
+        # export-to-file path is I/O-bound and measured by the CI smoke
+        # job, not this CPU gate.
+        return _serve(spec, requests, MetricsRegistry(),
+                      spans=SpanRecorder(limit=4096))
+
+    def untraced():
+        return _serve(spec, requests, MetricsRegistry())
+
+    untraced_s, (untraced_out, _) = _best_of(untraced)
+    traced_s, (traced_out, service) = _best_of(traced)
+
+    # Tracing never feeds back into response bytes.
+    assert json.dumps(traced_out, sort_keys=True) == json.dumps(
+        untraced_out, sort_keys=True)
+    # ... and the traced run really did narrate the pipeline: one
+    # request span per request, with stage legs alongside.
+    assert len(service.spans.recent("request")) == N_REQUESTS
+    assert service.spans.recent("execute")
+    assert service.spans.stats_payload()["recorded"] >= 3 * N_REQUESTS
+
+    benchmark.pedantic(traced, rounds=ROUNDS, iterations=1)
+
+    overhead = traced_s / untraced_s
+    record("BENCH_TRACING",
+           f"tracing overhead n={N} requests={N_REQUESTS}x{N_PROFILES}: "
+           f"untraced {untraced_s:.3f}s, traced {traced_s:.3f}s, "
+           f"ratio x{overhead:.3f} (gate x{MAX_OVERHEAD} + {ABS_SLACK_S:.3f}s)")
+    assert traced_s <= untraced_s * MAX_OVERHEAD + ABS_SLACK_S, (
+        f"tracing costs {overhead:.3f}x the untraced baseline "
+        f"({traced_s:.3f}s vs {untraced_s:.3f}s; gate {MAX_OVERHEAD}x "
         f"+ {ABS_SLACK_S}s)")

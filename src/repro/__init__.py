@@ -108,7 +108,7 @@ from repro.traces import (
 )
 from repro.wireless import CostGraph, EuclideanCostGraph, PowerAssignment, UniversalTree
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AdaptiveController",

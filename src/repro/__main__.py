@@ -468,6 +468,12 @@ def serve_command(argv: list[str]) -> int:
                         help="append one JSON line per priced request "
                              "('-' = stderr); with --workers > 1, a "
                              "directory holding one log per shard")
+    parser.add_argument("--span-log", default=None, metavar="PATH",
+                        help="record request spans as JSON lines here "
+                             "('-' = stderr); with --workers > 1, a "
+                             "directory holding one span log per shard "
+                             "plus the router's — read them back with "
+                             "`python -m repro spans report`")
     parser.add_argument("--workers", type=int, default=1,
                         help="run a sharded fleet of this many worker "
                              "processes behind a consistent-hash router "
@@ -484,15 +490,17 @@ def serve_command(argv: list[str]) -> int:
               file=sys.stderr)
         return 2
 
-    from repro.observability import AdaptiveController, RequestLogger
+    from repro.observability import AdaptiveController, RequestLogger, SpanRecorder
 
     request_log = (RequestLogger.open(args.request_log)
                    if args.request_log else None)
+    span_log = (SpanRecorder.open(args.span_log)
+                if getattr(args, "span_log", None) else None)
     try:
         service = CostSharingService(
             cache_size=args.cache_size, batch_window=args.batch_window,
             max_batch=args.max_batch, queue_limit=args.queue_limit,
-            request_log=request_log, shard=args.shard)
+            request_log=request_log, shard=args.shard, spans=span_log)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -537,6 +545,8 @@ def serve_command(argv: list[str]) -> int:
     finally:
         if request_log is not None:
             request_log.close()
+        if span_log is not None:
+            span_log.close()
     return 0
 
 
@@ -553,6 +563,7 @@ def _serve_fleet(args) -> int:
                       batch_window=args.batch_window,
                       max_batch=args.max_batch, queue_limit=args.queue_limit,
                       request_log_dir=getattr(args, "request_log", None),
+                      span_log_dir=getattr(args, "span_log", None),
                       replicas=getattr(args, "replicas", None) or 64)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -610,6 +621,10 @@ def fleet_command(argv: list[str]) -> int:
                         help="virtual nodes per shard on the hash ring")
     parser.add_argument("--request-log", default=None, metavar="DIR",
                         help="directory for per-shard JSON request logs")
+    parser.add_argument("--span-log", default=None, metavar="DIR",
+                        help="directory for per-shard span logs (plus the "
+                             "router's own router.spans.jsonl) — read them "
+                             "back with `python -m repro spans report`")
     args = parser.parse_args(argv)
     if args.workers < 1:
         print(f"error: need --workers >= 1, got {args.workers}",
@@ -909,6 +924,59 @@ def trace_command(argv: list[str]) -> int:
     return 0
 
 
+def spans_command(argv: list[str]) -> int:
+    """The ``spans`` subcommand: reconstruct request traces from the span
+    logs a traced service/fleet wrote and report the SLO picture."""
+    from repro.observability import load_span_logs, render_span_report, span_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro spans",
+        description="Analyze request-span logs (--span-log output): stitch "
+                    "per-process JSONL files back into cross-process traces "
+                    "and report per-stage latency, per-shard exemplars, and "
+                    "trace well-formedness.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    rep = sub.add_parser("report", help="span-forest report over one or "
+                                        "more span logs")
+    rep.add_argument("files", nargs="+", metavar="LOG",
+                     help="span JSONL files (a fleet's full picture needs "
+                          "every worker's log plus the router's)")
+    rep.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the full report as JSON")
+    rep.add_argument("--require-complete", type=int, default=None,
+                     metavar="N", help="exit 1 unless every worker shard "
+                                       "shows >= N complete cross-process "
+                                       "traces (router + worker spans in "
+                                       "one tree) — for CI smoke jobs")
+    args = parser.parse_args(argv)
+
+    try:
+        spans, malformed = load_span_logs(args.files)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = span_report(spans, malformed=malformed, files=len(args.files))
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for line in render_span_report(report):
+            print(line)
+    if args.require_complete is not None:
+        cross = report["cross_process_traces"]
+        failures = [f"shard {shard}: {count} complete cross-process "
+                    f"trace(s), need >= {args.require_complete}"
+                    for shard, count in sorted(cross.items())
+                    if count < args.require_complete]
+        if not cross:
+            failures.append("no worker shards observed in the span logs")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 1 if report["problems"] else 0
+
+
 def metrics_dump_command(argv: list[str]) -> int:
     """The ``metrics-dump`` subcommand: one JSON telemetry snapshot —
     either scraped from a running service's ``/metrics`` or accumulated
@@ -917,7 +985,10 @@ def metrics_dump_command(argv: list[str]) -> int:
         prog="python -m repro metrics-dump",
         description="Dump a metrics snapshot as JSON: scrape a running "
                     "service (--port) or run a sweep spec in-process "
-                    "(--spec) and report the default registry.",
+                    "(--spec) and report the default registry.  Pointed at "
+                    "a fleet router's port, the scrape is the merged fleet "
+                    "exposition (every worker relabeled by shard) and the "
+                    "JSON gains a per-shard summary block.",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=None,
@@ -956,8 +1027,24 @@ def metrics_dump_command(argv: list[str]) -> int:
         if status != 200:
             print(f"error: GET /metrics answered {status}", file=sys.stderr)
             return 2
-        output = text if args.raw else json.dumps(
-            parse_exposition(text), indent=2, sort_keys=True)
+        if args.raw:
+            output = text
+        else:
+            parsed = parse_exposition(text)
+            # A router's exposition is already the fleet merge with every
+            # series relabeled by shard — surface that shape explicitly
+            # (additively: the "types"/"samples" keys stay as-is) so
+            # consumers need not re-derive it from the label sets.
+            shards = sorted({
+                labels["shard"]
+                for entries in parsed["samples"].values()
+                for labels, _ in entries
+                if "shard" in labels})
+            if shards:
+                parsed["fleet"] = {
+                    "shards": shards,
+                    "workers": [s for s in shards if s != "router"]}
+            output = json.dumps(parsed, indent=2, sort_keys=True)
     else:
         from repro.observability import default_registry
         from repro.runner import SweepSpec, run_sweep
@@ -995,6 +1082,8 @@ def main(argv: list[str]) -> int:
         return loadgen_command(argv[1:])
     if argv and argv[0] == "trace":
         return trace_command(argv[1:])
+    if argv and argv[0] == "spans":
+        return spans_command(argv[1:])
     if argv and argv[0] == "metrics-dump":
         return metrics_dump_command(argv[1:])
     wanted = [a.upper() for a in argv] or list(RUNNERS)

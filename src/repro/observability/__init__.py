@@ -21,6 +21,13 @@ into.  It is stdlib-only and deliberately small:
   :class:`AdaptiveController` closing the loop from observed arrival
   and hit rates back onto the micro-batch window and LRU capacity,
   with every decision event-logged for deterministic replay.
+* :mod:`~repro.observability.tracing` — distributed **request spans**
+  (distinct from ``repro.traces`` workload traces): the
+  :class:`Span`/:class:`SpanContext` model with W3C-traceparent-style
+  propagation, the thread-safe bounded :class:`SpanRecorder` (JSONL
+  export, :data:`NULL_SPAN_RECORDER` when disabled), and the
+  forest-reconstruction/report helpers behind
+  ``python -m repro spans report``.
 """
 
 from repro.observability.adaptive import AdaptiveController, AdaptObservation
@@ -44,6 +51,19 @@ from repro.observability.metrics import (
     sample_total,
     stage_histogram,
 )
+from repro.observability.tracing import (
+    NULL_SPAN_RECORDER,
+    SPAN_ATTRIBUTE_KEYS,
+    NullSpanRecorder,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    load_span_logs,
+    parse_traceparent,
+    render_span_report,
+    span_forest,
+    span_report,
+)
 
 __all__ = [
     "AdaptObservation",
@@ -57,14 +77,25 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_SPAN_RECORDER",
     "NullRegistry",
+    "NullSpanRecorder",
     "RequestLogger",
+    "SPAN_ATTRIBUTE_KEYS",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
     "default_registry",
     "format_value",
+    "load_span_logs",
     "merge_expositions",
     "parse_exposition",
+    "parse_traceparent",
     "relabel_exposition",
+    "render_span_report",
     "sample_total",
     "scenario_hash",
+    "span_forest",
+    "span_report",
     "stage_histogram",
 ]

@@ -36,7 +36,12 @@ import asyncio
 import time
 from concurrent.futures import Executor
 
-from repro.observability import BATCH_OCCUPANCY_BUCKETS, stage_histogram
+from repro.observability import (
+    BATCH_OCCUPANCY_BUCKETS,
+    NULL_SPAN_RECORDER,
+    stage_histogram,
+)
+from repro.observability.tracing import SpanContext
 from repro.service.protocol import RunRequest
 from repro.service.state import SessionStore, StoreEntry
 
@@ -51,13 +56,21 @@ class MicroBatcher:
     """
 
     def __init__(self, store: SessionStore, *, window: float = 0.005,
-                 max_batch: int = 32, executor: Executor | None = None) -> None:
+                 max_batch: int = 32, executor: Executor | None = None,
+                 spans=None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.store = store
         self.max_batch = int(max_batch)
         self._executor = executor
-        self._pending: list[tuple[RunRequest, asyncio.Future, float]] = []
+        # Request-span recorder (tracing): each flush becomes one span
+        # (rooting its own trace — the requests it serves belong to
+        # *different* traces), and every request's queue/execute legs
+        # are recorded as children of that request's own span, linked
+        # to the flush via flush_trace_id/flush_span_id attributes.
+        self.spans = spans if spans is not None else NULL_SPAN_RECORDER
+        self._pending: list[tuple[RunRequest, asyncio.Future, float,
+                                  SpanContext | None]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
         self._tasks: set[asyncio.Task] = set()
         # -- telemetry (in the store's registry, one shared lock) -----------
@@ -113,13 +126,16 @@ class MicroBatcher:
         results, _ = await self.submit_timed(request)
         return results
 
-    async def submit_timed(self, request: RunRequest) -> tuple[list, dict]:
+    async def submit_timed(self, request: RunRequest,
+                           context: SpanContext | None = None
+                           ) -> tuple[list, dict]:
         """Like :meth:`submit`, but resolves to ``(results, stages)``
         where ``stages`` carries the request's queue/build/execute leg
-        timings in seconds."""
+        timings in seconds.  ``context`` is the request span to parent
+        this request's queue/execute spans under (``None``: untraced)."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future, time.perf_counter()))
+        self._pending.append((request, future, time.perf_counter(), context))
         self._c_requests.inc()
         if self._window <= 0.0 or len(self._pending) >= self.max_batch:
             self._flush()
@@ -149,29 +165,54 @@ class MicroBatcher:
             self._h_occupancy.observe(len(batch))
             if len(batch) > 1:
                 self._c_batched.inc(len(batch))
-        groups: dict[str, list[tuple[RunRequest, asyncio.Future, float]]] = {}
+        groups: dict[str, list[tuple[RunRequest, asyncio.Future, float,
+                                     SpanContext | None]]] = {}
         for item in batch:
             groups.setdefault(item[0].key, []).append(item)
+        # One flush span covers the whole flush (all its scenario groups);
+        # it finishes when the last group's work completes.  It roots its
+        # own trace — the requests it serves each live in their own —
+        # and the per-request execute spans link back to it.
+        flush_span = (self.spans.span("flush",
+                                      attributes={"requests": len(batch)})
+                      if self.spans.enabled else None)
+        remaining = [len(groups)]
+
+        def group_done(_task) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0 and flush_span is not None:
+                flush_span.finish()
+
         for group in groups.values():
-            task = asyncio.ensure_future(self._execute_group(group))
+            task = asyncio.ensure_future(self._execute_group(
+                group,
+                flush_context=(flush_span.context
+                               if flush_span is not None else None),
+                batch_size=len(batch)))
             task._repro_size = len(group)  # type: ignore[attr-defined]
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
+            task.add_done_callback(group_done)
 
     async def _execute_group(
             self,
-            group: list[tuple[RunRequest, asyncio.Future, float]]) -> None:
+            group: list[tuple[RunRequest, asyncio.Future, float,
+                              SpanContext | None]],
+            *, flush_context: SpanContext | None = None,
+            batch_size: int = 1) -> None:
         loop = asyncio.get_running_loop()
-        requests = [(request, enqueued) for request, _, enqueued in group]
+        requests = [(request, enqueued, context)
+                    for request, _, enqueued, context in group]
         try:
             outcomes = await loop.run_in_executor(
-                self._executor, self._run_group, requests)
+                self._executor, self._run_group, requests, flush_context,
+                batch_size)
         except BaseException as exc:  # store build failure: fail the group
-            for _, future, _ in group:
+            for _, future, _, _ in group:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
-        for (_, future, _), outcome in zip(group, outcomes):
+        for (_, future, _, _), outcome in zip(group, outcomes):
             if future.cancelled():
                 continue
             if isinstance(outcome, BaseException):
@@ -179,28 +220,57 @@ class MicroBatcher:
             else:
                 future.set_result(outcome)
 
-    def _run_group(self, requests: list[tuple[RunRequest, float]]) -> list:
+    def _run_group(self, requests: list[tuple[RunRequest, float,
+                                              SpanContext | None]],
+                   flush_context: SpanContext | None = None,
+                   batch_size: int = 1) -> list:
         """Synchronous worker body: one store lookup for the whole group,
         then every request priced on the shared session.  Per-request
         failures (e.g. a profile naming stray agents) stay per-request —
         they must not poison the rest of the batch."""
         started = time.perf_counter()
-        first = requests[0][0]
-        entry = self.store.get(first.scenario, key=first.key)
+        first, first_context = requests[0][0], requests[0][2]
+        # The group-shared store lookup becomes one ``build`` span in the
+        # *first* request's trace (it is shared work — duplicating it
+        # into every trace would overcount the critical path); a cold
+        # miss nests its ``session_build`` span under this one.
+        build_span = (self.spans.span("build", parent=first_context)
+                      if first_context is not None else None)
+        entry = self.store.get(
+            first.scenario, key=first.key,
+            span_context=(build_span.context
+                          if build_span is not None else None))
         build = time.perf_counter() - started
+        if build_span is not None:
+            build_span.finish()
         self._h_stage.labels(stage="build").observe(build)
+        link = ({"flush_trace_id": flush_context.trace_id,
+                 "flush_span_id": flush_context.span_id}
+                if flush_context is not None else {})
         outcomes: list = []
-        for request, enqueued in requests:
+        for request, enqueued, context in requests:
             queue = max(0.0, started - enqueued)
             self._h_stage.labels(stage="queue").observe(queue)
+            if context is not None:
+                self.spans.observe("queue", duration=queue, parent=context)
             t0 = time.perf_counter()
             try:
                 results = self._run_one(entry, request)
             except Exception as exc:
+                if context is not None:
+                    self.spans.observe(
+                        "execute", duration=time.perf_counter() - t0,
+                        parent=context, status="error",
+                        attributes={**link, "batch_size": batch_size,
+                                    "error": f"{type(exc).__name__}: {exc}"})
                 outcomes.append(exc)
                 continue
             execute = time.perf_counter() - t0
             self._h_stage.labels(stage="execute").observe(execute)
+            if context is not None:
+                self.spans.observe(
+                    "execute", duration=execute, parent=context,
+                    attributes={**link, "batch_size": batch_size})
             outcomes.append((results, {
                 "queue": queue, "build": build, "execute": execute}))
         return outcomes

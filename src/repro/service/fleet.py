@@ -53,9 +53,17 @@ import subprocess
 import sys
 import threading
 
-from repro.observability import MetricsRegistry, merge_expositions, relabel_exposition
+from repro.observability import (
+    NULL_SPAN_RECORDER,
+    MetricsRegistry,
+    SpanRecorder,
+    merge_expositions,
+    relabel_exposition,
+)
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
+    TRACE_ID_HEADER,
+    TRACEPARENT_HEADER,
     ProtocolError,
     error_payload,
     parse_batch_request,
@@ -67,10 +75,13 @@ from repro.service.server import METRICS_CONTENT_TYPE
 READY_LINE = re.compile(r"serving on http://([^:\s]+):(\d+)")
 
 # Headers the router copies from a worker response onto its own: the
-# backpressure contract (Retry-After), method negotiation (Allow) and
-# the body's own type; everything else is hop-local.
+# backpressure contract (Retry-After), method negotiation (Allow), the
+# body's own type, and the worker's trace id (so a traced worker behind
+# an untraced router still reaches the client; a traced router
+# overwrites it with its own — the same trace, stamped on the forward).
 _FORWARDED_HEADERS = {"retry-after": "Retry-After", "allow": "Allow",
-                      "content-type": "Content-Type"}
+                      "content-type": "Content-Type",
+                      "x-repro-trace-id": TRACE_ID_HEADER}
 
 _KNOWN_PATHS = ("/v1/run", "/v1/batch", "/v1/healthz", "/v1/stats",
                 "/metrics", "/v1/fleet", "/v1/fleet/add", "/v1/fleet/drain")
@@ -117,16 +128,19 @@ class WorkerClient:
         self.pool_size = int(pool_size)
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
-    async def request(self, method: str, path: str, body: bytes = b""
+    async def request(self, method: str, path: str, body: bytes = b"", *,
+                      headers: dict[str, str] | None = None
                       ) -> tuple[int, dict[str, str], bytes]:
         """One round trip: ``(status, lowercase headers, body bytes)``.
-        A stale keep-alive connection (closed by the worker between
-        requests) is retried once on a fresh socket."""
+        ``headers`` adds extra request headers (the router stamps the
+        span-context ``traceparent`` this way).  A stale keep-alive
+        connection (closed by the worker between requests) is retried
+        once on a fresh socket."""
         while self._idle:
             connection = self._idle.pop()
             try:
                 return await asyncio.wait_for(
-                    self._roundtrip(connection, method, path, body),
+                    self._roundtrip(connection, method, path, body, headers),
                     self.timeout)
             except (ConnectionError, asyncio.IncompleteReadError, OSError):
                 self._close_connection(connection)
@@ -136,19 +150,24 @@ class WorkerClient:
             asyncio.open_connection(self.host, self.port), self.timeout)
         try:
             return await asyncio.wait_for(
-                self._roundtrip(connection, method, path, body), self.timeout)
+                self._roundtrip(connection, method, path, body, headers),
+                self.timeout)
         except BaseException:
             self._close_connection(connection)
             raise
 
     async def _roundtrip(self, connection, method: str, path: str,
-                         body: bytes) -> tuple[int, dict[str, str], bytes]:
+                         body: bytes, headers: dict[str, str] | None = None
+                         ) -> tuple[int, dict[str, str], bytes]:
         reader, writer = connection
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (headers or {}).items())
         head = (f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
-                f"Connection: keep-alive\r\n\r\n")
+                + extra +
+                "Connection: keep-alive\r\n\r\n")
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
@@ -299,7 +318,8 @@ class FleetRouter:
     def __init__(self, *, replicas: int = DEFAULT_REPLICAS,
                  max_body: int = 8 << 20, max_batch_requests: int = 64,
                  registry: MetricsRegistry | None = None,
-                 spawner=None, drain_timeout: float = 120.0) -> None:
+                 spawner=None, drain_timeout: float = 120.0,
+                 spans=None) -> None:
         self.ring = HashRing(replicas=replicas)
         self.workers: dict[str, FleetWorker] = {}
         self.max_body = int(max_body)
@@ -307,6 +327,12 @@ class FleetRouter:
         self.spawner = spawner  # () -> FleetWorker, blocking; executor-run
         self.drain_timeout = float(drain_timeout)
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Request-span recorder: the router opens the *root* span of a
+        # priced request's trace and stamps its context onto every
+        # forward (the traceparent header), so worker spans join the
+        # same trace across the process boundary.
+        self.spans = spans if spans is not None else NULL_SPAN_RECORDER
+        self.spans.use_registry(self.registry)
         self.requests_total = 0
         self.responses: dict[int, int] = {}
         self._c_requests = self.registry.counter(
@@ -387,26 +413,37 @@ class FleetRouter:
                 "workers": len(self.live_workers())}
 
     # -- dispatch (the ServiceServer contract) -------------------------------
-    async def dispatch(self, method: str, path: str,
-                       body: bytes = b"") -> tuple[int, dict | str, dict]:
+    async def dispatch(self, method: str, path: str, body: bytes = b"", *,
+                       trace_context=None) -> tuple[int, dict | str, dict]:
         self.requests_total += 1
         self._c_requests.labels(
             method=method,
             path=path if path in _KNOWN_PATHS else "other").inc()
+        span = None
+        if self.spans.enabled and path in ("/v1/run", "/v1/batch"):
+            span = self.spans.span(
+                "request", parent=trace_context,
+                attributes={"method": method, "path": path,
+                            "shard": "router"})
         try:
-            status, payload, headers = await self._route(method, path, body)
+            status, payload, headers = await self._route(method, path, body,
+                                                         span=span)
         except ProtocolError as exc:
             headers = {"Retry-After": "1"} if exc.status in (429, 503) else {}
             status, payload = exc.status, error_payload(exc.message)
         except Exception as exc:
             status, payload, headers = 500, error_payload(
                 f"internal error: {type(exc).__name__}: {exc}"), {}
+        if span is not None:
+            span.set("status_code", status)
+            span.finish(status="ok" if status < 500 else "error")
+            headers = {**headers, TRACE_ID_HEADER: span.trace_id}
         self.responses[status] = self.responses.get(status, 0) + 1
         self._c_responses.labels(code=str(status)).inc()
         return status, payload, headers
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[int, dict | str, dict]:
+    async def _route(self, method: str, path: str, body: bytes,
+                     span=None) -> tuple[int, dict | str, dict]:
         if path == "/v1/healthz" and method == "GET":
             return 200, await self.health_payload(), {}
         if path == "/v1/stats" and method == "GET":
@@ -432,11 +469,11 @@ class FleetRouter:
                     'drain body must be {"shard": "<shard id>"}')
             return 200, await self.drain_worker(data["shard"]), {}
         if path == "/v1/batch" and method == "POST":
-            return await self._route_batch(body)
+            return await self._route_batch(body, span=span)
         if path == "/v1/run" and method == "POST":
             return await self._forward(
                 self._live_worker(scenario_route_key(body)),
-                method, path, body)
+                method, path, body, span=span)
         # Everything else — unknown paths, wrong methods on worker
         # endpoints — forwards on a deterministic fallback key so the
         # 404/405 payloads stay byte-identical to a single process.
@@ -446,32 +483,53 @@ class FleetRouter:
                                    method, path, body)
 
     async def _proxy(self, worker: FleetWorker, method: str, path: str,
-                     body: bytes) -> tuple[int, dict[str, str], bytes]:
+                     body: bytes, request_headers: dict[str, str] | None = None
+                     ) -> tuple[int, dict[str, str], bytes]:
         """One accounted forward to ``worker`` (drain waits on these)."""
         worker._begin()
         self._c_proxied.labels(shard=worker.shard).inc()
         try:
-            return await worker.client.request(method, path, body)
+            return await worker.client.request(method, path, body,
+                                               headers=request_headers)
         finally:
             worker._end()
 
     async def _forward(self, worker: FleetWorker, method: str, path: str,
-                       body: bytes) -> tuple[int, str, dict]:
+                       body: bytes, *, span=None) -> tuple[int, str, dict]:
+        # With tracing on, each forward is its own child span and its
+        # context rides the traceparent header — the worker's request
+        # span becomes a child of this forward span, one trace across
+        # the process boundary.
+        forward_span = None
+        request_headers = None
+        if span is not None and span.context is not None:
+            forward_span = self.spans.span("forward", parent=span.context,
+                                           attributes={"shard": worker.shard})
+            request_headers = {
+                TRACEPARENT_HEADER: forward_span.context.traceparent()}
         try:
-            status, headers, raw = await self._proxy(worker, method, path, body)
+            status, headers, raw = await self._proxy(worker, method, path,
+                                                     body, request_headers)
         except (OSError, ConnectionError, asyncio.IncompleteReadError,
                 asyncio.TimeoutError) as exc:
+            if forward_span is not None:
+                forward_span.set("error", f"{type(exc).__name__}: {exc}")
+                forward_span.finish(status="error")
             self._c_proxy_errors.inc()
             raise ProtocolError(
                 f"shard {worker.shard!r} unreachable: "
                 f"{type(exc).__name__}: {exc}", status=503) from exc
+        if forward_span is not None:
+            forward_span.set("status_code", status)
+            forward_span.finish()
         extra = {"X-Repro-Shard": worker.shard}
         for wire_name, out_name in _FORWARDED_HEADERS.items():
             if wire_name in headers:
                 extra[out_name] = headers[wire_name]
         return status, raw.decode("utf-8"), extra
 
-    async def _route_batch(self, body: bytes) -> tuple[int, dict | str, dict]:
+    async def _route_batch(self, body: bytes,
+                           span=None) -> tuple[int, dict | str, dict]:
         """Split a batch by shard and reassemble in request order.
 
         The router runs the same ``parse_batch_request`` the worker
@@ -490,14 +548,14 @@ class FleetRouter:
         if len(groups) == 1:
             (shard,) = groups
             return await self._forward(self.workers[shard], "POST",
-                                       "/v1/batch", body)
+                                       "/v1/batch", body, span=span)
 
         async def one(shard: str, indexes: list[int]):
             sub_body = json.dumps(
                 {"requests": [raw_requests[i] for i in indexes]},
                 sort_keys=True).encode("utf-8")
             return await self._forward(self.workers[shard], "POST",
-                                       "/v1/batch", sub_body)
+                                       "/v1/batch", sub_body, span=span)
 
         ordered = sorted(groups.items())
         outcomes = await asyncio.gather(
@@ -593,7 +651,9 @@ class FleetRouter:
                                else {"error": "unreachable"})
                        for shard, stats in sorted(shards.items())},
             "store": agg("store", ("capacity", "size", "building", "lookups",
-                                   "hits", "misses", "evictions", "coalesced")),
+                                   "hits", "misses", "evictions", "coalesced",
+                                   "substrate_sessions_built",
+                                   "substrate_sessions_shared")),
             "batcher": agg("batcher", ("requests", "batches",
                                        "batched_requests", "pending",
                                        "max_batch", "max_batch_size", "window"),
@@ -602,6 +662,7 @@ class FleetRouter:
                      "rejected": agg("http", ("rejected",))["rejected"],
                      "responses": {code: responses[code]
                                    for code in sorted(responses)}},
+            "spans": self.spans.stats_payload(),
         }
 
     async def metrics_text(self) -> str:
@@ -650,6 +711,7 @@ class Fleet:
                  replicas: int = DEFAULT_REPLICAS, cache_size: int = 64,
                  batch_window: float = 0.005, max_batch: int = 32,
                  queue_limit: int = 128, request_log_dir: str | None = None,
+                 span_log_dir: str | None = None,
                  shard_prefix: str = "w", registry: MetricsRegistry | None = None,
                  startup_timeout: float = 120.0) -> None:
         if workers < 1:
@@ -657,6 +719,16 @@ class Fleet:
         self.n_workers = int(workers)
         self.host = host
         self.request_log_dir = request_log_dir
+        # Span logs: one JSONL per shard plus the router's own, all under
+        # span_log_dir — `python -m repro spans report DIR/*.jsonl`
+        # stitches them back into cross-process traces.
+        self.span_log_dir = span_log_dir
+        self._router_spans = None
+        if span_log_dir is not None:
+            span_dir = pathlib.Path(span_log_dir)
+            span_dir.mkdir(parents=True, exist_ok=True)
+            self._router_spans = SpanRecorder.open(
+                str(span_dir / "router.spans.jsonl"))
         self.startup_timeout = float(startup_timeout)
         self.shard_prefix = shard_prefix
         self._counter = 0
@@ -670,7 +742,7 @@ class Fleet:
         self.router = FleetRouter(
             replicas=replicas, registry=registry,
             max_batch_requests=min(64, int(queue_limit)),
-            spawner=self.spawn_one)
+            spawner=self.spawn_one, spans=self._router_spans)
 
     def _next_shard(self) -> str:
         with self._counter_lock:
@@ -684,6 +756,11 @@ class Fleet:
             log_dir = pathlib.Path(self.request_log_dir)
             log_dir.mkdir(parents=True, exist_ok=True)
             serve_args += ["--request-log", str(log_dir / f"{shard}.jsonl")]
+        if self.span_log_dir is not None:
+            span_dir = pathlib.Path(self.span_log_dir)
+            span_dir.mkdir(parents=True, exist_ok=True)
+            serve_args += ["--span-log",
+                           str(span_dir / f"{shard}.spans.jsonl")]
         process, port = spawn_worker(shard, host=self.host,
                                      serve_args=tuple(serve_args),
                                      startup_timeout=self.startup_timeout)
@@ -711,6 +788,9 @@ class Fleet:
         for worker in workers:
             if worker.shard in self.router.ring:
                 self.router.ring.remove(worker.shard)
+        if self._router_spans is not None:
+            self._router_spans.close()
+            self._router_spans = None
         if not workers:
             return
         from concurrent.futures import ThreadPoolExecutor

@@ -242,6 +242,11 @@ class LoadReport:
     # 429 responses retried after honoring Retry-After (each retry is an
     # extra attempt, not an extra scheduled request).
     retries: int = 0
+    # Client-side latency keyed by the X-Repro-Trace-Id a traced server
+    # echoed — the join key into the server's span logs (``python -m
+    # repro spans report`` names the same trace ids).  Empty against an
+    # untraced server.
+    trace_latencies: dict[str, float] = field(default_factory=dict)
     # Trace replay: per-group, per-epoch cost-share aggregates keyed
     # {group: {epoch: {"count", "cost", "charged", "receivers"}}} (sums;
     # group_lines() renders means).
@@ -302,7 +307,21 @@ class LoadReport:
         out.extend(self.shard_lines())
         out.extend(self.group_lines())
         out.extend(self.metric_lines())
+        out.extend(self.trace_lines())
         return out
+
+    def trace_lines(self) -> list[str]:
+        """The span-log join: how many responses carried a trace id, and
+        the slowest client-observed trace — the exemplar to look up with
+        ``spans report``.  Empty against an untraced server."""
+        if not self.trace_latencies:
+            return []
+        slowest = max(self.trace_latencies, key=self.trace_latencies.get)
+        return [
+            f"spans: {len(self.trace_latencies)}/{self.completed} responses "
+            f"carried X-Repro-Trace-Id; slowest trace {slowest} "
+            f"({self.trace_latencies[slowest] * 1e3:.1f}ms client-side)",
+        ]
 
     def group_lines(self) -> list[str]:
         """Per-group cost-share trajectories — the trace-replay view.
@@ -457,13 +476,15 @@ class LoadReport:
 
 
 def _post_json(connection: http.client.HTTPConnection, path: str,
-               body: bytes) -> tuple[int, dict, str | None, str | None]:
+               body: bytes
+               ) -> tuple[int, dict, str | None, str | None, str | None]:
     connection.request("POST", path, body=body,
                        headers={"Content-Type": "application/json"})
     response = connection.getresponse()
     payload = json.loads(response.read().decode("utf-8"))
     return (response.status, payload, response.getheader("X-Repro-Shard"),
-            response.getheader("Retry-After"))
+            response.getheader("Retry-After"),
+            response.getheader("X-Repro-Trace-Id"))
 
 
 def _retry_delay(retry_after: str | None) -> float:
@@ -531,6 +552,7 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
     statuses: dict[int, int] = {}
     errors: list[str] = []
     shard_latencies: dict[str, list[float]] = {}
+    trace_latencies: dict[str, float] = {}
     counts = {"retries": 0}
     record_lock = threading.Lock()
 
@@ -574,8 +596,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                 while True:
                     started = time.perf_counter()
                     try:
-                        status, payload, shard, retry_after = post_once(
-                            bodies[index])
+                        (status, payload, shard, retry_after,
+                         trace_id) = post_once(bodies[index])
                     except (OSError, http.client.HTTPException) as exc:
                         with record_lock:
                             errors.append(f"request {index}: {exc}")
@@ -596,6 +618,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
                         if shard is not None:
                             shard_latencies.setdefault(shard,
                                                        []).append(elapsed)
+                        if trace_id is not None:
+                            trace_latencies[trace_id] = elapsed
                         if trace_cells and status == 200:
                             record_trace_row(payload)
                     break
@@ -629,7 +653,8 @@ def run_loadgen(*, host: str, port: int, requests: int, concurrency: int,
         requests=len(bodies), concurrency=concurrency, elapsed=elapsed,
         latencies=latencies, statuses=statuses, errors=errors, stats=stats,
         metrics=metrics, shard_latencies=shard_latencies,
-        retries=counts["retries"], group_rows=trace_cells,
+        retries=counts["retries"], trace_latencies=trace_latencies,
+        group_rows=trace_cells,
         config={"host": host, "port": port, "n": n, "alpha": alpha,
                 "side": side, "seeds": seeds, "layouts": layouts,
                 "mechanisms": mechanisms, "profile_count": profile_count,

@@ -43,6 +43,15 @@ PROTOCOL_SCHEMA = 1
 RUN_FIELDS = ("scenario", "mechanism", "params", "profiles", "epoch", "group")
 BATCH_FIELDS = ("requests",)
 
+# Span-context propagation over the wire (see repro.observability.tracing):
+# requests may carry a W3C-style ``traceparent`` header naming the trace
+# to continue (the router stamps it on every forward), and priced
+# responses echo the trace id back so clients — loadgen — can join
+# client-side latency to the server-side span logs.  Both are additive:
+# response *bodies* stay bit-identical with tracing on or off.
+TRACEPARENT_HEADER = "traceparent"
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+
 
 class ProtocolError(Exception):
     """A predictable bad request, carrying the HTTP status to answer with."""

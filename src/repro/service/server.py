@@ -47,10 +47,19 @@ import asyncio
 import json
 import time
 
-from repro.observability import MetricsRegistry, RequestLogger, scenario_hash, stage_histogram
+from repro.observability import (
+    NULL_SPAN_RECORDER,
+    MetricsRegistry,
+    RequestLogger,
+    parse_traceparent,
+    scenario_hash,
+    stage_histogram,
+)
 from repro.service.batching import MicroBatcher
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
+    TRACE_ID_HEADER,
+    TRACEPARENT_HEADER,
     ProtocolError,
     error_payload,
     parse_batch_request,
@@ -83,7 +92,7 @@ class CostSharingService:
                  retry_after: float = 1.0, executor=None,
                  registry: MetricsRegistry | None = None,
                  request_log: RequestLogger | None = None,
-                 shard: str | None = None) -> None:
+                 shard: str | None = None, spans=None) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         # The shard identity a fleet worker serves under (None outside a
@@ -93,9 +102,19 @@ class CostSharingService:
         self.shard = shard
         self.registry = registry if registry is not None else MetricsRegistry()
         self.request_log = request_log
-        self.store = SessionStore(capacity=cache_size, registry=self.registry)
+        # Request-span recorder (tracing).  Disabled by default — the
+        # null recorder makes every span operation a no-op — and shared
+        # with the store (session_build spans) and batcher (flush/queue/
+        # execute spans) so one request's legs land in one trace.
+        self.spans = spans if spans is not None else NULL_SPAN_RECORDER
+        # Injected recorders were built before this registry existed —
+        # re-home their export counters so /metrics scrapes them.
+        self.spans.use_registry(self.registry)
+        self.store = SessionStore(capacity=cache_size, registry=self.registry,
+                                  spans=self.spans)
         self.batcher = MicroBatcher(self.store, window=batch_window,
-                                    max_batch=max_batch, executor=executor)
+                                    max_batch=max_batch, executor=executor,
+                                    spans=self.spans)
         self.queue_limit = int(queue_limit)
         # A batch must be admissible on an idle server: anything larger
         # than the queue limit would 429 forever (with a Retry-After that
@@ -126,15 +145,31 @@ class CostSharingService:
         self._h_stage = stage_histogram(self.registry)
 
     # -- routing -------------------------------------------------------------
-    async def dispatch(self, method: str, path: str,
-                       body: bytes = b"") -> tuple[int, dict | str, dict]:
-        """Answer one request: ``(status, payload, extra_headers)``."""
+    async def dispatch(self, method: str, path: str, body: bytes = b"", *,
+                       trace_context=None) -> tuple[int, dict | str, dict]:
+        """Answer one request: ``(status, payload, extra_headers)``.
+
+        ``trace_context`` (a :class:`~repro.observability.SpanContext`,
+        parsed from an incoming ``traceparent`` header by the HTTP
+        layer) continues a caller's trace — how a router-opened trace
+        survives the hop onto this worker.  With tracing enabled every
+        priced request gets a ``request`` span and the response carries
+        its trace id in ``X-Repro-Trace-Id``; the response *body* is
+        bit-identical either way."""
         self.requests_total += 1
         self._c_requests.labels(
             method=method,
             path=path if path in _KNOWN_PATHS else "other").inc()
+        span = None
+        if self.spans.enabled and path in ("/v1/run", "/v1/batch"):
+            span = self.spans.span(
+                "request", parent=trace_context,
+                attributes={"method": method, "path": path,
+                            **({"shard": self.shard}
+                               if self.shard is not None else {})})
         try:
-            status, payload, headers = await self._route(method, path, body)
+            status, payload, headers = await self._route(method, path, body,
+                                                         span=span)
         except ProtocolError as exc:
             headers = ({"Retry-After": f"{self.retry_after:g}"}
                        if exc.status == 429 else {})
@@ -149,17 +184,23 @@ class CostSharingService:
             # vanish mid-connection, and count it.
             status, payload, headers = 500, error_payload(
                 f"internal error: {type(exc).__name__}: {exc}"), {}
+        if span is not None:
+            span.set("status_code", status)
+            span.finish(status="ok" if status < 500 else "error")
+            headers = {**headers, TRACE_ID_HEADER: span.trace_id}
         self.responses[status] = self.responses.get(status, 0) + 1
         self._c_responses.labels(code=str(status)).inc()
         if status >= 400 and self.request_log is not None:
             self.request_log.log(
                 id=self.request_log.next_id(), kind="error", method=method,
                 path=path, status=status,
+                **({"shard": self.shard} if self.shard is not None else {}),
+                **({"trace_id": span.trace_id} if span is not None else {}),
                 error=payload.get("error") if isinstance(payload, dict) else None)
         return status, payload, headers
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> tuple[int, dict | str, dict]:
+    async def _route(self, method: str, path: str, body: bytes,
+                     span=None) -> tuple[int, dict | str, dict]:
         if path == "/v1/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -173,6 +214,7 @@ class CostSharingService:
                 return self._method_not_allowed("GET")
             return 200, self.registry.render(), {
                 "Content-Type": METRICS_CONTENT_TYPE}
+        context = span.context if span is not None else None
         if path == "/v1/run":
             if method != "POST":
                 return self._method_not_allowed("POST")
@@ -180,14 +222,22 @@ class CostSharingService:
             request = parse_run_request(parse_body(body))
             parse_s = time.perf_counter() - t0
             self._h_stage.labels(stage="parse").observe(parse_s)
+            if context is not None:
+                self.spans.observe("parse", duration=parse_s, parent=context)
+                self._annotate_span(span, request)
             async with self._admission(1):
-                results, stages = await self.batcher.submit_timed(request)
+                results, stages = await self.batcher.submit_timed(
+                    request, context=context)
             t1 = time.perf_counter()
             payload = run_payload(request, results)
             serialize_s = time.perf_counter() - t1
             self._h_stage.labels(stage="serialize").observe(serialize_s)
+            if context is not None:
+                self.spans.observe("serialize", duration=serialize_s,
+                                   parent=context)
             self._log_run(request, 200,
-                          {"parse": parse_s, **stages, "serialize": serialize_s})
+                          {"parse": parse_s, **stages, "serialize": serialize_s},
+                          trace_id=span.trace_id if span is not None else None)
             return 200, payload, {}
         if path == "/v1/batch":
             if method != "POST":
@@ -197,11 +247,16 @@ class CostSharingService:
                 parse_body(body), max_requests=self.max_batch_requests)
             parse_s = time.perf_counter() - t0
             self._h_stage.labels(stage="parse").observe(parse_s)
+            if context is not None:
+                self.spans.observe("parse", duration=parse_s, parent=context)
             async with self._admission(len(requests)):
                 outcomes = await asyncio.gather(
-                    *(self.batcher.submit_timed(r) for r in requests),
+                    *(self.batcher.submit_timed(r, context=context)
+                      for r in requests),
                     return_exceptions=True)
             entries = []
+            trace_id = span.trace_id if span is not None else None
+            serialize_total = 0.0
             for index, (request, outcome) in enumerate(zip(requests, outcomes)):
                 if isinstance(outcome, BaseException):
                     if not isinstance(outcome, (ProtocolError, ValueError,
@@ -210,17 +265,23 @@ class CostSharingService:
                     message = getattr(outcome, "message", None) or str(outcome)
                     entries.append({"status": 400, "body": error_payload(message)})
                     self._log_run(request, 400, {"parse": parse_s},
-                                  batch_index=index, error=message)
+                                  batch_index=index, error=message,
+                                  trace_id=trace_id)
                 else:
                     results, stages = outcome
                     t1 = time.perf_counter()
                     entry = {"status": 200, "body": run_payload(request, results)}
                     serialize_s = time.perf_counter() - t1
+                    serialize_total += serialize_s
                     self._h_stage.labels(stage="serialize").observe(serialize_s)
                     entries.append(entry)
                     self._log_run(request, 200,
                                   {"parse": parse_s, **stages,
-                                   "serialize": serialize_s}, batch_index=index)
+                                   "serialize": serialize_s}, batch_index=index,
+                                  trace_id=trace_id)
+            if context is not None:
+                self.spans.observe("serialize", duration=serialize_total,
+                                   parent=context)
             payload = {"schema": PROTOCOL_SCHEMA, "count": len(entries),
                        "responses": entries}
             return 200, payload, {}
@@ -232,8 +293,18 @@ class CostSharingService:
         return 405, error_payload(f"method not allowed (use {allowed})"), {
             "Allow": allowed}
 
+    def _annotate_span(self, span, request) -> None:
+        """What the request span carries once parsing resolved it."""
+        span.set("scenario", scenario_hash(request.key))
+        span.set("mechanism", request.mechanism.name)
+        span.set("profiles", len(request.profiles))
+        if request.is_dynamic:
+            span.set("epoch", request.epoch)
+        if request.group is not None:
+            span.set("group", request.group)
+
     def _log_run(self, request, status: int, stages: dict,
-                 **fields: object) -> None:
+                 trace_id: str | None = None, **fields: object) -> None:
         if self.request_log is None:
             return
         self.request_log.log(
@@ -243,6 +314,11 @@ class CostSharingService:
             profiles=len(request.profiles),
             **({"epoch": request.epoch} if request.is_dynamic else {}),
             **({"group": request.group} if request.group is not None else {}),
+            # The worker's shard label and the request's trace id make
+            # fleet log joins lossless: grep one trace id across the
+            # span logs and every shard's request log.
+            **({"shard": self.shard} if self.shard is not None else {}),
+            **({"trace_id": trace_id} if trace_id is not None else {}),
             status=status,
             stages_ms={name: round(seconds * 1e3, 3)
                        for name, seconds in stages.items()},
@@ -262,10 +338,25 @@ class CostSharingService:
         return payload
 
     def stats_payload(self) -> dict:
+        snapshot = self.registry.snapshot()
+
+        def counter_total(name: str) -> int:
+            return int(sum(series.get("value", 0) for series in
+                           snapshot.get(name, {}).get("series", [])))
+
+        # The multi-group substrate-sharing counters ride in the store
+        # block (they are session-store state, published by the sessions
+        # the store holds) so the fleet router's legacy-key aggregation
+        # sums them instead of losing them in the merge.
+        store = self.store.stats()
+        store["substrate_sessions_built"] = counter_total(
+            "repro_trace_substrate_built_total")
+        store["substrate_sessions_shared"] = counter_total(
+            "repro_trace_substrate_shared_total")
         return {
             "schema": PROTOCOL_SCHEMA,
             **({"shard": self.shard} if self.shard is not None else {}),
-            "store": self.store.stats(),
+            "store": store,
             "batcher": self.batcher.stats(),
             "http": {
                 "requests": self.requests_total,
@@ -274,7 +365,8 @@ class CostSharingService:
                 "rejected": self.rejected,
                 "responses": {str(k): v for k, v in sorted(self.responses.items())},
             },
-            "metrics": self.registry.snapshot(),
+            "spans": self.spans.stats_payload(),
+            "metrics": snapshot,
         }
 
     async def drain(self) -> None:
@@ -465,7 +557,12 @@ class ServiceServer:
                                       self.read_timeout) if length else b""
 
         path = target.split("?", 1)[0]
-        status, payload, extra = await self.service.dispatch(method, path, body)
+        # An incoming traceparent header continues the caller's trace
+        # (malformed headers degrade to None: a fresh trace, never an
+        # error) — the cross-process propagation hop.
+        status, payload, extra = await self.service.dispatch(
+            method, path, body,
+            trace_context=parse_traceparent(headers.get(TRACEPARENT_HEADER)))
         keep_alive = (version == "HTTP/1.1"
                       and headers.get("connection", "").lower() != "close")
         await self._respond(writer, status, payload, extra, keep_alive=keep_alive)

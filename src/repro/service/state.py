@@ -46,7 +46,7 @@ from repro.api.session import MulticastSession
 from repro.api.spec import ScenarioSpec
 from repro.dynamic.session import DynamicSession
 from repro.dynamic.spec import DynamicScenarioSpec
-from repro.observability import MetricsRegistry
+from repro.observability import NULL_SPAN_RECORDER, MetricsRegistry, scenario_hash
 from repro.traces.session import MultiGroupSession
 from repro.traces.spec import MultiGroupScenarioSpec
 
@@ -97,11 +97,16 @@ class SessionStore:
     builds and atomic hit/miss/eviction/coalescing counters."""
 
     def __init__(self, capacity: int = 64, *,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 spans=None) -> None:
         capacity = int(capacity)
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        # Request-span recorder: cold builds are the expensive store path,
+        # so the owner of a build records a ``session_build`` span (child
+        # of the requesting trace when a context is threaded through).
+        self.spans = spans if spans is not None else NULL_SPAN_RECORDER
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, StoreEntry] = OrderedDict()
         self._building: dict[str, Future] = {}
@@ -137,9 +142,12 @@ class SessionStore:
             if extra is not None:
                 extra()
 
-    def get(self, spec: ScenarioSpec, *, key: str | None = None) -> StoreEntry:
+    def get(self, spec: ScenarioSpec, *, key: str | None = None,
+            span_context=None) -> StoreEntry:
         """The entry for ``spec`` — warm from the LRU, joined onto an
-        in-flight build, or built here (exactly one builder per key)."""
+        in-flight build, or built here (exactly one builder per key).
+        ``span_context`` parents the cold path's ``session_build`` span
+        (hits and coalesced joins record nothing: they are cheap)."""
         if key is None:
             key = scenario_key(spec)
         with self._lock:
@@ -164,6 +172,9 @@ class SessionStore:
                 self._record(self._c_misses)
         if not owner:
             return future.result()
+        build_span = self.spans.span(
+            "session_build", parent=span_context,
+            attributes={"scenario": scenario_hash(key)})
         try:
             if self._session_registry is None:
                 entry = StoreEntry(build_session(spec))
@@ -171,10 +182,13 @@ class SessionStore:
                 entry = StoreEntry(
                     build_session(spec, registry=self._session_registry))
         except BaseException as exc:
+            build_span.set("error", f"{type(exc).__name__}: {exc}")
+            build_span.finish(status="error")
             with self._lock:
                 self._building.pop(key, None)
             future.set_exception(exc)
             raise
+        build_span.finish()
         with self._lock:
             evicted = 0
             if self.capacity > 0:

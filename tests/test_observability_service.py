@@ -163,10 +163,13 @@ def test_stats_carries_registry_snapshot_next_to_pinned_legacy_keys():
         return client.service, stats
 
     service, stats = run(go())
-    # Legacy shape unchanged; "metrics" added.
-    assert set(stats) == {"schema", "store", "batcher", "http", "metrics"}
+    # Legacy shape unchanged; "metrics" and "spans" added.
+    assert set(stats) == {"schema", "store", "batcher", "http", "metrics",
+                          "spans"}
     assert set(stats["store"]) == {"capacity", "size", "building", "lookups",
-                                   "hits", "misses", "evictions", "coalesced"}
+                                   "hits", "misses", "evictions", "coalesced",
+                                   "substrate_sessions_built",
+                                   "substrate_sessions_shared"}
     store = stats["store"]
     assert store["hits"] + store["misses"] + store["coalesced"] == store["lookups"]
     snapshot = stats["metrics"]

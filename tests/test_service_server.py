@@ -41,7 +41,8 @@ def test_healthz_and_stats_shapes():
         assert status == 200 and health["status"] == "ok"
         status, stats = await client.stats()
         assert status == 200
-        assert set(stats) == {"schema", "store", "batcher", "http", "metrics"}
+        assert set(stats) == {"schema", "store", "batcher", "http", "metrics",
+                              "spans"}
         assert stats["http"]["queue_limit"] == client.service.queue_limit
     run(go())
 

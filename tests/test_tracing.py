@@ -1,0 +1,352 @@
+"""The request-span model, recorder, and report (repro.observability.tracing).
+
+Unit-level contracts: traceparent propagation round-trips and degrades
+safely, the span wire format round-trips, the attribute schema is
+closed, the recorder's ring/export/drop accounting is exact, and the
+forest/report reconstruction is a pure function of the span set.  The
+``spans report`` CLI is pinned here too; the fleet-level end-to-end
+properties live in ``tests/test_tracing_property.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import random
+
+import pytest
+
+from repro.__main__ import main
+from repro.observability import MetricsRegistry
+from repro.observability.tracing import (
+    NULL_SPAN_RECORDER,
+    SPAN_ATTRIBUTE_KEYS,
+    NullSpanRecorder,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    parse_traceparent,
+    read_span_lines,
+    render_span_report,
+    span_forest,
+    span_report,
+)
+
+
+def seq_ids(prefix: int = 0):
+    """A deterministic id source: distinct, ordered hex ids, namespaced
+    by ``prefix`` so several recorders never collide."""
+    counter = itertools.count(1)
+    return lambda n_hex: f"{prefix:02x}{next(counter):0{n_hex - 2}x}"
+
+
+def recorder(stream=None, **kwargs) -> SpanRecorder:
+    kwargs.setdefault("ids", seq_ids())
+    kwargs.setdefault("clock", lambda: 1000.0)
+    return SpanRecorder(stream, **kwargs)
+
+
+# -- traceparent propagation --------------------------------------------------
+def test_traceparent_round_trips():
+    context = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+    header = context.traceparent()
+    assert header == "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+    assert parse_traceparent(header) == context
+    # Surrounding whitespace is forgiven (proxies pad headers).
+    assert parse_traceparent(f"  {header}  ") == context
+
+
+@pytest.mark.parametrize("bad", [
+    None, "", "nonsense",
+    "01-" + "ab" * 16 + "-" + "cd" * 8 + "-01",     # unknown version
+    "00-" + "ab" * 15 + "-" + "cd" * 8 + "-01",     # short trace id
+    "00-" + "ab" * 16 + "-" + "cd" * 7 + "-01",     # short span id
+    "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",     # non-hex
+    "00-" + "00" * 16 + "-" + "cd" * 8 + "-01",     # all-zero trace id
+    "00-" + "ab" * 16 + "-" + "00" * 8 + "-01",     # all-zero span id
+    "00-" + "ab" * 16 + "-" + "cd" * 8,             # missing flags
+])
+def test_malformed_traceparent_degrades_to_none(bad):
+    # An unreadable header must start a fresh trace, never error.
+    assert parse_traceparent(bad) is None
+
+
+# -- the span wire format -----------------------------------------------------
+def test_span_record_round_trips():
+    span = Span(trace_id="ab" * 16, span_id="cd" * 8, parent_id="ef" * 8,
+                name="execute", start=1234.5678901, duration=0.025,
+                status="ok", attributes={"shard": "w0", "batch_size": 3})
+    record = span.to_dict()
+    assert record["schema"] == 1
+    assert record["duration_ms"] == 25.0
+    again = Span.from_dict(json.loads(json.dumps(record)))
+    assert again == Span(**{**span.__dict__, "start": record["start"]})
+
+
+def test_root_span_omits_parent_and_empty_attributes():
+    span = Span(trace_id="ab" * 16, span_id="cd" * 8, parent_id=None,
+                name="request", start=1.0, duration=0.5)
+    record = span.to_dict()
+    assert "parent_id" not in record and "attributes" not in record
+    assert Span.from_dict(record).parent_id is None
+
+
+@pytest.mark.parametrize("garbage", [
+    [], "text", {"trace_id": "x"}, {"name": "request"},
+    {"trace_id": "t", "span_id": "s", "name": "n", "start": "soon",
+     "duration_ms": 1.0},
+])
+def test_malformed_span_record_raises_value_error(garbage):
+    with pytest.raises(ValueError):
+        Span.from_dict(garbage)
+
+
+def test_attribute_schema_is_closed():
+    rec = recorder()
+    with pytest.raises(ValueError, match="unknown span attribute"):
+        rec.span("request", attributes={"shardd": "w0"})
+    span = rec.span("request")
+    with pytest.raises(ValueError, match="unknown span attribute"):
+        span.set("surprise", 1)
+    with pytest.raises(ValueError, match="JSON scalar"):
+        span.set("shard", ["w0"])
+    # Every documented key is accepted.
+    for key in SPAN_ATTRIBUTE_KEYS:
+        span.set(key, "x")
+
+
+# -- the recorder -------------------------------------------------------------
+def test_child_spans_continue_the_parent_trace():
+    rec = recorder()
+    root = rec.span("request")
+    child = rec.span("execute", parent=root.context)
+    assert child.context.trace_id == root.context.trace_id
+    assert child.parent_id == root.context.span_id
+    assert child.context.span_id != root.context.span_id
+    child.finish()
+    root.finish()
+    names = [span.name for span in rec.recent()]
+    assert names == ["execute", "request"]  # finish order
+
+
+def test_observe_backdates_the_start_by_the_duration():
+    rec = recorder()
+    span = rec.observe("queue", duration=0.25)
+    assert span.start == 1000.0 - 0.25
+    assert span.duration == 0.25
+    # A negative duration (clock skew) clamps to zero, never negative.
+    assert rec.observe("queue", duration=-1.0).duration == 0.0
+
+
+def test_context_manager_marks_errors_and_reraises():
+    rec = recorder()
+    with pytest.raises(RuntimeError, match="boom"):
+        with rec.span("request"):
+            raise RuntimeError("boom")
+    span, = rec.recent()
+    assert span.status == "error"
+    assert span.attributes["error"] == "RuntimeError: boom"
+
+
+def test_finish_is_idempotent():
+    rec = recorder()
+    span = rec.span("request")
+    span.finish()
+    span.finish(status="error")
+    recorded, = rec.recent()
+    assert recorded.status == "ok"
+    assert len(rec.recent()) == 1
+
+
+def test_ring_without_sink_counts_drops():
+    registry = MetricsRegistry()
+    rec = recorder(limit=2, registry=registry)
+    for _ in range(5):
+        rec.span("request").finish()
+    assert len(rec.recent()) == 2
+    payload = rec.stats_payload()
+    assert payload["recorded"] == 5
+    assert payload["dropped"] == 3
+    assert payload["exported"] == 0
+    snapshot = registry.snapshot()
+    series, = snapshot["repro_spans_dropped_total"]["series"]
+    assert series["value"] == 3
+
+
+def test_sink_exports_every_span_and_never_drops():
+    stream = io.StringIO()
+    registry = MetricsRegistry()
+    rec = recorder(stream, limit=2, registry=registry)
+    for _ in range(5):
+        rec.span("request").finish()
+    payload = rec.stats_payload()
+    assert payload == {**payload, "recorded": 5, "exported": 5, "dropped": 0}
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 5
+    # One compact, key-sorted JSON object per line — the pinned format.
+    for line in lines:
+        record = json.loads(line)
+        assert line == json.dumps(record, sort_keys=True,
+                                  separators=(",", ":"))
+    spans, malformed = read_span_lines(lines)
+    assert malformed == 0 and len(spans) == 5
+    series, = registry.snapshot()["repro_spans_exported_total"]["series"]
+    assert series["value"] == 5
+
+
+def test_stats_payload_exemplars_name_request_trace_ids():
+    rec = recorder()
+    durations = {}
+    for index in range(5):
+        span = rec.span("request")
+        span.finish()
+        durations[span.trace_id] = index
+    rec.span("flush").finish()  # non-request spans never become exemplars
+    exemplars = rec.stats_payload()["exemplars"]
+    assert set(exemplars) == {"p50", "p95", "max"}
+    assert all(value["trace_id"] in durations for value in exemplars.values())
+
+
+def test_null_recorder_is_a_complete_no_op():
+    assert NULL_SPAN_RECORDER.enabled is False
+    assert isinstance(NULL_SPAN_RECORDER, NullSpanRecorder)
+    span = NULL_SPAN_RECORDER.span("request", attributes={"shard": "w0"})
+    assert span.context is None and span.trace_id is None
+    with span:
+        span.set("status_code", 200)
+    assert NULL_SPAN_RECORDER.recent() == []
+    assert NULL_SPAN_RECORDER.observe("queue", duration=1.0) is None
+    assert NULL_SPAN_RECORDER.stats_payload() == {"enabled": False}
+
+
+# -- forest + report ----------------------------------------------------------
+def _family(rec: SpanRecorder) -> None:
+    root = rec.span("request", attributes={"shard": "w0"})
+    rec.observe("parse", duration=0.001, parent=root.context)
+    rec.observe("execute", duration=0.004, parent=root.context)
+    root.finish()
+
+
+def test_forest_is_order_independent_and_dedupes():
+    rec = recorder()
+    _family(rec)
+    _family(rec)
+    spans = rec.recent()
+    baseline = span_forest(spans)
+    shapes = {
+        trace_id: (sorted(tree.spans),
+                   {k: list(v) for k, v in sorted(tree.children.items(),
+                                                  key=lambda kv: str(kv[0]))})
+        for trace_id, tree in baseline.items()}
+    for seed in range(5):
+        shuffled = list(spans) + [spans[0]]  # duplicate keeps first
+        random.Random(seed).shuffle(shuffled)
+        forest = span_forest(shuffled)
+        assert {
+            trace_id: (sorted(tree.spans),
+                       {k: list(v) for k, v in sorted(tree.children.items(),
+                                                      key=lambda kv: str(kv[0]))})
+            for trace_id, tree in forest.items()} == shapes
+    tree = baseline[spans[-1].trace_id]
+    assert tree.complete
+    root, = tree.roots
+    assert root.name == "request"
+    assert sorted(s.name for s in tree.child_spans(root.span_id)) == [
+        "execute", "parse"]
+
+
+def test_missing_parents_mark_the_trace_broken():
+    orphan = Span(trace_id="ab" * 16, span_id="cd" * 8, parent_id="ef" * 8,
+                  name="execute", start=1.0, duration=0.1)
+    tree = span_forest([orphan])["ab" * 16]
+    assert not tree.complete and tree.missing_parents == {"ef" * 8}
+    report = span_report([orphan])
+    assert report["broken_traces"] == ["ab" * 16]
+    assert any("absent" in problem for problem in report["problems"])
+    assert any(line.startswith("PROBLEM:")
+               for line in render_span_report(report))
+
+
+def test_report_counts_flush_sharing_and_dangling_links():
+    rec = recorder()
+    flush = rec.span("flush", attributes={"requests": 2})
+    link = {"flush_trace_id": flush.trace_id,
+            "flush_span_id": flush.context.span_id}
+    for _ in range(2):
+        root = rec.span("request")
+        rec.observe("execute", duration=0.001, parent=root.context,
+                    attributes={**link, "batch_size": 2})
+        root.finish()
+    flush.finish()
+    report = span_report(rec.recent())
+    assert report["flushes"] == {"spans": 1, "linked_requests": 2, "shared": 1}
+    assert report["problems"] == []
+    # Drop the flush span: the links dangle and the report says so.
+    partial = [span for span in rec.recent() if span.name != "flush"]
+    report = span_report(partial)
+    assert report["flushes"]["linked_requests"] == 0
+    assert any("link to flush spans absent" in p for p in report["problems"])
+
+
+def test_torn_tail_lines_count_as_malformed_not_fatal():
+    stream = io.StringIO()
+    rec = recorder(stream)
+    _family(rec)
+    lines = stream.getvalue().splitlines()
+    lines[-1] = lines[-1][:20]  # the process died mid-write
+    spans, malformed = read_span_lines(lines + ["", "   "])
+    assert malformed == 1 and len(spans) == 2
+
+
+# -- the spans CLI ------------------------------------------------------------
+def test_spans_report_cli_over_fleet_shaped_logs(tmp_path, capsys):
+    router_log = tmp_path / "router.spans.jsonl"
+    worker_log = tmp_path / "w0.spans.jsonl"
+    with open(router_log, "w") as router_stream, \
+            open(worker_log, "w") as worker_stream:
+        router = SpanRecorder(router_stream, ids=seq_ids(1),
+                              clock=lambda: 1000.0)
+        worker = SpanRecorder(worker_stream, ids=seq_ids(2),
+                              clock=lambda: 1000.0)
+        root = router.span("request", attributes={"shard": "router"})
+        forward = router.span("forward", parent=root.context,
+                              attributes={"shard": "w0"})
+        handled = worker.span("request", parent=forward.context,
+                              attributes={"shard": "w0"})
+        worker.observe("execute", duration=0.002, parent=handled.context)
+        handled.finish()
+        forward.finish()
+        root.finish()
+
+    rc = main(["spans", "report", str(router_log), str(worker_log)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 traces (1 complete)" in out
+    assert "shard w0: 1 request span(s), 1 complete cross-process trace(s)" in out
+    assert "well-formed" in out
+
+    rc = main(["spans", "report", "--json", str(router_log), str(worker_log)])
+    report = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert report["cross_process_traces"] == {"w0": 1}
+    assert report["files"] == 2 and report["spans"] == 4
+
+    # --require-complete gates CI: satisfied here, unsatisfiable at 2.
+    assert main(["spans", "report", "--require-complete", "1",
+                 str(router_log), str(worker_log)]) == 0
+    rc = main(["spans", "report", "--require-complete", "2",
+               str(router_log), str(worker_log)])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err
+
+    # The worker log alone is a broken trace (the forward parent is in
+    # the router's log) — the report exits nonzero and says why.
+    rc = main(["spans", "report", str(worker_log)])
+    captured = capsys.readouterr()
+    assert rc == 1 and "PROBLEM" in captured.out
+
+
+def test_spans_report_cli_missing_file_is_exit_2(tmp_path, capsys):
+    assert main(["spans", "report", str(tmp_path / "nope.jsonl")]) == 2
+    assert "error" in capsys.readouterr().err
